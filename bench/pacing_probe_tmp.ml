@@ -1,0 +1,11 @@
+open Farm_sim
+open Farm_core
+let () =
+  let params = { Params.default with Params.lease_duration = Time.ms 5; region_size = 1 lsl 18; recovery_interval = Time.us 50 } in
+  let c = Cluster.create ~machines:6 ~params () in
+  let r = Cluster.alloc_region_exn c in
+  Cluster.run_for c ~d:(Time.ms 10);
+  Cluster.kill c r.Wire.primary;
+  let guard = ref 0 in
+  while Cluster.milestone_time c "data-rec-done" = None && !guard < 400 do incr guard; Cluster.run_for c ~d:(Time.ms 10) done;
+  List.iter (fun (tag, m, at) -> Fmt.pr "%-18s m%d %a@." tag m Time.pp at) (Cluster.milestones c)
