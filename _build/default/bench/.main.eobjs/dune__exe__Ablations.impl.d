@@ -1,0 +1,1 @@
+bench/ablations.ml: Api Array Bench_util Bytes Cluster Driver Failure_bench Farm_core Farm_sim Farm_workloads Fmt List Params Printf Rng State Stats Tatp Time Txn Wire

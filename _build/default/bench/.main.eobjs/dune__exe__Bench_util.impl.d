@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Farm_sim Fmt List Stats String Time

@@ -1,0 +1,1 @@
+bench/failure_bench.ml: Bench_util Cluster Config Driver Engine Farm_core Farm_sim Farm_workloads Fmt Fun List Option Params State Tatp Time Tpcc

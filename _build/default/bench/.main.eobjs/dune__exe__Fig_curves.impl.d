@@ -1,0 +1,1 @@
+bench/fig_curves.ml: Bench_util Cluster Driver Farm_core Farm_sim Farm_workloads Fmt List Stats Tatp Time Tpcc

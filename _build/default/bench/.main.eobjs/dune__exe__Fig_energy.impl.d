@@ -1,0 +1,1 @@
+bench/fig_energy.ml: Bench_util Farm_nvram Fmt

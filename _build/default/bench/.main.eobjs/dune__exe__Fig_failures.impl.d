@@ -1,0 +1,1 @@
+bench/fig_failures.ml: Bench_util Failure_bench Farm_core Farm_sim Farm_workloads Fmt List Params Rng Time Tpcc

@@ -1,0 +1,1 @@
+bench/fig_lease.ml: Array Bench_util Cluster Config Cpu Farm_core Farm_net Farm_sim Fmt Hashtbl List Params Proc Rng State Time

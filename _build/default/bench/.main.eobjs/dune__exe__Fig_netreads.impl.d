@@ -1,0 +1,1 @@
+bench/fig_netreads.ml: Array Bench_util Bytes Cpu Engine Fabric Farm_net Farm_sim Fmt List Params Proc Rng Time

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fig_curves Fig_energy Fig_failures Fig_lease Fig_netreads Fmt List Micro Readperf Scaling Sys Unix Ycsb_bench

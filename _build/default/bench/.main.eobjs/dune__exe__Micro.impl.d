@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_util Benchmark Bytes Farm_core Farm_kv Farm_sim Fmt Hashtbl Instance List Measure Staged Test Time Toolkit

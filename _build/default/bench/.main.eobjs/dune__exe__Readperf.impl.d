@@ -1,0 +1,1 @@
+bench/readperf.ml: Bench_util Cluster Driver Farm_core Farm_sim Farm_workloads Fmt Kvlookup Stats Time

@@ -1,0 +1,1 @@
+bench/scaling.ml: Baseline Bench_util Cluster Driver Farm_core Farm_sim Farm_workloads Fmt List Printf Stats Tatp Time

@@ -1,0 +1,1 @@
+bench/ycsb_bench.ml: Bench_util Driver Farm_core Farm_sim Farm_workloads Fmt List Stats Time Ycsb

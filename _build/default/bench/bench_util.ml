@@ -1,0 +1,40 @@
+open Farm_sim
+
+(* Shared output helpers for the figure-regeneration harness. *)
+
+let header fig paper =
+  Fmt.pr "@.=== %s ===@." fig;
+  Fmt.pr "paper: %s@.@." paper
+
+let bar ?(scale = 1.0) v =
+  let n = int_of_float (float_of_int v *. scale) in
+  String.make (min 60 (max 0 n)) '#'
+
+(* Print a 1 ms-binned series aggregated into [step]-ms rows. *)
+let print_timeline ?(step = 5) ~from_ms ~to_ms ~bins ~label () =
+  Fmt.pr "%s (tx per %d ms):@." label step;
+  let maxv = ref 1 in
+  let rows = ref [] in
+  let i = ref from_ms in
+  while !i < to_ms do
+    let s = ref 0 in
+    for j = !i to min (to_ms - 1) (!i + step - 1) do
+      if j >= 0 && j < Array.length bins then s := !s + bins.(j)
+    done;
+    rows := (!i, !s) :: !rows;
+    if !s > !maxv then maxv := !s;
+    i := !i + step
+  done;
+  List.iter
+    (fun (t, v) ->
+      Fmt.pr "  t=%4dms %6d %s@." t v (bar ~scale:(55.0 /. float_of_int !maxv) v))
+    (List.rev !rows)
+
+let print_latency name (h : Stats.Hist.t) =
+  Fmt.pr "  %-22s median %8.1f us   99th %8.1f us   mean %8.1f us  (n=%d)@." name
+    (float_of_int (Stats.Hist.percentile h 50.) /. 1e3)
+    (float_of_int (Stats.Hist.percentile h 99.) /. 1e3)
+    (Stats.Hist.mean h /. 1e3)
+    (Stats.Hist.count h)
+
+let ms_of t = int_of_float (Time.to_ms_float t)

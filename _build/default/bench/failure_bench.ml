@@ -1,0 +1,175 @@
+open Farm_sim
+open Farm_core
+open Farm_workloads
+
+(* The failure-timeline harness behind Figures 9, 10, 11, 13, 14 and 15:
+   run a workload at full load, kill one or more machines at a fixed
+   instant, and report the recovery milestones, the 1 ms throughput
+   timeline around the failure, and the progress of background data
+   recovery. *)
+
+type workload = Wl_tatp of int (* subscribers *) | Wl_tpcc of Tpcc.scale
+
+type victim = Kill_primary_of_first_region | Kill_cm | Kill_domain of int
+
+type spec = {
+  label : string;
+  paper : string;
+  machines : int;
+  domains : int -> int;
+  params : Params.t;
+  workload : workload;
+  workers : int;
+  kill_at : Time.t;  (* relative to measurement start *)
+  measure_for : Time.t;
+  victim : victim;
+  seed : int;
+  data_rec_limit : Time.t;  (* how long to wait for full data recovery *)
+  quiet : bool;
+}
+
+let default_spec =
+  {
+    label = "";
+    paper = "";
+    machines = 8;
+    domains = (fun m -> m);
+    params = { Params.default with Params.lease_duration = Time.ms 5 };
+    workload = Wl_tatp 2_000;
+    workers = 6;
+    kill_at = Time.ms 60;
+    measure_for = Time.ms 300;
+    victim = Kill_primary_of_first_region;
+    seed = 42;
+    data_rec_limit = Time.s 2;
+    quiet = false;
+  }
+
+type outcome = {
+  recovery_80 : Time.t option;  (* time from kill to 80% of pre-kill rate *)
+  milestones : (string * Time.t) list;  (* relative to kill *)
+  regions_recovered : int;
+  data_rec_done : Time.t option;
+  stats : Driver.stats;
+  cluster : Cluster.t;
+}
+
+let first_milestone c tag ~after =
+  let rec find = function
+    | [] -> None
+    | (t, _, at) :: rest -> if t = tag && Time.( >= ) at after then Some at else find rest
+  in
+  find (Cluster.milestones c)
+
+let run spec : outcome =
+  let c = Cluster.create ~seed:spec.seed ~params:spec.params ~domains:spec.domains
+      ~machines:spec.machines ()
+  in
+  let op =
+    match spec.workload with
+    | Wl_tatp subscribers ->
+        let t = Tatp.create c ~subscribers ~regions_per_table:2 in
+        Tatp.load c t;
+        Tatp.op t
+    | Wl_tpcc scale ->
+        let t = Tpcc.create c ~scale () in
+        Tpcc.load c t;
+        Tpcc.op t
+  in
+  let start = Cluster.now c in
+  let kill_abs = Time.add start spec.kill_at in
+  let victims = ref [] in
+  Engine.schedule c.Cluster.engine ~at:kill_abs (fun () ->
+      (match spec.victim with
+      | Kill_primary_of_first_region ->
+          (* the first data region (region 1 is a table region) *)
+          let rec first_alive rid =
+            if rid > 50 then None
+            else
+              match
+                List.find_opt
+                  (fun (m, (rep : State.replica)) ->
+                    rep.State.role = State.Primary && (Cluster.machine c m).State.alive)
+                  (Cluster.replicas_of c rid)
+              with
+              | Some (m, _) -> Some m
+              | None -> first_alive (rid + 1)
+          in
+          (match first_alive 1 with
+          | Some m when m <> (Cluster.machine c 0).State.config.Config.cm ->
+              victims := [ m ]
+          | _ ->
+              (* avoid the CM for the non-CM experiments *)
+              let cm = (Cluster.machine c 0).State.config.Config.cm in
+              victims := [ (cm + 1) mod spec.machines ])
+      | Kill_cm -> victims := [ (Cluster.machine c 0).State.config.Config.cm ]
+      | Kill_domain d ->
+          victims :=
+            List.filter
+              (fun m -> spec.domains m = d)
+              (List.init spec.machines Fun.id));
+      List.iter (fun m -> Cluster.kill c m) !victims);
+  let stats =
+    Driver.run c ~workers:spec.workers ~duration:spec.measure_for ~op
+      ~machines:
+        (List.init spec.machines Fun.id
+        |> List.filter (fun m ->
+               (* workers only on machines that will survive *)
+               match spec.victim with
+               | Kill_domain d -> spec.domains m <> d
+               | Kill_cm -> m <> (Cluster.machine c 0).State.config.Config.cm
+               | Kill_primary_of_first_region -> true))
+  in
+  (* wait for background data recovery to finish *)
+  let deadline = Time.add (Cluster.now c) spec.data_rec_limit in
+  while
+    Cluster.milestone_time c "data-rec-done" = None
+    && Time.( < ) (Cluster.now c) deadline
+    && Engine.pending c.Cluster.engine > 0
+  do
+    Cluster.run_for c ~d:(Time.ms 50)
+  done;
+  let milestones =
+    List.filter_map
+      (fun (tag, _, at) ->
+        if Time.( >= ) at kill_abs && tag <> "region-recovered" then
+          Some (tag, Time.sub at kill_abs)
+        else None)
+      (Cluster.milestones c)
+  in
+  let regions_recovered =
+    List.length
+      (List.filter (fun (tag, _, _) -> tag = "region-recovered") (Cluster.milestones c))
+  in
+  let data_rec_done =
+    Option.map (fun at -> Time.sub at kill_abs) (first_milestone c "data-rec-done" ~after:kill_abs)
+  in
+  let recovery_80 = Driver.recovery_time stats ~failure_at:kill_abs ~fraction:0.8 in
+  let o = { recovery_80; milestones; regions_recovered; data_rec_done; stats; cluster = c } in
+  if not spec.quiet then begin
+    Bench_util.header spec.label spec.paper;
+    Fmt.pr "machines=%d workers/machine=%d killed=%a at t=%a@." spec.machines spec.workers
+      Fmt.(list ~sep:(any ",") int)
+      !victims Time.pp kill_abs;
+    Fmt.pr "@.milestones after the failure:@.";
+    List.iter
+      (fun (tag, dt) ->
+        if List.mem tag [ "killed"; "suspect"; "probe"; "zookeeper"; "new-config";
+                          "config-commit"; "all-active"; "data-rec-start"; "data-rec-done" ]
+        then Fmt.pr "  %-16s +%a@." tag Time.pp dt)
+      milestones;
+    (match recovery_80 with
+    | Some t -> Fmt.pr "@.time to regain 80%% of pre-failure throughput: %a@." Time.pp t
+    | None -> Fmt.pr "@.throughput did not regain 80%% in the window@.");
+    (match data_rec_done with
+    | Some t ->
+        Fmt.pr "full data re-replication of %d region replicas: %a@." regions_recovered
+          Time.pp t
+    | None -> Fmt.pr "data recovery still running at cutoff (paced; expected)@.");
+    let bins = Cluster.throughput_series c ~until:(Cluster.now c) in
+    let k = Bench_util.ms_of kill_abs in
+    Bench_util.print_timeline ~from_ms:(max 0 (k - 30)) ~to_ms:(k + 120) ~bins
+      ~label:"throughput around the failure" ();
+    Bench_util.print_latency "tx latency" stats.Driver.latency
+  end;
+  o

@@ -1,0 +1,23 @@
+(* Figure 1: energy to copy one GB from DRAM to SSD vs. number of SSDs,
+   plus the §2.1 cost model (non-volatility < 15% of DRAM cost). *)
+
+let run () =
+  Bench_util.header "Figure 1 — energy to save 1 GB of DRAM to SSD"
+    "~110 J/GB with 1 SSD (~90 J of it CPU power), decreasing with more SSDs";
+  let m = Farm_nvram.Energy.default in
+  Fmt.pr "%-8s %12s %12s %14s@." "SSDs" "J/GB" "save s/GB" "energy $/GB";
+  for ssds = 1 to 4 do
+    Fmt.pr "%-8d %12.1f %12.2f %14.3f  %s@." ssds
+      (Farm_nvram.Energy.joules_per_gb m ~ssds)
+      (Farm_nvram.Energy.save_seconds_per_gb m ~ssds)
+      (Farm_nvram.Energy.energy_cost_per_gb m ~ssds)
+      (Bench_util.bar ~scale:0.5 (int_of_float (Farm_nvram.Energy.joules_per_gb m ~ssds)))
+  done;
+  Fmt.pr "@.cost model (worst case, 1 SSD):@.";
+  Fmt.pr "  energy cost            $%.2f/GB (paper: $0.55/GB)@."
+    (Farm_nvram.Energy.energy_cost_per_gb m ~ssds:1);
+  Fmt.pr "  SSD capacity reserve   $%.2f/GB (paper: $0.90/GB)@."
+    Farm_nvram.Energy.ssd_reserve_per_gb;
+  Fmt.pr "  total vs DRAM ($%.0f/GB): %.1f%% (paper: < 15%%)@."
+    Farm_nvram.Energy.dram_per_gb
+    (100. *. Farm_nvram.Energy.overhead_fraction m ~ssds:1)

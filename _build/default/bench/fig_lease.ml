@@ -1,0 +1,125 @@
+open Farm_sim
+open Farm_core
+
+(* Figure 16: lease-expiry false positives for four lease-manager
+   implementations under stress, as a function of lease duration.
+
+   The paper's stress: all threads on all machines issue RDMA reads at the
+   CM for 10 minutes. We reproduce the mechanism at reduced duration: bulk
+   one-sided reads hammer the CM's NICs (delaying non-priority lease
+   messages) and bursty background work occupies the worker threads
+   (delaying shared-thread lease managers). Expected shape:
+     RPC            expires constantly, even at 100 ms leases
+     UD             better, but still expires at short leases (CPU queue)
+     UD+thread      clean at 100 ms; occasional expiries at <= 10 ms
+                    (OS preemption spikes)
+     UD+thread+pri  clean at >= 5 ms; limited below by timer resolution
+                    and loaded round trips *)
+
+let run_one ~impl ~lease_ms ~sim_s ~seed =
+  let params =
+    {
+      Params.default with
+      Params.lease_duration = Time.ms lease_ms;
+      lease_check_interval = Time.us 500;
+    }
+  in
+  let machines = 7 in
+  let c = Cluster.create ~seed ~params ~machines () in
+  let cm = 0 in
+  (* count expiries only; no reconfigurations *)
+  Array.iter
+    (fun (st : State.t) ->
+      st.State.lease.State.impl <- impl;
+      st.State.on_suspect <- (fun _ -> ()))
+    c.Cluster.machines;
+  (* re-arm expiry detection so every expiry event is counted *)
+  Array.iter
+    (fun (st : State.t) ->
+      Proc.spawn ~ctx:st.State.ctx c.Cluster.engine (fun () ->
+          while true do
+            Proc.sleep (Time.ms 1);
+            if st.State.lease.State.cm_suspected then begin
+              st.State.lease.State.cm_suspected <- false;
+              st.State.lease.State.last_grant_from_cm <- Proc.now ()
+            end;
+            match st.State.cm with
+            | Some cmstate ->
+                List.iter
+                  (fun m ->
+                    if m <> st.State.id && not (Hashtbl.mem cmstate.State.cm_leases m)
+                    then Hashtbl.replace cmstate.State.cm_leases m (Proc.now ()))
+                  st.State.config.Config.members
+            | None -> ()
+          done))
+    c.Cluster.machines;
+  (* CM-side expiries remove the entry; count via on_suspect replacement *)
+  let cm_expiries = ref 0 in
+  (Cluster.machine c cm).State.on_suspect <-
+    (fun suspects -> cm_expiries := !cm_expiries + List.length suspects);
+  (* stress: bulk RDMA-read traffic keeps the CM's NICs oversubscribed
+     (offered load ~1.2x capacity), so anything sharing the normal queues
+     — the RPC lease manager's messages — waits behind an ever-growing
+     backlog, while the dedicated (priority) datagram path does not. This
+     is the shared-queue congestion of §6.5, injected at the NIC to stay
+     independent of sender CPU scheduling. *)
+  let cm_nic = Farm_net.Fabric.nic (Cluster.machine c cm).State.fabric cm in
+  Proc.spawn c.Cluster.engine (fun () ->
+      while true do
+        ignore (Farm_net.Nic.occupy cm_nic ~bytes:32768);
+        Proc.sleep (Time.ns 2_000)
+      done);
+  (* bursty background CPU work (the "background processes" of §6.5) *)
+  Array.iter
+    (fun (st : State.t) ->
+      Proc.spawn ~ctx:st.State.ctx c.Cluster.engine (fun () ->
+          let rng = Rng.split st.State.rng in
+          while true do
+            Proc.sleep (Time.of_ms_float (Rng.exponential rng ~mean:25.));
+            let burst = 20 + Rng.int rng 60 in
+            for _ = 1 to burst do
+              Cpu.exec_bg st.State.cpu ~cost:(Time.ms 2) (fun () -> ())
+            done;
+            (* OS preemption spikes for the dedicated non-priority thread *)
+            if Rng.int rng 100 < 20 then begin
+              let dur = Time.us (2_000 + Rng.int rng 38_000) in
+              st.State.lease.State.suspended_until <-
+                Time.max st.State.lease.State.suspended_until
+                  (Time.add (Proc.now ()) dur)
+            end
+          done))
+    c.Cluster.machines;
+  Cluster.run_until c ~at:(Time.s sim_s);
+  let machine_expiries =
+    Array.fold_left
+      (fun acc (st : State.t) -> acc + st.State.lease.State.expiry_events)
+      0 c.Cluster.machines
+  in
+  machine_expiries + !cm_expiries
+
+let impl_name = function
+  | State.Rpc_shared -> "RPC"
+  | State.Ud_shared -> "UD"
+  | State.Ud_thread -> "UD+thread"
+  | State.Ud_thread_pri -> "UD+thread+pri"
+
+let run ?(sim_s = 1) () =
+  Bench_util.header "Figure 16 — lease false positives vs lease duration"
+    "RPC expires even at 100 ms; UD reduces but does not eliminate; a dedicated \
+     thread survives 100 ms; only interrupt-driven high-priority sustains 5-10 ms \
+     leases with zero false positives";
+  let durations = [ 1; 2; 3; 5; 10; 100 ] in
+  Fmt.pr "%-15s" "lease (ms):";
+  List.iter (fun d -> Fmt.pr "%8d" d) durations;
+  Fmt.pr "@.";
+  List.iter
+    (fun impl ->
+      Fmt.pr "%-15s" (impl_name impl);
+      List.iter
+        (fun lease_ms ->
+          let n = run_one ~impl ~lease_ms ~sim_s ~seed:(lease_ms * 7) in
+          Fmt.pr "%8d" n)
+        durations;
+      Fmt.pr "@.")
+    [ State.Rpc_shared; State.Ud_shared; State.Ud_thread; State.Ud_thread_pri ];
+  Fmt.pr "@.(expiry events across a 7-machine cluster over %d simulated seconds)@." sim_s

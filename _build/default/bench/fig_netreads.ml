@@ -1,0 +1,71 @@
+open Farm_sim
+open Farm_net
+
+(* Figure 2: per-machine read rate, one-sided RDMA vs RPC, as a function of
+   transfer size, on a symmetric all-to-all random-read workload. The paper
+   reports ~10-11 RDMA reads/us/machine vs ~2.5 RPC reads/us/machine (a 4x
+   gap) on the 90-machine FDR cluster; the shape to reproduce is the gap and
+   the bandwidth-bound decline at large sizes. *)
+
+type msg = Req of int | Resp of Bytes.t
+
+let measure ~machines ~size ~rdma ~duration =
+  let e = Engine.create () in
+  let rng = Rng.create 7 in
+  let fab : msg Fabric.t = Fabric.create e ~params:Params.default ~rng in
+  let cpus =
+    Array.init machines (fun id ->
+        let cpu = Cpu.create e ~threads:30 in
+        Fabric.add_machine fab ~id ~cpu;
+        cpu)
+  in
+  let payload = Bytes.make size 'x' in
+  for m = 0 to machines - 1 do
+    Fabric.set_handler fab m (fun ~src:_ ~reply msg ->
+        Cpu.exec_bg cpus.(m) ~cost:Params.default.Params.cpu_rpc_recv (fun () ->
+            Proc.spawn e (fun () ->
+                match msg with
+                | Req n -> reply ~bytes:(n + 16) (Resp payload)
+                | Resp _ -> ())))
+  done;
+  let ops = ref 0 in
+  let stop = ref false in
+  for m = 0 to machines - 1 do
+    for _ = 0 to 47 do
+      Proc.spawn e (fun () ->
+          let wrng = Rng.create (m * 131) in
+          while not !stop do
+            let dst = (m + 1 + Rng.int wrng (machines - 1)) mod machines in
+            if rdma then begin
+              match
+                Fabric.one_sided_read fab ~src:m ~dst ~bytes:size (fun () -> payload)
+              with
+              | Ok _ -> incr ops
+              | Error _ -> ()
+            end
+            else begin
+              match Fabric.call fab ~src:m ~dst ~bytes:(size + 32) (Req size) with
+              | Ok _ -> incr ops
+              | Error _ -> ()
+            end
+          done)
+    done
+  done;
+  Engine.run ~until:(Time.add (Engine.now e) duration) e;
+  stop := true;
+  Engine.run ~until:(Time.add (Engine.now e) (Time.ms 1)) e;
+  float_of_int !ops /. Time.to_us_float duration /. float_of_int machines
+
+let run () =
+  Bench_util.header "Figure 2 — per-machine RDMA vs RPC read performance"
+    "~10 one-sided reads/us/machine vs ~2.5 RPC reads/us/machine (4x), \
+     declining at large transfer sizes";
+  let machines = 6 and duration = Time.ms 3 in
+  Fmt.pr "%-10s %14s %14s %8s@." "size(B)" "RDMA ops/us/m" "RPC ops/us/m" "ratio";
+  List.iter
+    (fun size ->
+      let rdma = measure ~machines ~size ~rdma:true ~duration in
+      let rpc = measure ~machines ~size ~rdma:false ~duration in
+      Fmt.pr "%-10d %14.2f %14.2f %7.1fx  %s@." size rdma rpc (rdma /. rpc)
+        (Bench_util.bar ~scale:4.0 (int_of_float rdma)))
+    [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048 ]

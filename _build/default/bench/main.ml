@@ -1,0 +1,51 @@
+(* The figure-regeneration harness: one entry per table/figure of the
+   paper's evaluation (see DESIGN.md §3 for the per-experiment index).
+
+     dune exec bench/main.exe            runs everything
+     dune exec bench/main.exe -- fig9    runs one experiment
+     dune exec bench/main.exe -- list    lists experiment ids            *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("fig1", "energy to save DRAM to SSD (§2.1)", Fig_energy.run);
+    ("fig2", "RDMA vs RPC read performance (§2.2)", Fig_netreads.run);
+    ("fig7", "TATP throughput-latency", fun () -> Fig_curves.tatp ());
+    ("fig8", "TPC-C throughput-latency", fun () -> Fig_curves.tpcc ());
+    ("fig9", "TATP failure timeline", Fig_failures.fig9);
+    ("fig10", "TPC-C failure timeline", Fig_failures.fig10);
+    ("fig11", "CM failure timeline", Fig_failures.fig11);
+    ("fig12", "distribution of recovery times", fun () -> Fig_failures.fig12 ());
+    ("fig13", "correlated (failure-domain) failure", Fig_failures.fig13);
+    ("fig14", "TATP with aggressive data recovery", Fig_failures.fig14);
+    ("fig15", "TPC-C with aggressive data recovery", Fig_failures.fig15);
+    ("fig16", "lease false positives by implementation", fun () -> Fig_lease.run ());
+    ("readperf", "uniform KV lookups (§6.3)", fun () -> Readperf.run ());
+    ("scaling", "FaRM vs single-machine engine (§6.3)", fun () -> Scaling.run ());
+    ("ycsb", "YCSB core workloads (from [16])", fun () -> Ycsb_bench.run ());
+    ("ablations", "design-choice ablations (CM rebuild, tr, f)", Ablations.run);
+    ("micro", "Bechamel micro-benchmarks", Micro.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "list" ] ->
+      List.iter (fun (id, what, _) -> Fmt.pr "%-10s %s@." id what) experiments
+  | [] ->
+      Fmt.pr "FaRM reproduction benchmark harness — running all experiments@.";
+      Fmt.pr "(scaled-down cluster sizes; shapes, not absolute numbers — see EXPERIMENTS.md)@.";
+      List.iter
+        (fun (_, _, run) ->
+          let t0 = Unix.gettimeofday () in
+          run ();
+          Fmt.pr "@.[%.1fs wall]@." (Unix.gettimeofday () -. t0))
+        experiments
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.find_opt (fun (i, _, _) -> i = id) experiments with
+          | Some (_, _, run) -> run ()
+          | None ->
+              Fmt.epr "unknown experiment %S; try: dune exec bench/main.exe -- list@." id;
+              exit 1)
+        ids

@@ -1,0 +1,68 @@
+open Bechamel
+open Toolkit
+
+(* Bechamel micro-benchmarks of the hot data structures: real wall-clock
+   cost per operation for the pieces every simulated transaction touches.
+   These are host-machine numbers, not simulated time. *)
+
+let tests () =
+  let rng = Farm_sim.Rng.create 1 in
+  let hist = Farm_sim.Stats.Hist.create () in
+  let heap = Farm_sim.Heap.create () in
+  let seq = ref 0 in
+  let mem = Bytes.make 4096 '\000' in
+  let header = Farm_core.Obj_layout.make ~locked:false ~allocated:true ~version:3 in
+  Farm_core.Obj_layout.set mem ~off:64 header;
+  let engine = Farm_sim.Engine.create () in
+  let record =
+    {
+      Farm_core.Wire.payload =
+        Farm_core.Wire.Commit_primary
+          (Farm_core.Txid.make ~config:1 ~machine:0 ~thread:0 ~local:1);
+      truncations = [];
+      low_bound = 0;
+      cfg = 1;
+    }
+  in
+  [
+    Test.make ~name:"rng.int" (Staged.stage (fun () -> Farm_sim.Rng.int rng 1024));
+    Test.make ~name:"hist.record"
+      (Staged.stage (fun () -> Farm_sim.Stats.Hist.record hist 12345));
+    Test.make ~name:"heap.push_pop"
+      (Staged.stage (fun () ->
+           incr seq;
+           Farm_sim.Heap.push heap ~key:(Farm_sim.Rng.int rng 100000) ~seq:!seq ();
+           Farm_sim.Heap.pop heap));
+    Test.make ~name:"objlayout.header_rmw"
+      (Staged.stage (fun () ->
+           let h = Farm_core.Obj_layout.get mem ~off:64 in
+           Farm_core.Obj_layout.set mem ~off:64
+             (Farm_core.Obj_layout.with_version h (Farm_core.Obj_layout.version h + 1))));
+    Test.make ~name:"engine.schedule_run"
+      (Staged.stage (fun () ->
+           Farm_sim.Engine.schedule engine ~at:(Farm_sim.Engine.now engine) (fun () -> ());
+           Farm_sim.Engine.run engine));
+    Test.make ~name:"wire.record_bytes"
+      (Staged.stage (fun () -> Farm_core.Wire.record_bytes record));
+    Test.make ~name:"codec.fnv1a_16B"
+      (Staged.stage
+         (let key = Bytes.make 16 'k' in
+          fun () -> Farm_kv.Codec.fnv1a key));
+  ]
+
+let run () =
+  Bench_util.header "Micro-benchmarks (host wall clock, via Bechamel)"
+    "cost per operation of the simulator's hot paths";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s.%s" (tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ ns ] -> Fmt.pr "  %-32s %10.1f ns/op@." name ns
+      | _ -> Fmt.pr "  %-32s (no estimate)@." name)
+    (List.sort compare rows)

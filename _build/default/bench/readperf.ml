@@ -1,0 +1,24 @@
+open Farm_sim
+open Farm_core
+open Farm_workloads
+
+(* §6.3 "Read performance": key-value lookups with 16-byte keys and 32-byte
+   values, uniform access, served by lock-free reads. The paper reports
+   790M lookups/s across 90 machines (median 23 us, 99th 73 us); the shape
+   to reproduce is a per-machine lookup rate several times the transactional
+   TATP rate, flat low latency, and zero commit-protocol involvement. *)
+
+let run ?(machines = 6) ?(keys = 10_000) ?(duration = Time.ms 60) () =
+  Bench_util.header "§6.3 read performance — uniform KV lookups (16 B keys, 32 B values)"
+    "790M lookups/s on 90 machines, median 23 us, 99th 73 us";
+  let c = Cluster.create ~machines () in
+  let t = Kvlookup.create c ~keys ~regions:4 in
+  Kvlookup.load c t;
+  let committed_before = Cluster.total_committed c in
+  let stats = Driver.run c ~workers:16 ~warmup:(Time.ms 5) ~duration ~op:(Kvlookup.op t) in
+  let tput = float_of_int (Stats.Counter.get stats.Driver.ops) /. Time.to_us_float duration in
+  Fmt.pr "lookups/us (cluster)   %.2f@." tput;
+  Fmt.pr "lookups/us/machine     %.2f@." (tput /. float_of_int machines);
+  Bench_util.print_latency "lookup latency" stats.Driver.latency;
+  Fmt.pr "commit protocol runs during measurement: %d (lock-free path only)@."
+    (Cluster.total_committed c - committed_before)

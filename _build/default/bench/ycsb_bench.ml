@@ -1,0 +1,25 @@
+open Farm_sim
+open Farm_workloads
+
+(* YCSB core workloads over the FaRM hash table and B-tree — the benchmark
+   family the original FaRM paper [16] used; this paper's §6.3 key-value
+   read experiment is its read-only point. *)
+
+let run ?(machines = 6) ?(keys = 8_000) ?(duration = Time.ms 40) () =
+  Bench_util.header "YCSB core workloads (from [16], the basis of §6.3)"
+    "read-dominated profiles ride the lock-free path; update-heavy ones pay \
+     the commit protocol; D reads the most recent keys; E scans the B-tree";
+  Fmt.pr "%-24s %12s %12s %12s@." "profile" "ops/us" "median(us)" "99th(us)";
+  List.iter
+    (fun profile ->
+      let c = Farm_core.Cluster.create ~machines () in
+      let t = Ycsb.create c ~keys ~regions:4 in
+      Ycsb.load c t;
+      let stats =
+        Driver.run c ~workers:8 ~warmup:(Time.ms 5) ~duration ~op:(Ycsb.op profile t)
+      in
+      Fmt.pr "%-24s %12.3f %12.1f %12.1f@." (Ycsb.profile_name profile)
+        (Driver.throughput_per_us stats ~duration)
+        (float_of_int (Stats.Hist.percentile stats.Driver.latency 50.) /. 1e3)
+        (float_of_int (Stats.Hist.percentile stats.Driver.latency 99.) /. 1e3))
+    [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ]

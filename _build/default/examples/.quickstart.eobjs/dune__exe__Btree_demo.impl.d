@@ -1,0 +1,1 @@
+examples/btree_demo.ml: Api Btree Cluster Farm_core Farm_kv Farm_sim Fmt List Proc State Time Txn Wire

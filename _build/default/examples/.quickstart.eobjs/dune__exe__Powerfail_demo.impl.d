@@ -1,0 +1,1 @@
+examples/powerfail_demo.ml: Api Array Bytes Cluster Config Farm_core Farm_sim Fmt Int64 Proc Rng State Time Txn Wire

@@ -1,0 +1,1 @@
+examples/powerfail_demo.mli:

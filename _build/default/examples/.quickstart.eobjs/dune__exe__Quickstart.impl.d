@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Array Bytes Cluster Farm_core Farm_sim Fmt Int64 List Params Proc Rng State Time Txn Wire

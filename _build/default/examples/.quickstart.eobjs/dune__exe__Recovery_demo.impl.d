@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Api Array Bytes Cluster Engine Farm_core Farm_sim Fmt Int64 List Params Proc Rng State String Time Txn Wire

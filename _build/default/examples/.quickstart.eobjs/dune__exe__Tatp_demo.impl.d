@@ -1,0 +1,1 @@
+examples/tatp_demo.ml: Cluster Driver Farm_core Farm_sim Farm_workloads Fmt Stats Tatp Time

@@ -1,0 +1,103 @@
+(* Quickstart: a bank on FaRM.
+
+   Builds a 4-machine FaRM cluster, allocates a region and a set of
+   account objects, runs concurrent transfer transactions from every
+   machine, and checks that money is conserved — the classic strict
+   serializability smoke test.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Farm_sim
+open Farm_core
+
+let n_machines = 4
+let n_accounts = 64
+let initial_balance = 1_000
+let transfers_per_worker = 50
+let workers_per_machine = 4
+
+let read_balance tx addr =
+  let data = Txn.read tx addr ~len:8 in
+  Int64.to_int (Bytes.get_int64_le data 0)
+
+let write_balance tx addr v =
+  let data = Bytes.create 8 in
+  Bytes.set_int64_le data 0 (Int64.of_int v);
+  Txn.write tx addr data
+
+let () =
+  let cluster = Cluster.create ~machines:n_machines () in
+  let region = Cluster.alloc_region_exn cluster in
+  Fmt.pr "region %d: primary m%d, backups %a@."
+    region.Wire.rid region.Wire.primary
+    Fmt.(list ~sep:(any ",") int)
+    region.Wire.backups;
+
+  (* create the accounts in one transaction from machine 0 *)
+  let accounts =
+    Cluster.run_on cluster ~machine:0 (fun st ->
+        match
+          Api.run st ~thread:0 (fun tx ->
+              List.init n_accounts (fun _ ->
+                  let addr = Txn.alloc tx ~size:8 ~region:region.Wire.rid () in
+                  write_balance tx addr initial_balance;
+                  addr))
+        with
+        | Ok addrs -> addrs
+        | Error e -> Fmt.failwith "setup failed: %a" Txn.pp_abort e)
+  in
+  Fmt.pr "created %d accounts with balance %d@." n_accounts initial_balance;
+
+  (* run transfer workers on every machine *)
+  let finished = ref 0 in
+  let total_workers = n_machines * workers_per_machine in
+  let accounts = Array.of_list accounts in
+  for m = 0 to n_machines - 1 do
+    let st = Cluster.machine cluster m in
+    for w = 0 to workers_per_machine - 1 do
+      Proc.spawn ~ctx:st.State.ctx (Cluster.machine cluster m).State.engine (fun () ->
+          let thread = w mod st.State.params.Params.threads_per_machine in
+          for _ = 1 to transfers_per_worker do
+            let a = Rng.int st.State.rng n_accounts in
+            let b = (a + 1 + Rng.int st.State.rng (n_accounts - 1)) mod n_accounts in
+            let amount = 1 + Rng.int st.State.rng 10 in
+            let result =
+              Api.run_retry st ~thread (fun tx ->
+                  let va = read_balance tx accounts.(a) in
+                  let vb = read_balance tx accounts.(b) in
+                  if va >= amount then begin
+                    write_balance tx accounts.(a) (va - amount);
+                    write_balance tx accounts.(b) (vb + amount)
+                  end)
+            in
+            match result with
+            | Ok () -> ()
+            | Error e -> Fmt.epr "transfer failed: %a@." Txn.pp_abort e
+          done;
+          incr finished)
+    done
+  done;
+  let guard = ref 0 in
+  while !finished < total_workers && !guard < 100_000 do
+    incr guard;
+    Cluster.run_for cluster ~d:(Time.ms 10)
+  done;
+  Fmt.pr "workers done: %d/%d at t=%a@." !finished total_workers Time.pp
+    (Cluster.now cluster);
+
+  (* audit: total money must be conserved *)
+  let total =
+    Cluster.run_on cluster ~machine:1 (fun st ->
+        match
+          Api.run_retry st ~thread:0 (fun tx ->
+              Array.fold_left (fun acc addr -> acc + read_balance tx addr) 0 accounts)
+        with
+        | Ok v -> v
+        | Error e -> Fmt.failwith "audit failed: %a" Txn.pp_abort e)
+  in
+  Fmt.pr "audit: total=%d expected=%d — %s@." total
+    (n_accounts * initial_balance)
+    (if total = n_accounts * initial_balance then "OK" else "MONEY NOT CONSERVED");
+  Fmt.pr "committed=%d aborted=%d@." (Cluster.total_committed cluster)
+    (Cluster.total_aborted cluster);
+  if total <> n_accounts * initial_balance then exit 1

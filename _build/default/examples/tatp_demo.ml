@@ -1,0 +1,36 @@
+(* TATP demo: a scaled-down run of the paper's headline benchmark.
+
+   Builds a FaRM cluster, loads a TATP database, runs the standard
+   transaction mix from every machine, and prints throughput and latency
+   percentiles — a miniature of Figure 7.
+
+   Run with: dune exec examples/tatp_demo.exe *)
+
+open Farm_sim
+open Farm_core
+open Farm_workloads
+
+let () =
+  let machines = 6 and subscribers = 4_000 in
+  let cluster = Cluster.create ~machines () in
+  Fmt.pr "building TATP database (%d subscribers on %d machines)...@." subscribers machines;
+  let t = Tatp.create cluster ~subscribers ~regions_per_table:2 in
+  Tatp.load cluster t;
+  Fmt.pr "loaded at t=%a; running the standard mix...@." Time.pp (Cluster.now cluster);
+  let stats =
+    Driver.run cluster ~workers:8 ~warmup:(Time.ms 10) ~duration:(Time.ms 200)
+      ~op:(Tatp.op t)
+  in
+  let duration = Time.ms 200 in
+  Fmt.pr "@.TATP results:@.";
+  Fmt.pr "  throughput      %.3f tx/us (%d tx in %a)@."
+    (Driver.throughput_per_us stats ~duration)
+    (Stats.Counter.get stats.Driver.ops)
+    Time.pp duration;
+  Fmt.pr "  failures        %d@." (Stats.Counter.get stats.Driver.failures);
+  Fmt.pr "  median latency  %.1f us@."
+    (float_of_int (Stats.Hist.percentile stats.Driver.latency 50.) /. 1e3);
+  Fmt.pr "  99th latency     %.1f us@."
+    (float_of_int (Stats.Hist.percentile stats.Driver.latency 99.) /. 1e3);
+  Fmt.pr "  committed=%d aborted=%d@." (Cluster.total_committed cluster)
+    (Cluster.total_aborted cluster)

@@ -1,0 +1,1 @@
+lib/coord/zk.ml: Array Engine Farm_sim Proc Rng Time

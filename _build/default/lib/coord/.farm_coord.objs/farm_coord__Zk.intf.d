@@ -1,0 +1,1 @@
+lib/coord/zk.mli: Engine Farm_sim Rng Time

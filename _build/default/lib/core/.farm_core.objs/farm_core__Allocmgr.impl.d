@@ -1,0 +1,1 @@
+lib/core/allocmgr.ml: Addr Comms Farm_sim Hashtbl List Obj_layout Params Proc State Wire

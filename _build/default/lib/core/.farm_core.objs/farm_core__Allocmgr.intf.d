@@ -1,0 +1,1 @@
+lib/core/allocmgr.mli: Addr State

@@ -1,0 +1,1 @@
+lib/core/api.ml: Addr Array Commit Comms Config Farm_sim Hashtbl Proc Rng State Time Txn Wire

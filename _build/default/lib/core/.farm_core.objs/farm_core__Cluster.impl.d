@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Comms Config Cpu Engine Farm_coord Farm_net Farm_nvram Farm_sim Fun Hashtbl List Membership Node Params Proc Recovery Ringlog Rng State Stats String Time Wire

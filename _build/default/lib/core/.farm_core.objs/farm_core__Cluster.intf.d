@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Config Engine Farm_coord Farm_net Farm_sim Params Rng State Stats Time Wire

@@ -1,0 +1,1 @@
+lib/core/cm.ml: Comms Config Cpu Engine Farm_coord Farm_net Farm_sim Hashtbl Ivar List Option Params Placement Printf Proc State Time Wire

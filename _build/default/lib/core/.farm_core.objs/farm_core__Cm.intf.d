@@ -1,0 +1,1 @@
+lib/core/cm.mli: State Wire

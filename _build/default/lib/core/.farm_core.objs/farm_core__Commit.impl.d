@@ -1,0 +1,1 @@
+lib/core/commit.ml: Addr Comms Cpu Farm_net Farm_sim Hashtbl Ivar List Logio Obj_layout Objmem Params Proc Ringlog State Stats Time Txid Txn Wire

@@ -1,0 +1,1 @@
+lib/core/commit.mli: Addr Farm_sim Ivar State Txid Txn

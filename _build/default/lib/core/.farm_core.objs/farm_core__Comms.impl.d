@@ -1,0 +1,1 @@
+lib/core/comms.ml: Config Fabric Farm_net Farm_sim List State Wire

@@ -1,0 +1,1 @@
+lib/core/comms.mli: Fabric Farm_net Farm_sim State Time Wire

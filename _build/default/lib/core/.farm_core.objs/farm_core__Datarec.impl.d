@@ -1,0 +1,1 @@
+lib/core/datarec.ml: Allocmgr Bytes Comms Config Cpu Farm_net Farm_sim Hashtbl List Obj_layout Params Proc Rng State Time Wire

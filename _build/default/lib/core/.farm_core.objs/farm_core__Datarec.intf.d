@@ -1,0 +1,1 @@
+lib/core/datarec.mli: Bytes State

@@ -1,0 +1,1 @@
+lib/core/lease.ml: Comms Config Cpu Farm_sim Hashtbl List Option Params Proc Rng State Time Wire

@@ -1,0 +1,1 @@
+lib/core/lease.mli: Farm_sim State Time Wire

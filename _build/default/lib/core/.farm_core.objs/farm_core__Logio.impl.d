@@ -1,0 +1,1 @@
+lib/core/logio.ml: Config Farm_net Farm_sim Hashtbl List Params Proc Ringlog State Time Wire

@@ -1,0 +1,1 @@
+lib/core/logio.mli: Fabric Farm_net State Wire

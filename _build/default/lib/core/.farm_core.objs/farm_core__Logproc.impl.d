@@ -1,0 +1,1 @@
+lib/core/logproc.ml: Addr Allocmgr Comms Config Cpu Farm_sim Fun Hashtbl List Objmem Params Payloads Proc Ringlog State Time Txid Wire

@@ -1,0 +1,1 @@
+lib/core/logproc.mli: Ringlog State Txid Wire

@@ -1,0 +1,1 @@
+lib/core/membership.ml: Allocmgr Comms Config Hashtbl List State Wire

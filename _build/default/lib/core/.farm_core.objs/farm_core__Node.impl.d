@@ -1,0 +1,1 @@
+lib/core/node.ml: Addr Allocmgr Cm Comms Config Cpu Datarec Farm_net Farm_sim Hashtbl Ivar Lease List Logio Logproc Membership Objmem Params Proc Recovery State Time Txid Wire

@@ -1,0 +1,1 @@
+lib/core/obj_layout.mli: Bytes

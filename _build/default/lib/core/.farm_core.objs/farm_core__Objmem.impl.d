@@ -1,0 +1,1 @@
+lib/core/objmem.ml: Addr Obj_layout State Wire

@@ -1,0 +1,1 @@
+lib/core/objmem.mli: Bytes State Wire

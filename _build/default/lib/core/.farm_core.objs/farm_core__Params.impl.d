@@ -1,0 +1,1 @@
+lib/core/params.ml: Farm_net Farm_sim Time

@@ -1,0 +1,1 @@
+lib/core/params.mli: Farm_net Farm_sim Time

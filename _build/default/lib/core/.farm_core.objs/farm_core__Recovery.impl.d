@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Addr Allocmgr Comms Config Cpu Farm_sim Fun Hashtbl Ivar List Logproc Objmem Option Params Payloads Proc Ringlog State Stats Time Txid Txn Wire

@@ -1,0 +1,1 @@
+lib/core/ringlog.ml: Engine Farm_sim Hashtbl List Time Txid Wire

@@ -1,0 +1,1 @@
+lib/core/ringlog.mli: Engine Farm_sim Txid Wire

@@ -1,0 +1,1 @@
+lib/core/state.mli: Bytes Config Cpu Engine Farm_coord Farm_net Farm_nvram Farm_sim Hashtbl Ivar Params Proc Ringlog Rng Stats Time Txid Wire

@@ -1,0 +1,1 @@
+lib/core/txid.ml: Fmt Hashtbl Int Set

@@ -1,0 +1,1 @@
+lib/core/txid.mli: Format Hashtbl Set

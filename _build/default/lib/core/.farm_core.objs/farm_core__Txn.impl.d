@@ -1,0 +1,1 @@
+lib/core/txn.ml: Addr Allocmgr Bytes Comms Config Cpu Farm_net Farm_sim Fmt Hashtbl List Obj_layout Objmem Params Proc Rng State Stats Time Wire

@@ -1,0 +1,1 @@
+lib/core/txn.mli: Addr Bytes Farm_sim Format State Time Wire

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Addr Array Bytes Config Fmt List Txid

@@ -1,0 +1,29 @@
+(* Global addresses: a region identifier plus a byte offset of the object's
+   header within the region. *)
+
+type t = { region : int; offset : int }
+
+let make ~region ~offset = { region; offset }
+
+let compare a b =
+  let c = Int.compare a.region b.region in
+  if c <> 0 then c else Int.compare a.offset b.offset
+
+let equal a b = a.region = b.region && a.offset = b.offset
+
+let hash t = Hashtbl.hash (t.region, t.offset)
+
+let pp ppf t = Fmt.pf ppf "r%d+%#x" t.region t.offset
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,13 @@
+(** Global addresses: a region identifier plus the byte offset of the
+    object's header within the region (§3). *)
+
+type t = { region : int; offset : int }
+
+val make : region:int -> offset:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Map : Map.S with type key = t

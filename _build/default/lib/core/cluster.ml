@@ -1,0 +1,324 @@
+open Farm_sim
+
+(* The cluster harness: builds a FaRM instance (machines, fabric, ring
+   logs, Zookeeper-equivalent, initial configuration), provides failure
+   injection, and records recovery milestones for the evaluation
+   figures. *)
+
+type milestone = { tag : string; machine : int; at : Time.t }
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  rng : Rng.t;
+  fabric : Wire.message Farm_net.Fabric.t;
+  zk : Config.t Farm_coord.Zk.t;
+  machines : State.t array;
+  domain_of : int -> int;
+  milestones : milestone list ref;
+  mutable lost_regions : int list;
+}
+
+let create ?(seed = 42) ?(params = Params.default) ?(domains = fun i -> i) ~machines:n () =
+  if n < 1 then invalid_arg "Cluster.create: need at least one machine";
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let fabric =
+    Farm_net.Fabric.create engine ~params:params.Params.net ~rng:(Rng.split rng)
+  in
+  let zk = Farm_coord.Zk.create engine ~rng:(Rng.split rng) ~replicas:5 in
+  let members = List.init n Fun.id in
+  let domains_list = List.map (fun m -> (m, domains m)) members in
+  let config = Config.make ~id:1 ~members ~domains:domains_list ~cm:0 in
+  ignore (Farm_coord.Zk.bootstrap zk config);
+  let directory = Hashtbl.create n in
+  let states =
+    Array.init n (fun id ->
+        let cpu = Cpu.create engine ~threads:params.Params.threads_per_machine in
+        Farm_net.Fabric.add_machine fabric ~id ~cpu;
+        let nv =
+          {
+            State.bank = Farm_nvram.Bank.create ~machine:id;
+            replicas = Hashtbl.create 16;
+            logs_in = Hashtbl.create (max 8 n);
+          }
+        in
+        State.create ~id ~engine ~rng:(Rng.split rng) ~params ~fabric ~zk ~cpu ~nv ~config
+          ~directory)
+  in
+  Array.iter (fun st -> Hashtbl.replace directory st.State.id st) states;
+  (* a ring log (located at the receiver) for every ordered machine pair *)
+  for s = 0 to n - 1 do
+    for r = 0 to n - 1 do
+      let log = Ringlog.create ~sender:s ~receiver:r ~capacity:params.Params.log_size in
+      Hashtbl.replace states.(r).State.nv.logs_in s log;
+      Hashtbl.replace states.(s).State.logs_out r log
+    done
+  done;
+  let t =
+    {
+      engine;
+      params;
+      rng;
+      fabric;
+      zk;
+      machines = states;
+      domain_of = domains;
+      milestones = ref [];
+      lost_regions = [];
+    }
+  in
+  Array.iter
+    (fun st ->
+      st.State.trace <-
+        (fun tag ->
+          (match String.index_opt tag ':' with
+          | Some i when String.sub tag 0 11 = "region-lost" ->
+              t.lost_regions <-
+                int_of_string (String.sub tag (i + 1) (String.length tag - i - 1))
+                :: t.lost_regions
+          | _ -> ());
+          t.milestones := { tag; machine = st.State.id; at = Engine.now engine } :: !(t.milestones));
+      Node.start st)
+    states;
+  t
+
+let machine t id = t.machines.(id)
+let n_machines t = Array.length t.machines
+let now t = Engine.now t.engine
+
+let run_until t ~at = Engine.run ~until:at t.engine
+let run_for t ~d = Engine.run ~until:(Time.add (Engine.now t.engine) d) t.engine
+
+(* Run [fn] as a process on [machine] and drive the engine until it
+   returns. Setup/teardown convenience for tests and benchmarks. *)
+let run_on t ~machine fn =
+  let st = t.machines.(machine) in
+  let result = ref None in
+  Proc.spawn ~ctx:st.State.ctx t.engine (fun () -> result := Some (fn st));
+  let guard = ref 0 in
+  while !result = None && Engine.pending t.engine > 0 && !guard < 10_000 do
+    incr guard;
+    Engine.run ~until:(Time.add (Engine.now t.engine) (Time.ms 1)) t.engine
+  done;
+  match !result with
+  | Some v -> v
+  | None -> failwith "Cluster.run_on: process did not complete"
+
+(* {1 Failure injection} *)
+
+(* Kill a machine: its FaRM process stops (all its green processes are
+   cancelled, its NIC stops serving) but its non-volatile DRAM — regions,
+   block headers, incoming logs — survives. *)
+let kill t id =
+  let st = t.machines.(id) in
+  if st.State.alive then begin
+    st.State.alive <- false;
+    Farm_net.Fabric.set_alive t.fabric id false;
+    Proc.Ctx.cancel st.State.ctx;
+    t.milestones := { tag = "killed"; machine = id; at = Engine.now t.engine } :: !(t.milestones)
+  end
+
+let kill_domain t d =
+  Array.iter (fun st -> if t.domain_of st.State.id = d then kill t st.State.id) t.machines
+
+let kill_cm t = kill t t.machines.(0).State.config.Config.cm
+
+let wipe_nvram t id = Farm_nvram.Bank.wipe t.machines.(id).State.nv.bank
+
+(* {1 Full-cluster power failure (§5)}
+
+   "We provide durability for all committed transactions even if the entire
+   cluster fails or loses power: all committed state can be recovered from
+   regions and logs stored in non-volatile DRAM."
+
+   [restart_machine] boots a machine's FaRM process again on top of its
+   surviving NVRAM (regions, block headers, incoming logs with their
+   unprocessed and resident records); volatile state — caches, coordinator
+   tables, leases, free lists — is rebuilt. [power_cycle] restarts every
+   machine and then performs the boot-time configuration change: a fresh
+   configuration (same members) whose region mappings mark every region as
+   changed, so the standard drain/vote/decide recovery resolves every
+   transaction that was in flight at the power failure. *)
+
+let restart_machine t id ~config =
+  let old = t.machines.(id) in
+  if old.State.alive then invalid_arg "Cluster.restart_machine: machine is alive";
+  let cpu = Cpu.create t.engine ~threads:t.params.Params.threads_per_machine in
+  Farm_net.Fabric.reset_machine t.fabric ~id ~cpu;
+  let directory = old.State.directory in
+  let st =
+    State.create ~id ~engine:t.engine ~rng:(Rng.split t.rng) ~params:t.params
+      ~fabric:t.fabric ~zk:t.zk ~cpu ~nv:old.State.nv ~config ~directory
+  in
+  (* reconnect the sender-side views of the shared ring logs; reservations
+     and head estimates died with the process, so resynchronize them *)
+  Hashtbl.iter
+    (fun dst log ->
+      Hashtbl.replace st.State.logs_out dst log;
+      Ringlog.reset_sender_view log)
+    old.State.logs_out;
+  Hashtbl.replace directory id st;
+  t.machines.(id) <- st;
+  st.State.trace <-
+    (fun tag ->
+      t.milestones := { tag; machine = id; at = Engine.now t.engine } :: !(t.milestones));
+  Node.start st;
+  st
+
+let power_cycle t =
+  Array.iter (fun (st : State.t) -> if st.State.alive then kill t st.State.id) t.machines;
+  (* boot from the coordination service's configuration *)
+  let seq, old_config =
+    match Farm_coord.Zk.bootstrap_read t.zk with
+    | Some (seq, c) -> (seq, c)
+    | None -> failwith "Cluster.power_cycle: no configuration stored"
+  in
+  let new_id = old_config.Config.id + 1 in
+  let config =
+    Config.make ~id:new_id ~members:old_config.Config.members
+      ~domains:old_config.Config.domains ~cm:old_config.Config.cm
+  in
+  ignore (Farm_coord.Zk.bootstrap_cas t.zk ~expected_seq:seq config);
+  let machines =
+    List.map (fun id -> restart_machine t id ~config:old_config) old_config.Config.members
+  in
+  (* rebuild the region map from the surviving NVRAM replica roles; every
+     region is marked changed in this configuration so that every in-flight
+     transaction from before the power failure is treated as recovering *)
+  let owners = Hashtbl.create 64 in
+  List.iter
+    (fun (st : State.t) ->
+      Hashtbl.iter
+        (fun rid (rep : State.replica) ->
+          let p, bs = match Hashtbl.find_opt owners rid with Some v -> v | None -> (None, []) in
+          match rep.State.role with
+          | State.Primary -> Hashtbl.replace owners rid (Some st.State.id, bs)
+          | State.Backup -> Hashtbl.replace owners rid (p, st.State.id :: bs))
+        st.State.nv.replicas)
+    machines;
+  let infos =
+    Hashtbl.fold
+      (fun rid (p, bs) acc ->
+        match p with
+        | Some primary ->
+            {
+              Wire.rid;
+              primary;
+              backups = List.sort_uniq compare bs;
+              last_primary_change = new_id;
+              last_replica_change = new_id;
+              critical = false;
+            }
+            :: acc
+        | None -> (
+            match List.sort_uniq compare bs with
+            | b :: rest ->
+                {
+                  Wire.rid;
+                  primary = b;
+                  backups = rest;
+                  last_primary_change = new_id;
+                  last_replica_change = new_id;
+                  critical = false;
+                }
+                :: acc
+            | [] -> acc))
+      owners []
+  in
+  (* install CM state on the restarted CM *)
+  let cm_st = t.machines.(config.Config.cm) in
+  let cm = State.ensure_cm cm_st in
+  List.iter (fun (i : Wire.region_info) -> Hashtbl.replace cm.State.owners i.Wire.rid i) infos;
+  cm.State.next_rid <-
+    1 + List.fold_left (fun acc (i : Wire.region_info) -> max acc i.Wire.rid) 0 infos;
+  List.iter
+    (fun m -> Hashtbl.replace cm.State.cm_leases m (Engine.now t.engine))
+    config.Config.members;
+  (* deliver the boot configuration and commit it (as processes on each
+     machine: the ack send blocks on the CPU): the normal drain / vote /
+     decide recovery takes over from here *)
+  List.iter
+    (fun (st : State.t) ->
+      Proc.spawn ~ctx:st.State.ctx t.engine (fun () ->
+          Membership.apply_new_config st config infos))
+    machines;
+  run_for t ~d:(Time.ms 1);
+  List.iter
+    (fun (st : State.t) ->
+      Proc.spawn ~ctx:st.State.ctx t.engine (fun () ->
+          if Membership.on_config_commit st ~cfg:new_id then Recovery.on_config_commit st))
+    machines;
+  t.milestones :=
+    { tag = "power-cycle"; machine = config.Config.cm; at = Engine.now t.engine }
+    :: !(t.milestones)
+
+let partition t ~group ids =
+  List.iter (fun id -> Farm_net.Fabric.set_partition t.fabric id group) ids
+
+(* {1 Region setup} *)
+
+(* Allocate a region through the CM (two-phase prepare/commit) from some
+   machine, driving the engine until the mapping is replicated. *)
+let alloc_region ?locality ?(from = 0) t =
+  run_on t ~machine:from (fun st ->
+      let cm = st.State.config.Config.cm in
+      match
+        Comms.call st ~dst:cm ~timeout:(Time.ms 200) (Wire.Alloc_region_req { locality })
+      with
+      | Ok (Wire.Alloc_region_reply { info = Some info }) ->
+          Hashtbl.replace st.State.region_map info.Wire.rid info;
+          Some info
+      | Ok _ | Error _ -> None)
+
+let alloc_region_exn ?locality ?from t =
+  match alloc_region ?locality ?from t with
+  | Some info -> info
+  | None -> failwith "Cluster.alloc_region: allocation failed"
+
+(* {1 Introspection for tests and benchmarks} *)
+
+let milestones t =
+  List.rev_map (fun m -> (m.tag, m.machine, m.at)) !(t.milestones)
+
+let milestone_time t tag =
+  let rec find = function
+    | [] -> None
+    | (tg, _, at) :: rest -> if tg = tag then Some at else find rest
+  in
+  find (milestones t)
+
+let total_committed t =
+  Array.fold_left
+    (fun acc st -> acc + Stats.Counter.get st.State.metrics.committed)
+    0 t.machines
+
+let total_aborted t =
+  Array.fold_left
+    (fun acc st -> acc + Stats.Counter.get st.State.metrics.aborted)
+    0 t.machines
+
+(* Aggregate cluster throughput as committed transactions per 1 ms bin. *)
+let throughput_series t ~until =
+  let nbins = (Time.to_ns until / Time.to_ns (Time.ms 1)) + 1 in
+  let bins = Array.make nbins 0 in
+  Array.iter
+    (fun st ->
+      let s = st.State.metrics.throughput in
+      for i = 0 to nbins - 1 do
+        bins.(i) <- bins.(i) + Stats.Series.get s i
+      done)
+    t.machines;
+  bins
+
+let merged_latency t =
+  let h = Stats.Hist.create () in
+  Array.iter (fun st -> Stats.Hist.merge ~into:h st.State.metrics.tx_latency) t.machines;
+  h
+
+(* All replicas of a region across the cluster, as (machine, replica). *)
+let replicas_of t rid =
+  Array.fold_left
+    (fun acc st ->
+      match State.replica st rid with Some r -> (st.State.id, r) :: acc | None -> acc)
+    [] t.machines

@@ -1,0 +1,93 @@
+open Farm_sim
+
+(** The cluster harness: builds a complete FaRM instance — machines with
+    CPUs and NICs on a shared fabric, per-pair ring logs in NVRAM, the
+    Zookeeper-equivalent configuration store, and an initial configuration
+    with machine 0 as CM — and provides failure injection and measurement
+    hooks for tests and benchmarks. *)
+
+type milestone = { tag : string; machine : int; at : Time.t }
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  rng : Rng.t;
+  fabric : Wire.message Farm_net.Fabric.t;
+  zk : Config.t Farm_coord.Zk.t;
+  machines : State.t array;
+  domain_of : int -> int;
+  milestones : milestone list ref;
+  mutable lost_regions : int list;  (** regions whose every replica died *)
+}
+
+val create :
+  ?seed:int -> ?params:Params.t -> ?domains:(int -> int) -> machines:int -> unit -> t
+(** Build a cluster. [domains] maps machines to failure domains (default:
+    every machine its own domain). Deterministic in [seed]. *)
+
+val machine : t -> int -> State.t
+val n_machines : t -> int
+val now : t -> Time.t
+
+(** {1 Driving the simulation} *)
+
+val run_until : t -> at:Time.t -> unit
+val run_for : t -> d:Time.t -> unit
+
+val run_on : t -> machine:int -> (State.t -> 'a) -> 'a
+(** Run a function as a process on a machine and drive the engine until it
+    returns; setup/audit convenience. *)
+
+(** {1 Failure injection} *)
+
+val kill : t -> int -> unit
+(** Crash a machine: its processes stop and its NIC goes dark, but its
+    non-volatile DRAM (regions, logs, block headers) survives. *)
+
+val kill_domain : t -> int -> unit
+(** Crash every machine of one failure domain (a rack/switch failure). *)
+
+val kill_cm : t -> unit
+val wipe_nvram : t -> int -> unit
+
+val restart_machine : t -> int -> config:Config.t -> State.t
+(** Boot a dead machine's FaRM process again on top of its surviving
+    NVRAM; volatile state is rebuilt from scratch. *)
+
+val power_cycle : t -> unit
+(** Full-cluster power failure and restart (§5 durability): kill every
+    machine, reboot all of them from NVRAM, advance the configuration, and
+    run the standard drain/vote/decide recovery over every transaction that
+    was in flight. Committed state survives; in-doubt transactions resolve
+    per the §5.3 rules. *)
+
+val partition : t -> group:int -> int list -> unit
+
+(** {1 Region management} *)
+
+val alloc_region : ?locality:int -> ?from:int -> t -> Wire.region_info option
+(** Allocate a region via the CM and drive the engine until the two-phase
+    protocol completes. *)
+
+val alloc_region_exn : ?locality:int -> ?from:int -> t -> Wire.region_info
+
+(** {1 Introspection} *)
+
+val milestones : t -> (string * int * Time.t) list
+(** Recovery milestones (suspect, probe, zookeeper, new-config,
+    config-commit, all-active, data-rec-start, region-recovered,
+    data-rec-done, killed) in chronological order. *)
+
+val milestone_time : t -> string -> Time.t option
+(** First occurrence of a milestone tag. *)
+
+val total_committed : t -> int
+val total_aborted : t -> int
+
+val throughput_series : t -> until:Time.t -> int array
+(** Cluster-wide committed transactions per 1 ms bin. *)
+
+val merged_latency : t -> Stats.Hist.t
+
+val replicas_of : t -> int -> (int * State.replica) list
+(** All replicas of a region across the cluster, dead machines included. *)

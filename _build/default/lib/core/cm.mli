@@ -1,0 +1,55 @@
+
+(** The configuration manager (§3, §5.2).
+
+    The CM allocates regions (a centralized two-phase prepare/commit that
+    enforces failure-domain, capacity and locality constraints) and drives
+    the seven-step reconfiguration protocol — probe, Zookeeper CAS, remap,
+    NEW-CONFIG, ACK collection, NEW-CONFIG-COMMIT. The coordination service
+    is touched exactly once per configuration change (vertical Paxos). *)
+
+(** {1 Region allocation} *)
+
+val handle_alloc_region :
+  State.t -> reply:(bytes:int -> Wire.message -> unit) -> locality:int option -> unit
+
+val handle_prepare_region :
+  State.t -> reply:(bytes:int -> Wire.message -> unit) -> Wire.region_info -> unit
+
+val handle_commit_region : State.t -> Wire.region_info -> unit
+val handle_fetch_mapping : State.t -> reply:(bytes:int -> Wire.message -> unit) -> rid:int -> unit
+
+(** {1 Reconfiguration} *)
+
+type probe_result = {
+  pr_machine : int;
+  pr_last_drained : int;
+  pr_replicas : (int * State.role) list;
+  pr_infos : (int * int * int) list;
+}
+
+val probe : State.t -> targets:int list -> probe_result list
+(** §5.2 step 2: one-sided RDMA reads of every candidate's probe word
+    (including LastDrained); non-responders are excluded. *)
+
+val remap :
+  State.t -> State.cm_state -> members:int list -> new_id:int -> (int * int) list * int list
+(** §5.2 step 4: promote surviving backups over failed primaries and
+    re-replicate to f+1. Returns the fresh [(machine, region)] assignments
+    (which need bulk data recovery) and the regions that lost every
+    replica. *)
+
+val handle_suspicion : State.t -> int list -> unit
+(** Entry point for suspicions (lease expiries, failed probes, SUSPECT
+    messages). Runs the backup-CM election dance when the CM itself is the
+    suspect, then drives {!attempt_reconfig}. *)
+
+val attempt_reconfig : State.t -> unit
+(** The reconfiguration driver; must run in a process on this machine. *)
+
+(** {1 Recovery bookkeeping at the CM} *)
+
+val on_regions_active : State.t -> src:int -> unit
+(** Collect REGIONS-ACTIVE; broadcast ALL-REGIONS-ACTIVE when every member
+    reported (§5.4). *)
+
+val on_region_recovered : State.t -> rid:int -> unit

@@ -1,0 +1,341 @@
+open Farm_sim
+
+
+(* The FaRM commit protocol (§4, Figure 4):
+
+     1. LOCK            one-sided log write to each written-object primary
+     2. VALIDATE        one-sided version reads (RPC above the tr threshold)
+     3. COMMIT-BACKUP   one-sided log write to each backup; wait NIC acks
+     4. COMMIT-PRIMARY  one-sided log write; report after >= 1 ack
+     5. TRUNCATE        lazy, piggybacked on later records
+
+   The coordinator is unreplicated and talks directly to primaries and
+   backups. Before starting, it reserves log space for every record the
+   protocol can write — including truncations — to guarantee progress.
+
+   A configuration change can make the transaction "recovering" (§5.3);
+   from that point the coordinator must ignore completions and defer to the
+   recovery protocol's vote/decide outcome, which arrives on
+   [lt_outcome]. *)
+
+type 'a race = Normal of 'a | Recovered of State.outcome
+
+let race_outcome (lt : State.tx_live) (iv : 'a Ivar.t) : 'a race =
+  Proc.suspend (fun resume ->
+      Ivar.on_fill iv (fun v -> resume (Ok (Normal v)));
+      Ivar.on_fill lt.State.lt_outcome (fun o -> resume (Ok (Recovered o))))
+
+let add_to tbl key n =
+  let cur = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0 in
+  Hashtbl.replace tbl key (cur + n)
+
+let get0 tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
+
+let add_to_list tbl key v =
+  let cur = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+  Hashtbl.replace tbl key (v :: cur)
+
+(* {1 Read validation (§4 step 2)} *)
+
+(* One-sided read of just an object header from its primary. *)
+let read_header_at st ~dst ~(addr : Addr.t) =
+  if dst = st.State.id then begin
+    Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_local_read;
+    match State.replica st addr.Addr.region with
+    | Some rep when rep.State.role = State.Primary && rep.State.active ->
+        Ok (Some (Objmem.header rep ~off:addr.Addr.offset))
+    | _ -> Ok None
+  end
+  else
+    Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst ~bytes:16 (fun () ->
+        match State.peer st dst with
+        | None -> None
+        | Some pst -> (
+            match State.replica pst addr.Addr.region with
+            | Some rep when rep.State.role = State.Primary && rep.State.active ->
+                Some (Objmem.header rep ~off:addr.Addr.offset)
+            | _ -> None))
+
+(* Validate the read set: group the objects read (and not written) by
+   primary; use one-sided RDMA version reads for small groups and one RPC
+   above the [validate_rpc_threshold] (tr) to trade latency for CPU. *)
+let validate st ~txid (reads : (Addr.t * int) list) =
+  let by_primary = Hashtbl.create 8 in
+  let ok = ref true in
+  List.iter
+    (fun (addr, version) ->
+      match State.region_info st addr.Addr.region with
+      | Some info -> add_to_list by_primary info.Wire.primary (addr, version)
+      | None -> ok := false)
+    reads;
+  if not !ok then false
+  else begin
+    let groups = Hashtbl.fold (fun p items acc -> (p, items) :: acc) by_primary [] in
+    let jobs =
+      List.map
+        (fun (p, items) () ->
+          if List.length items <= st.State.params.Params.validate_rpc_threshold then
+            List.iter
+              (fun ((addr : Addr.t), version) ->
+                if !ok then
+                  match read_header_at st ~dst:p ~addr with
+                  | Ok (Some h) ->
+                      if Obj_layout.is_locked h || Obj_layout.version h <> version then
+                        ok := false
+                  | Ok None | Error _ -> ok := false)
+              items
+          else begin
+            match
+              Comms.call st ~dst:p ~timeout:(Time.ms 20)
+                (Wire.Validate_req { txid; items })
+            with
+            | Ok (Wire.Validate_reply { ok = reply_ok; _ }) -> if not reply_ok then ok := false
+            | Ok _ | Error _ -> ok := false
+          end)
+        groups
+    in
+    Comms.par_iter st jobs;
+    !ok
+  end
+
+(* {1 The commit path} *)
+
+let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
+  let st = tx.Txn.st in
+  if tx.Txn.finished then invalid_arg "Commit.commit: transaction already finished";
+  tx.Txn.finished <- true;
+  let commit_start = State.now st in
+  let finish result =
+    (match result with
+    | Ok () ->
+        State.record_commit st ~latency:(Time.sub (State.now st) commit_start);
+        Stats.Hist.record st.State.metrics.tx_latency
+          (Time.to_ns (Time.sub (State.now st) tx.Txn.t_started))
+    | Error _ -> State.record_abort st);
+    result
+  in
+  let reads_only =
+    Addr.Map.bindings
+      (Addr.Map.filter (fun a _ -> not (Addr.Map.mem a tx.Txn.writes)) tx.Txn.reads)
+    |> List.map (fun (a, (r : Txn.read_entry)) -> (a, r.Txn.r_version))
+  in
+  if Addr.Map.is_empty tx.Txn.writes then begin
+    (* Read-only transactions: serialization point is the last read;
+       single-object reads are already atomic and need no validation. *)
+    if List.length reads_only <= 1 then finish (Ok ())
+    else begin
+      let txid = State.fresh_txid st ~thread:tx.Txn.thread in
+      let ok = validate st ~txid reads_only in
+      State.forget_outstanding st txid;
+      finish (if ok then Ok () else Error Txn.Conflict)
+    end
+  end
+  else begin
+    let txid = State.fresh_txid st ~thread:tx.Txn.thread in
+    let items =
+      Addr.Map.bindings tx.Txn.writes
+      |> List.map (fun (addr, (w : Txn.write_entry)) ->
+             {
+               Wire.addr;
+               version = w.Txn.w_version;
+               value = w.Txn.w_value;
+               alloc_op = w.Txn.w_alloc;
+             })
+    in
+    let regions_written =
+      List.sort_uniq compare (List.map (fun (w : Wire.write_item) -> w.Wire.addr.Addr.region) items)
+    in
+    (* resolve mappings for every written region *)
+    let infos =
+      List.filter_map
+        (fun rid ->
+          match Txn.ensure_mapping st rid ~retries:5 with
+          | Some info -> Some (rid, info)
+          | None -> None)
+        regions_written
+    in
+    if List.length infos <> List.length regions_written then begin
+      State.forget_outstanding st txid;
+      Txn.return_allocations tx;
+      finish (Error Txn.Failed)
+    end
+    else begin
+      let primaries = Hashtbl.create 8 and backups = Hashtbl.create 8 in
+      List.iter
+        (fun (w : Wire.write_item) ->
+          let info = List.assoc w.Wire.addr.Addr.region infos in
+          add_to_list primaries info.Wire.primary w;
+          List.iter (fun b -> add_to_list backups b w) info.Wire.backups)
+        items;
+      let primary_list = Hashtbl.fold (fun p its acc -> (p, List.rev its) :: acc) primaries [] in
+      let backup_list = Hashtbl.fold (fun b its acc -> (b, List.rev its) :: acc) backups [] in
+      let participants =
+        List.sort_uniq compare (List.map fst primary_list @ List.map fst backup_list)
+      in
+      let lt =
+        {
+          State.lt_txid = txid;
+          lt_written_regions = regions_written;
+          lt_read_regions =
+            List.sort_uniq compare (List.map (fun ((a : Addr.t), _) -> a.Addr.region) reads_only);
+          lt_outcome = Ivar.create ();
+          lt_recovering = false;
+        }
+      in
+      Txid.Tbl.replace st.State.active_txs txid lt;
+      (* {2 Reservations}: space for every record of the protocol plus the
+         truncation allowance, at every participant (§4). *)
+      let reserved = Hashtbl.create 8 and consumed = Hashtbl.create 8 in
+      let trunc_queued = Hashtbl.create 8 in
+      List.iter
+        (fun (p, its) ->
+          let n =
+            Logio.base_bytes (Wire.Lock { txid; regions_written; writes = its })
+            + Logio.base_bytes (Wire.Commit_primary txid)
+            + Logio.trunc_allowance
+          in
+          Logio.reserve_or_flush st ~dst:p n;
+          add_to reserved p n)
+        primary_list;
+      List.iter
+        (fun (b, its) ->
+          let n =
+            Logio.base_bytes (Wire.Commit_backup { txid; regions_written; writes = its })
+            + Logio.trunc_allowance
+          in
+          Logio.reserve_or_flush st ~dst:b n;
+          add_to reserved b n)
+        backup_list;
+      let release_leftovers () =
+        List.iter
+          (fun m ->
+            let allowance = if Hashtbl.mem trunc_queued m then Logio.trunc_allowance else 0 in
+            let leftover = get0 reserved m - get0 consumed m - allowance in
+            if leftover > 0 then Ringlog.unreserve (State.log_to st m) leftover)
+          participants
+      in
+      let cleanup () =
+        Txid.Tbl.remove st.State.active_txs txid;
+        Txid.Tbl.remove st.State.pending_lock txid;
+        release_leftovers ()
+      in
+      let recovered_result (o : State.outcome) =
+        (* recovery owns truncation (TRUNCATE-RECOVERY) and the books *)
+        Txid.Tbl.remove st.State.active_txs txid;
+        Txid.Tbl.remove st.State.pending_lock txid;
+        State.forget_outstanding st txid;
+        match o with
+        | State.Committed -> finish (Ok ())
+        | State.Aborted ->
+            Txn.return_allocations tx;
+            finish (Error Txn.Failed)
+      in
+      (* Abort: write ABORT records to the primaries, which release the
+         locks and locally truncate the transaction. *)
+      let abort_tx reason =
+        Comms.par_iter st
+          (List.map
+             (fun (p, _) () ->
+               match Logio.append st ~dst:p ~thread:tx.Txn.thread (Wire.Abort txid) with
+               | Ok n -> add_to consumed p n
+               | Error _ -> ())
+             primary_list);
+        State.forget_outstanding st txid;
+        Txn.return_allocations tx;
+        cleanup ();
+        finish (Error reason)
+      in
+      (* {2 Phase 1: LOCK} *)
+      State.phase st State.Before_lock txid;
+      let lw =
+        { State.lw_awaiting = List.length primary_list; lw_ok = true; lw_done = Ivar.create () }
+      in
+      Txid.Tbl.replace st.State.pending_lock txid lw;
+      Comms.par_iter st
+        (List.map
+           (fun (p, its) () ->
+             match
+               Logio.append st ~dst:p ~thread:tx.Txn.thread
+                 (Wire.Lock { txid; regions_written; writes = its })
+             with
+             | Ok n -> add_to consumed p n
+             | Error _ -> ())
+           primary_list);
+      match race_outcome lt lw.State.lw_done with
+      | Recovered o -> recovered_result o
+      | Normal () ->
+          if not lw.State.lw_ok then abort_tx Txn.Conflict
+          else begin
+            State.phase st State.After_lock txid;
+            (* {2 Phase 2: VALIDATE} *)
+            let validated = reads_only = [] || validate st ~txid reads_only in
+            if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
+            else if not validated then abort_tx Txn.Conflict
+            else begin
+              State.phase st State.After_validate txid;
+              (* {2 Phase 3: COMMIT-BACKUP} — wait for NIC acks from all
+                 backups before any COMMIT-PRIMARY (required for
+                 serializability across failures, §4). *)
+              let backup_failed = ref false in
+              Comms.par_iter st
+                (List.map
+                   (fun (b, its) () ->
+                     match
+                       Logio.append st ~dst:b ~thread:tx.Txn.thread
+                         (Wire.Commit_backup { txid; regions_written; writes = its })
+                     with
+                     | Ok n -> add_to consumed b n
+                     | Error _ -> backup_failed := true)
+                   backup_list);
+              if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
+              else if !backup_failed then
+                (* a backup died: the configuration change is coming and
+                   will make this transaction recovering *)
+                recovered_result (Ivar.read lt.State.lt_outcome)
+              else begin
+                State.phase st State.After_commit_backup txid;
+                (* {2 Phase 4: COMMIT-PRIMARY} — report success on the
+                   first hardware ack. *)
+                let first_ack = Ivar.create () in
+                let all_acks = Ivar.create () in
+                let remaining = ref (List.length primary_list) in
+                List.iter
+                  (fun (p, _) ->
+                    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+                        (match
+                           Logio.append st ~dst:p ~thread:tx.Txn.thread
+                             (Wire.Commit_primary txid)
+                         with
+                        | Ok n ->
+                            add_to consumed p n;
+                            Ivar.fill_if_empty first_ack ()
+                        | Error _ -> ());
+                        decr remaining;
+                        if !remaining = 0 then Ivar.fill all_acks ()))
+                  primary_list;
+                match race_outcome lt first_ack with
+                | Recovered o -> recovered_result o
+                | Normal () ->
+                    State.phase st State.After_commit_primary txid;
+                    (* {2 Phase 5: TRUNCATE} — lazily, after all primaries
+                       acked, in the background. *)
+                    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+                        match race_outcome lt all_acks with
+                        | Recovered _ ->
+                            Txid.Tbl.remove st.State.active_txs txid;
+                            State.forget_outstanding st txid
+                        | Normal () ->
+                            List.iter
+                              (fun m ->
+                                State.queue_truncation st ~dst:m txid;
+                                Hashtbl.replace trunc_queued m ())
+                              participants;
+                            State.forget_outstanding st txid;
+                            cleanup ();
+                            State.phase st State.After_truncate txid);
+                    finish (Ok ())
+              end
+            end
+          end
+    end
+  end

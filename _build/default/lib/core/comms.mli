@@ -1,0 +1,17 @@
+open Farm_sim
+open Farm_net
+
+(** Messaging helpers enforcing precise membership (§5.2): machines never
+    issue requests to machines outside their configuration. *)
+
+val send : ?prio:bool -> ?cpu_cost:Time.t -> State.t -> dst:int -> Wire.message -> unit
+
+val call :
+  ?prio:bool -> ?timeout:Time.t -> State.t -> dst:int -> Wire.message ->
+  (Wire.message, Fabric.error) result
+
+val reply_to : (bytes:int -> Wire.message -> unit) -> Wire.message -> unit
+
+val par_iter : State.t -> (unit -> unit) list -> unit
+(** Run jobs concurrently as child processes of this machine and wait for
+    all — how commit-protocol writes reach all participants in parallel. *)

@@ -1,0 +1,278 @@
+open Farm_sim
+
+(* Failure detection with leases (§5.1).
+
+   Every machine holds a lease at the CM and the CM holds a lease at every
+   machine, granted by a 3-way handshake: machine sends a request; the CM's
+   response is both a grant and a request; the machine's second message
+   grants the CM's lease. Renewals run every lease/5.
+
+   Four lease-manager implementations are modelled (Figure 16):
+   - [Rpc_shared]      reliable RPC on shared queue pairs: lease traffic
+                       queues on the NIC behind bulk traffic and on the
+                       shared worker threads behind foreground work.
+   - [Ud_shared]       unreliable datagrams (dedicated queue pair, skips
+                       NIC queueing) but processed on shared threads.
+   - [Ud_thread]       a dedicated lease-manager thread at normal priority:
+                       no CPU queueing, but occasionally preempted by
+                       higher-priority OS work (modelled as suspension
+                       spikes).
+   - [Ud_thread_pri]   interrupt-driven at the highest user-space priority:
+                       only the 0.5 ms system-timer resolution and the
+                       loaded-network round trip remain. *)
+
+let timer_resolution = Time.us 500
+
+(* Delay before this machine's lease manager actually gets to run, per
+   implementation. *)
+let scheduling_delay st =
+  let l = st.State.lease in
+  match l.State.impl with
+  | State.Rpc_shared | State.Ud_shared ->
+      (* shared worker threads: wait for a free one *)
+      Cpu.queue_delay st.State.cpu
+  | State.Ud_thread ->
+      let now = State.now st in
+      if Time.( > ) l.State.suspended_until now then Time.sub l.State.suspended_until now
+      else Time.ns (Rng.int st.State.rng 20_000)
+  | State.Ud_thread_pri ->
+      (* interrupt latency: a few microseconds *)
+      Time.ns (2_000 + Rng.int st.State.rng 3_000)
+
+(* Quantize a wakeup to the system timer for the interrupt-driven
+   implementation. *)
+let quantize st d =
+  match st.State.lease.State.impl with
+  | State.Ud_thread_pri | State.Ud_thread ->
+      let r = Time.to_ns timer_resolution in
+      Time.ns ((Time.to_ns d + r - 1) / r * r)
+  | State.Rpc_shared | State.Ud_shared -> d
+
+let send_lease st ~dst msg =
+  let prio =
+    match st.State.lease.State.impl with
+    | State.Rpc_shared -> false
+    | State.Ud_shared | State.Ud_thread | State.Ud_thread_pri -> true
+  in
+  (* lease messages are tiny; senders on a dedicated thread pay no shared
+     CPU (the scheduling delay was already modelled) *)
+  Comms.send st ~prio ~cpu_cost:Time.zero ~dst msg
+
+(* Background OS preemption spikes for the dedicated-thread (non-priority)
+   lease manager. *)
+let start_spike_generator st =
+  match st.State.lease.State.impl with
+  | State.Ud_thread ->
+      Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+          let rec loop () =
+            Proc.sleep (Time.of_ms_float (Rng.exponential st.State.rng ~mean:1500.));
+            Proc.check_cancelled ();
+            let dur = Time.us (500 + Rng.int st.State.rng 29_500) in
+            st.State.lease.State.suspended_until <- Time.add (State.now st) dur;
+            loop ()
+          in
+          loop ())
+  | State.Rpc_shared | State.Ud_shared | State.Ud_thread_pri -> ()
+
+(* {1 Two-level hierarchy (§5.1)}
+
+   "Significantly larger clusters may require a two-level hierarchy, which
+   in the worst case would double failure detection time."
+
+   With [lease_group_size] > 0, the configuration's members form groups of
+   that size in identifier order; the lowest member of each group is its
+   leader. Leaders exchange leases with the CM; members exchange leases
+   with their leader; the CM's lease traffic shrinks from O(n) to
+   O(n / group size). A leader detecting a member expiry (or a member
+   detecting its leader) reports the suspect to the CM, which runs the
+   normal reconfiguration — hence the up-to-doubled detection latency. *)
+
+let group_size st = st.State.params.Params.lease_group_size
+
+let hierarchical st = group_size st > 0
+
+(* The machine this one renews with: its group leader, or the CM for
+   leaders (and for everyone when the hierarchy is off). *)
+let renew_target st =
+  let cm = st.State.config.Config.cm in
+  if not (hierarchical st) then cm
+  else begin
+    let members = List.filter (fun m -> m <> cm) st.State.config.Config.members in
+    let rec find idx = function
+      | [] -> cm
+      | m :: rest ->
+          if m = st.State.id then
+            if idx mod group_size st = 0 then cm
+            else List.nth members (idx / group_size st * group_size st)
+          else find (idx + 1) rest
+    in
+    find 0 members
+  end
+
+let is_leader st = hierarchical st && renew_target st = st.State.config.Config.cm
+
+(* The machines whose leases this machine is responsible for checking. *)
+let watched_members st =
+  let cm = st.State.config.Config.cm in
+  if State.is_cm st then begin
+    if not (hierarchical st) then
+      List.filter (fun m -> m <> st.State.id) st.State.config.Config.members
+    else begin
+      (* the CM watches only the group leaders *)
+      let members = List.filter (fun m -> m <> cm) st.State.config.Config.members in
+      List.filteri (fun idx _ -> idx mod group_size st = 0) members
+    end
+  end
+  else if is_leader st then begin
+    let members = List.filter (fun m -> m <> cm) st.State.config.Config.members in
+    let rec my_index idx = function
+      | [] -> -1
+      | m :: rest -> if m = st.State.id then idx else my_index (idx + 1) rest
+    in
+    let me = my_index 0 members in
+    List.filteri
+      (fun idx _ -> idx <> me && idx / group_size st = me / group_size st)
+      members
+  end
+  else []
+
+(* {1 Machine side} *)
+
+let renewal_period st =
+  Time.div_int st.State.params.Params.lease_duration st.State.params.Params.lease_renew_divisor
+
+(* The renewal loop: every lease/5, ask the CM for a fresh lease. *)
+let start_renewal st =
+  Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+      st.State.lease.State.last_grant_from_cm <- State.now st;
+      let rec loop () =
+        Proc.check_cancelled ();
+        Proc.sleep (quantize st (renewal_period st));
+        let d = scheduling_delay st in
+        if Time.( > ) d Time.zero then Proc.sleep d;
+        Proc.check_cancelled ();
+        if not (State.is_cm st) then begin
+          let dst = renew_target st in
+          send_lease st ~dst
+            (Wire.Lease_request
+               { cfg = st.State.config.Config.id; sent_ns = Time.to_ns (State.now st) })
+        end;
+        loop ()
+      in
+      loop ())
+
+(* Expiry checks. Flat: the CM checks every machine's lease and machines
+   check the CM's. Hierarchical: the CM checks the group leaders, leaders
+   check their members and the CM, members check their leader. Expiry
+   triggers suspicion (and, through [on_suspect], reconfiguration). *)
+let start_expiry_checker st =
+  Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+      (* grantors start by assuming everyone renewed just now *)
+      let init_watch () =
+        List.iter
+          (fun m ->
+            match st.State.cm with
+            | Some cm when State.is_cm st ->
+                if not (Hashtbl.mem cm.State.cm_leases m) then
+                  Hashtbl.replace cm.State.cm_leases m (State.now st)
+            | _ ->
+                if not (Hashtbl.mem st.State.lease.State.peer_leases m) then
+                  Hashtbl.replace st.State.lease.State.peer_leases m (State.now st))
+          (watched_members st)
+      in
+      init_watch ();
+      let rec loop () =
+        Proc.check_cancelled ();
+        Proc.sleep st.State.params.Params.lease_check_interval;
+        let lease = st.State.params.Params.lease_duration in
+        let now = State.now st in
+        (* grantor side: watch the machines that renew with me *)
+        let table =
+          if State.is_cm st then Option.map (fun cm -> cm.State.cm_leases) st.State.cm
+          else if is_leader st then Some st.State.lease.State.peer_leases
+          else None
+        in
+        (match table with
+        | Some table ->
+            init_watch ();
+            let watched = watched_members st in
+            let expired =
+              Hashtbl.fold
+                (fun m last acc ->
+                  if
+                    m <> st.State.id && List.mem m watched
+                    && Time.( > ) (Time.sub now last) lease
+                  then m :: acc
+                  else acc)
+                table []
+            in
+            if expired <> [] then begin
+              st.State.lease.State.expiry_events <-
+                st.State.lease.State.expiry_events + List.length expired;
+              (* stop repeat triggers: forget their leases *)
+              List.iter (fun m -> Hashtbl.remove table m) expired;
+              st.State.on_suspect expired
+            end
+        | None -> ());
+        (* member side: watch my grantor *)
+        if
+          (not (State.is_cm st))
+          && (not st.State.lease.State.cm_suspected)
+          && Time.( > ) (Time.sub now st.State.lease.State.last_grant_from_cm) lease
+        then begin
+          st.State.lease.State.expiry_events <- st.State.lease.State.expiry_events + 1;
+          st.State.lease.State.cm_suspected <- true;
+          st.State.on_suspect [ renew_target st ]
+        end;
+        loop ()
+      in
+      loop ())
+
+(* {1 Message handling} — called from the dispatcher at NIC-delivery time;
+   applies the implementation-specific processing delay itself. *)
+
+let handle st ~src msg =
+  Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+      let d = scheduling_delay st in
+      if Time.( > ) d Time.zero then Proc.sleep d;
+      Proc.check_cancelled ();
+      let record_grantor sent_ns =
+        st.State.lease.State.grantor_messages <- st.State.lease.State.grantor_messages + 1;
+        match st.State.cm with
+        | Some cm when State.is_cm st ->
+            let prev =
+              Option.value ~default:Time.zero (Hashtbl.find_opt cm.State.cm_leases src)
+            in
+            Hashtbl.replace cm.State.cm_leases src (Time.max prev (Time.ns sent_ns))
+        | _ ->
+            let prev =
+              Option.value ~default:Time.zero
+                (Hashtbl.find_opt st.State.lease.State.peer_leases src)
+            in
+            Hashtbl.replace st.State.lease.State.peer_leases src
+              (Time.max prev (Time.ns sent_ns))
+      in
+      match msg with
+      | Wire.Lease_request { cfg; sent_ns } ->
+          if (State.is_cm st || is_leader st) && cfg = st.State.config.Config.id then begin
+            record_grantor sent_ns;
+            send_lease st ~dst:src
+              (Wire.Lease_grant_and_request { cfg; sent_ns = Time.to_ns (State.now st) })
+          end
+      | Wire.Lease_grant_and_request { cfg; sent_ns } ->
+          if cfg = st.State.config.Config.id && src = renew_target st then begin
+            st.State.lease.State.last_grant_from_cm <-
+              Time.max st.State.lease.State.last_grant_from_cm (Time.ns sent_ns);
+            st.State.lease.State.cm_suspected <- false;
+            send_lease st ~dst:src
+              (Wire.Lease_grant { cfg; sent_ns = Time.to_ns (State.now st) })
+          end
+      | Wire.Lease_grant { cfg; sent_ns } ->
+          if (State.is_cm st || is_leader st) && cfg = st.State.config.Config.id then
+            record_grantor sent_ns
+      | _ -> ())
+
+let start st =
+  start_spike_generator st;
+  start_renewal st;
+  start_expiry_checker st

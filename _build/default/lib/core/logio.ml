@@ -1,0 +1,92 @@
+open Farm_sim
+
+(* Sender-side transaction-log writes (§4).
+
+   Records are written to the receiver-located ring log with one-sided RDMA
+   writes. Coordinators reserve space for all records of the commit
+   protocol — including truncation entries — before starting to commit, so
+   the protocol can always make progress; piggybacked truncations release
+   the space of completed transactions lazily. *)
+
+(* Per-transaction reservation allowance for its eventual truncation entry:
+   16 bytes for the piggybacked id plus 8 bytes of marker slack. *)
+let trunc_allowance = 24
+
+let base_bytes payload =
+  Wire.record_bytes { Wire.payload; truncations = []; low_bound = 0; cfg = 0 }
+
+(* Append a record, draining this machine's pending truncations for [dst]
+   into its piggyback fields. Consumes reservation for the full record and
+   releases the slack of each piggybacked truncation allowance. *)
+let append st ~dst ~thread payload : (int, Farm_net.Fabric.error) result =
+  let truncations = State.take_truncations st ~dst in
+  let record =
+    {
+      Wire.payload;
+      truncations;
+      low_bound = State.low_bound st ~thread;
+      cfg = st.State.config.Config.id;
+    }
+  in
+  let log = State.log_to st dst in
+  let size = Wire.record_bytes record in
+  Ringlog.consume_reservation log size;
+  Ringlog.unreserve log (8 * List.length truncations);
+  match
+    Farm_net.Fabric.one_sided_write st.State.fabric ~src:st.State.id ~dst ~bytes:size (fun () ->
+        Ringlog.dma_append log record ~size)
+  with
+  | Ok () ->
+      (* The caller's own share of the consumed space: piggybacked
+         truncation entries are paid for by the truncated transactions'
+         allowances. *)
+      Ok (size - (16 * List.length truncations))
+  | Error e ->
+      (* The destination is gone; requeue the truncations so another record
+         (or the flusher) carries them once the configuration settles. *)
+      List.iter (fun txid -> State.queue_truncation st ~dst txid) truncations;
+      Error e
+
+(* Write an explicit TRUNCATE record carrying the pending truncations for
+   [dst]. Used by the background flusher and when a log fills up. *)
+let flush_truncations st ~dst =
+  match Hashtbl.find_opt st.State.pending_trunc dst with
+  | None -> ()
+  | Some q when !q = [] -> ()
+  | Some _ ->
+      if Config.is_member st.State.config dst || dst = st.State.id then begin
+        let log = State.log_to st dst in
+        (* The marker base is transient (freed as soon as it is processed);
+           take it from fresh reservation, skipping this round if full. *)
+        if Ringlog.reserve log 48 then begin
+          match append st ~dst ~thread:0 Wire.Truncate_marker with
+          | Ok _ -> Ringlog.unreserve log 48
+          | Error _ -> Ringlog.unreserve log 48
+        end
+      end
+      else ignore (State.take_truncations st ~dst)
+
+(* Reserve [n] bytes in the log to [dst], forcing explicit truncation if the
+   log is full (rare; needed for liveness, §4). *)
+let rec reserve_or_flush st ~dst n =
+  let log = State.log_to st dst in
+  if Ringlog.reserve log n then ()
+  else begin
+    flush_truncations st ~dst;
+    Proc.sleep (Time.us 50);
+    Proc.check_cancelled ();
+    reserve_or_flush st ~dst n
+  end
+
+(* Periodic background flusher: lazily truncates logs at primaries and
+   backups that have not carried piggybacked truncations recently. *)
+let start_flusher st =
+  Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+      let rec loop () =
+        Proc.sleep st.State.params.Params.truncate_flush_interval;
+        Proc.check_cancelled ();
+        let dsts = Hashtbl.fold (fun d q acc -> if !q = [] then acc else d :: acc) st.State.pending_trunc [] in
+        List.iter (fun dst -> flush_truncations st ~dst) dsts;
+        loop ()
+      in
+      loop ())

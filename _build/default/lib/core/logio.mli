@@ -1,0 +1,27 @@
+open Farm_net
+
+(** Sender-side transaction-log writes (§4): reservation-backed one-sided
+    appends with truncation piggybacking, plus the background flusher that
+    lazily truncates idle logs. *)
+
+val trunc_allowance : int
+(** Bytes a transaction reserves per participant log for its eventual
+    truncation entry. *)
+
+val base_bytes : Wire.record -> int
+(** Wire size of a record before piggybacked truncations. *)
+
+val append : State.t -> dst:int -> thread:int -> Wire.record -> (int, Fabric.error) result
+(** Write a record into the log at [dst], draining this machine's pending
+    truncations for [dst] into the piggyback fields. Blocks until the
+    receiver NIC's hardware ack. Returns the caller's own share of consumed
+    log space. *)
+
+val flush_truncations : State.t -> dst:int -> unit
+(** Write an explicit TRUNCATE record carrying pending truncations. *)
+
+val reserve_or_flush : State.t -> dst:int -> int -> unit
+(** Reserve space, forcing explicit truncation while the log is full
+    (liveness, §4). *)
+
+val start_flusher : State.t -> unit

@@ -1,0 +1,13 @@
+(** Member-side application of configurations (§5.2 steps 6-7): precise
+    membership is what replaces server-side lease checks under one-sided
+    RDMA. Applying NEW-CONFIG updates the configuration and mapping cache,
+    blocks external requests, adjusts local replica roles (promotions
+    become inactive until lock recovery; fresh assignments get zeroed
+    NVRAM), and resets the lease; NEW-CONFIG-COMMIT unblocks and lets new
+    primaries sync block headers. *)
+
+val apply_new_config : State.t -> Config.t -> Wire.region_info list -> unit
+
+val on_config_commit : State.t -> cfg:int -> bool
+(** Returns whether the commit matched the current configuration (in which
+    case the caller starts transaction-state recovery). *)

@@ -1,0 +1,137 @@
+open Farm_sim
+
+(* Message dispatch and machine startup: the event loop of Figure 3's
+   per-machine architecture, wiring the fabric's receive path to the
+   protocol modules. *)
+
+let dispatch st ~src ~reply (msg : Wire.message) =
+  match msg with
+  | Wire.Lock_reply { txid; ok; cfg = _ } -> (
+      match Txid.Tbl.find_opt st.State.pending_lock txid with
+      | Some lw ->
+          let recovering =
+            match Txid.Tbl.find_opt st.State.active_txs txid with
+            | Some lt -> lt.State.lt_recovering
+            | None -> false
+          in
+          (* coordinators ignore replies for recovering transactions *)
+          if not recovering then begin
+            lw.State.lw_awaiting <- lw.State.lw_awaiting - 1;
+            if not ok then lw.State.lw_ok <- false;
+            if lw.State.lw_awaiting <= 0 || not ok then Ivar.fill_if_empty lw.State.lw_done ()
+          end
+      | None -> ())
+  | Wire.Validate_req { txid; items } ->
+      Cpu.exec st.State.cpu
+        ~cost:
+          (Time.mul_int st.State.params.Params.cpu_validate_per_obj
+             (max 1 (List.length items)));
+      let ok =
+        List.for_all
+          (fun ((addr : Addr.t), version) ->
+            match State.replica st addr.Addr.region with
+            | Some rep when rep.State.role = State.Primary && rep.State.active ->
+                Objmem.validate_version rep ~off:addr.Addr.offset ~version
+            | _ -> false)
+          items
+      in
+      Comms.reply_to reply (Wire.Validate_reply { txid; ok })
+  | Wire.Validate_reply _ -> ()
+  | Wire.Need_recovery { cfg; rid; txs } -> Recovery.on_need_recovery st ~src ~cfg ~rid ~txs
+  | Wire.Fetch_tx_state { cfg; rid; txids } ->
+      Recovery.on_fetch_tx_state st ~reply ~cfg ~rid ~txids
+  | Wire.Send_tx_state _ -> ()
+  | Wire.Replicate_tx_state { cfg; rid; txid; lock } ->
+      Recovery.on_replicate_tx_state st ~reply ~cfg ~rid ~txid ~lock
+  | Wire.Recovery_vote { cfg; rid; txid; regions; vote } ->
+      Recovery.on_vote st ~cfg ~rid ~txid ~regions ~vote
+  | Wire.Request_vote { cfg; rid; txid } -> Recovery.on_request_vote st ~src ~cfg ~rid ~txid
+  | Wire.Commit_recovery { cfg; txid } -> Recovery.on_commit_recovery st ~reply ~cfg ~txid
+  | Wire.Abort_recovery { cfg; txid } -> Recovery.on_abort_recovery st ~reply ~cfg ~txid
+  | Wire.Truncate_recovery { cfg; txid } -> Recovery.on_truncate_recovery st ~cfg ~txid
+  | Wire.Suspect_req { cfg; suspect } ->
+      if cfg = st.State.config.Config.id then Cm.handle_suspicion st [ suspect ]
+  | Wire.New_config { config; regions; cm_changed = _ } ->
+      Membership.apply_new_config st config regions
+  | Wire.New_config_ack { cfg } -> (
+      match st.State.cm with
+      | Some cm -> (
+          match cm.State.ack_pending with
+          | Some (c, remaining, done_) when c = cfg ->
+              remaining := List.filter (fun m -> m <> src) !remaining;
+              if !remaining = [] then Ivar.fill_if_empty done_ ()
+          | Some _ | None -> ())
+      | None -> ())
+  | Wire.New_config_commit { cfg } ->
+      if Membership.on_config_commit st ~cfg then Recovery.on_config_commit st
+  | Wire.Regions_active _ -> Cm.on_regions_active st ~src
+  | Wire.All_regions_active { cfg } ->
+      if cfg = st.State.config.Config.id then Datarec.on_all_regions_active st
+  | Wire.Region_recovered { rid; _ } -> Cm.on_region_recovered st ~rid
+  | Wire.Lease_request _ | Wire.Lease_grant_and_request _ | Wire.Lease_grant _ ->
+      (* handled on the lease fast path, never here *)
+      ()
+  | Wire.Alloc_region_req { locality } -> Cm.handle_alloc_region st ~reply ~locality
+  | Wire.Alloc_region_reply _ -> ()
+  | Wire.Prepare_region { info } -> Cm.handle_prepare_region st ~reply info
+  | Wire.Prepare_region_ack _ -> ()
+  | Wire.Commit_region { info } -> Cm.handle_commit_region st info
+  | Wire.Fetch_mapping { rid } -> Cm.handle_fetch_mapping st ~reply ~rid
+  | Wire.Mapping_reply _ -> ()
+  | Wire.Block_header { rid; block; obj_size } -> (
+      match State.replica st rid with
+      | Some rep -> Hashtbl.replace rep.State.block_headers block obj_size
+      | None -> ())
+  | Wire.Block_headers_sync { rid; headers } -> (
+      match State.replica st rid with
+      | Some rep ->
+          List.iter (fun (b, s) -> Hashtbl.replace rep.State.block_headers b s) headers
+      | None -> ())
+  | Wire.Alloc_obj_req { rid; size } -> (
+      match State.replica st rid with
+      | Some rep when rep.State.role = State.Primary && rep.State.active -> (
+          match Allocmgr.alloc_obj_local st rep ~size with
+          | Some (addr, version) ->
+              Comms.reply_to reply (Wire.Alloc_obj_reply { addr = Some addr; version })
+          | None -> Comms.reply_to reply (Wire.Alloc_obj_reply { addr = None; version = 0 }))
+      | _ -> Comms.reply_to reply (Wire.Alloc_obj_reply { addr = None; version = 0 }))
+  | Wire.Free_slot_hint { addr } -> (
+      match State.replica st addr.Addr.region with
+      | Some rep when rep.State.role = State.Primary ->
+          Allocmgr.release_slot st rep ~off:addr.Addr.offset
+      | _ -> ())
+  | Wire.Alloc_obj_reply _ -> ()
+  | Wire.App_call { tag; args } ->
+      let ok = match st.State.app_handler with Some f -> f ~tag ~args | None -> false in
+      Comms.reply_to reply (Wire.App_reply { ok })
+  | Wire.App_reply _ -> ()
+  | Wire.Ack | Wire.Nack -> ()
+
+(* Receive path: lease traffic takes its dedicated fast path (§5.1); all
+   other messages are charged the RPC receive cost on the machine's shared
+   worker threads and dispatched in a fresh process. *)
+let on_message st ~src ~reply msg =
+  if st.State.alive then begin
+    match msg with
+    | Wire.Lease_request _ | Wire.Lease_grant_and_request _ | Wire.Lease_grant _ ->
+        Lease.handle st ~src msg
+    | _ ->
+        Cpu.exec_bg ~ctx:st.State.ctx st.State.cpu
+          ~cost:st.State.params.Params.net.Farm_net.Params.cpu_rpc_recv (fun () ->
+            Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+                dispatch st ~src ~reply msg))
+  end
+
+let start st =
+  Hashtbl.iter (fun _ log -> Logproc.attach st log) st.State.nv.logs_in;
+  Logio.start_flusher st;
+  st.State.on_suspect <- (fun suspects -> Cm.handle_suspicion st suspects);
+  Farm_net.Fabric.set_handler st.State.fabric st.State.id (fun ~src ~reply msg ->
+      on_message st ~src ~reply msg);
+  Lease.start st;
+  if State.is_cm st then begin
+    let cm = State.ensure_cm st in
+    List.iter
+      (fun m -> Hashtbl.replace cm.State.cm_leases m (State.now st))
+      st.State.config.Config.members
+  end

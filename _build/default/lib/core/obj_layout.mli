@@ -1,0 +1,31 @@
+(** On-NVRAM object layout (§3).
+
+    Every object starts with an 8-byte header word — lock bit (63),
+    allocation bit (62), version (0..61) — followed by its data bytes.
+    Versions serve both optimistic concurrency control and replication:
+    a committed write installs [version + 1] and data recovery copies an
+    object only when the source version is newer. *)
+
+val header_size : int
+
+(** {1 Header words} *)
+
+val make : locked:bool -> allocated:bool -> version:int -> int64
+val is_locked : int64 -> bool
+val is_allocated : int64 -> bool
+val version : int64 -> int
+val with_locked : int64 -> bool -> int64
+val with_allocated : int64 -> bool -> int64
+val with_version : int64 -> int -> int64
+
+(** {1 Memory access} *)
+
+val get : Bytes.t -> off:int -> int64
+val set : Bytes.t -> off:int -> int64 -> unit
+
+val cas : Bytes.t -> off:int -> expected:int64 -> desired:int64 -> bool
+(** Single-word compare-and-swap; atomic because the simulator never
+    preempts a closure, as a real CAS instruction would be. *)
+
+val read_data : Bytes.t -> off:int -> len:int -> Bytes.t
+val write_data : Bytes.t -> off:int -> Bytes.t -> unit

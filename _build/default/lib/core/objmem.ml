@@ -1,0 +1,70 @@
+(* Object memory operations on region replicas. *)
+
+let header (r : State.replica) ~off = Obj_layout.get r.mem ~off
+
+let read_object (r : State.replica) ~off ~len =
+  (header r ~off, Obj_layout.read_data r.mem ~off ~len)
+
+(* Attempt to lock an object at the version the transaction observed
+   (LOCK-record processing, §4 step 1). *)
+let try_lock (r : State.replica) (w : Wire.write_item) =
+  let off = w.addr.Addr.offset in
+  let h = header r ~off in
+  if Obj_layout.is_locked h then false
+  else if Obj_layout.version h <> w.version then false
+  else
+    Obj_layout.cas r.mem ~off ~expected:h ~desired:(Obj_layout.with_locked h true)
+
+let unlock (r : State.replica) (w : Wire.write_item) =
+  let off = w.addr.Addr.offset in
+  let h = header r ~off in
+  if Obj_layout.is_locked h && Obj_layout.version h = w.version then
+    Obj_layout.set r.mem ~off (Obj_layout.with_locked h false)
+
+(* Apply a committed write: install the new value, bump the version past
+   the one observed at read time, apply allocation-bit changes, clear the
+   lock. Used by COMMIT-PRIMARY processing at primaries and by truncation
+   at backups (§4 steps 4-5). Idempotent: a replica that already holds a
+   version beyond [w.version] is left untouched. *)
+let apply_write (r : State.replica) (w : Wire.write_item) =
+  let off = w.addr.Addr.offset in
+  let h = header r ~off in
+  let new_version = w.version + 1 in
+  if Obj_layout.version h < new_version then begin
+    (* Any committed write implies the object was allocated when written:
+       the allocation bit must come from the write, never be inherited from
+       the local header — a promoted backup can apply a later write before
+       (instead of) the object's creating transaction, and inheriting would
+       leave a live object marked free forever. *)
+    let allocated =
+      match w.alloc_op with
+      | Wire.Alloc_set | Wire.Alloc_none -> true
+      | Wire.Alloc_clear -> false
+    in
+    Obj_layout.set r.mem ~off
+      (Obj_layout.make ~locked:false ~allocated ~version:new_version);
+    Obj_layout.write_data r.mem ~off w.value;
+    true
+  end
+  else
+    (* already applied (recovery raced normal processing): leave the header
+       alone — any lock at a newer version belongs to another transaction *)
+    false
+
+(* Recovery locking (§5.3 step 4): lock the object if it is still at the
+   version the recovering transaction observed. Returns true when the
+   transaction holds the lock afterwards (newly taken, or taken earlier by
+   normal LOCK processing — both belong to this transaction). *)
+let recovery_lock (r : State.replica) (w : Wire.write_item) =
+  let off = w.addr.Addr.offset in
+  let h = header r ~off in
+  if Obj_layout.version h <> w.version then false
+  else if Obj_layout.is_locked h then true
+  else begin
+    Obj_layout.set r.mem ~off (Obj_layout.with_locked h true);
+    true
+  end
+
+let validate_version (r : State.replica) ~off ~version =
+  let h = header r ~off in
+  (not (Obj_layout.is_locked h)) && Obj_layout.version h = version

@@ -1,0 +1,25 @@
+(** Object memory operations on region replicas: version-checked locking
+    (LOCK processing), exact-lock release, idempotent committed-write
+    application, recovery locking, and validation reads (§4, §5.3). *)
+
+val header : State.replica -> off:int -> int64
+val read_object : State.replica -> off:int -> len:int -> int64 * Bytes.t
+
+val try_lock : State.replica -> Wire.write_item -> bool
+(** Lock iff unlocked and still at the version the transaction observed. *)
+
+val unlock : State.replica -> Wire.write_item -> unit
+(** Release only a lock taken at this write's version — callers must own
+    it (see [State.locks_held]). *)
+
+val apply_write : State.replica -> Wire.write_item -> bool
+(** Install value, version+1, allocation-bit change, unlocked. Idempotent:
+    returns false (and leaves the header alone) when the replica already
+    advanced past this write. A committed write always implies the object
+    is allocated, so the bit is never inherited from the local header. *)
+
+val recovery_lock : State.replica -> Wire.write_item -> bool
+(** §5.3 step 4: lock if still at the observed version; true when this
+    transaction holds the lock afterwards. *)
+
+val validate_version : State.replica -> off:int -> version:int -> bool

@@ -1,0 +1,61 @@
+open Farm_sim
+
+(** All tunable constants of the FaRM reproduction, with paper defaults
+    where the paper gives them and scaled-down memory sizes for simulation
+    speed (see DESIGN.md §1). *)
+
+type t = {
+  region_size : int;  (** bytes per region (paper: 2 GB; sim default 1 MB) *)
+  block_size : int;  (** slab block size (paper: 1 MB) *)
+  log_size : int;  (** per sender-receiver transaction ring log, bytes *)
+  regions_per_machine_cap : int;  (** placement capacity constraint *)
+  replication : int;  (** f+1 copies of every region (paper default 3) *)
+  validate_rpc_threshold : int;
+      (** tr: reads per primary above which validation switches from
+          one-sided RDMA to RPC (paper: 4) *)
+  commit_log_bytes : int;  (** wire size of fixed commit-record parts *)
+  lease_duration : Time.t;  (** paper experiments use 10 ms *)
+  lease_renew_divisor : int;  (** renew every lease/5 *)
+  lease_check_interval : Time.t;
+  vote_timeout : Time.t;  (** explicit REQUEST-VOTE after 250 us *)
+  recovery_block : int;  (** data-recovery read unit (8 KB) *)
+  recovery_interval : Time.t;
+      (** pacing: next block read starts at a random point in this interval *)
+  recovery_concurrency : int;  (** concurrent block reads per thread *)
+  alloc_scan_batch : int;  (** allocator recovery: objects per burst (100) *)
+  alloc_scan_interval : Time.t;  (** allocator recovery pacing (100 us) *)
+  backup_cms : int;  (** k backup CMs by consistent hashing *)
+  backup_cm_timeout : Time.t;
+  incremental_cm_state : bool;
+      (** the paper's §6.4 suggested optimization: every machine maintains
+          the CM-only data structures incrementally, so a new CM skips the
+          rebuild that dominates Figure 11 *)
+  lease_group_size : int;
+      (** > 0 enables the two-level lease hierarchy the paper sketches for
+          larger clusters (§5.1): machines form groups of this size, group
+          leaders exchange leases with the CM, members with their leader —
+          CM lease traffic drops from O(n) to O(n / group), at the price of
+          up to doubled detection latency *)
+  reconfig_ack_timeout : Time.t;
+  truncate_flush_interval : Time.t;
+      (** background flush of pending lazy truncations *)
+  threads_per_machine : int;
+  cpu_tx_begin : Time.t;
+  cpu_local_read : Time.t;
+  cpu_lock_per_obj : Time.t;
+  cpu_commit_per_obj : Time.t;
+  cpu_truncate_per_obj : Time.t;
+  cpu_validate_per_obj : Time.t;
+  cpu_log_poll : Time.t;
+  cpu_recovery_per_tx : Time.t;
+  cpu_reconfig_fixed : Time.t;
+  cpu_cm_rebuild : Time.t;
+      (** extra delay when a *new* CM must rebuild CM-only data structures
+          (§6.4, Figure 11) *)
+  net : Farm_net.Params.t;
+}
+
+val default : t
+
+val f : t -> int
+(** Number of tolerated failures: [replication - 1]. *)

@@ -1,0 +1,20 @@
+(* A machine can hold different lock payloads for one transaction — as
+   primary of one written region and backup of another — so recovery
+   evidence must merge payloads (union of write items by address) rather
+   than keep whichever record it examined first. Losing items here leaks
+   locks and loses committed writes at recovery time. *)
+
+let merge_payloads (a : Wire.lock_payload) (b : Wire.lock_payload) =
+  let writes =
+    List.fold_left
+      (fun acc (w : Wire.write_item) ->
+        if List.exists (fun (x : Wire.write_item) -> Addr.equal x.Wire.addr w.Wire.addr) acc
+        then acc
+        else w :: acc)
+      a.Wire.writes b.Wire.writes
+  in
+  {
+    Wire.txid = a.Wire.txid;
+    regions_written = List.sort_uniq compare (a.Wire.regions_written @ b.Wire.regions_written);
+    writes;
+  }

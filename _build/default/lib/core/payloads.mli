@@ -1,0 +1,7 @@
+(** Merging of lock payloads across a transaction's records. A machine can
+    hold different payloads for one transaction — as primary of one written
+    region and backup of another — so recovery evidence must union the
+    write items rather than keep whichever record it examined first; losing
+    items leaks locks and loses committed writes at recovery time. *)
+
+val merge_payloads : Wire.lock_payload -> Wire.lock_payload -> Wire.lock_payload

@@ -1,0 +1,55 @@
+(* Replica selection for regions (§3): balance region counts across
+   machines subject to capacity, place each replica in a distinct failure
+   domain, and honour application locality constraints by co-locating with
+   the target region's replicas. *)
+
+type constraints = {
+  members : int list;
+  domain_of : int -> int;
+  load_of : int -> int;  (* regions currently stored on the machine *)
+  capacity_of : int -> int;  (* max regions the machine can store *)
+  replication : int;
+}
+
+(* Pick [n] machines, least-loaded first, all in failure domains distinct
+   from each other and from [exclude_domains], excluding [exclude] machines;
+   [prefer] machines are taken first when feasible. *)
+let pick c ~n ~exclude ~exclude_domains ~prefer =
+  let eligible m = (not (List.mem m exclude)) && c.load_of m < c.capacity_of m in
+  let by_load l =
+    List.stable_sort (fun a b -> Int.compare (c.load_of a) (c.load_of b)) l
+  in
+  (* preferred machines keep their given order: the co-location target's
+     primary comes first so it also hosts the new region's primary *)
+  let preferred = List.filter eligible prefer in
+  let others = by_load (List.filter (fun m -> eligible m && not (List.mem m prefer)) c.members) in
+  let rec go chosen domains = function
+    | [] -> List.rev chosen
+    | m :: rest ->
+        if List.length chosen >= n then List.rev chosen
+        else if List.mem (c.domain_of m) domains then go chosen domains rest
+        else go (m :: chosen) (c.domain_of m :: domains) rest
+  in
+  let chosen = go [] exclude_domains (preferred @ others) in
+  if List.length chosen >= n then Some chosen else None
+
+(* Choose primary and backups for a fresh region. When [colocate_with] names
+   an existing region's replica set, prefer exactly those machines (this is
+   what lets TPC-C co-partition its tables, at the cost of reduced recovery
+   parallelism, Figure 10). *)
+let choose c ?colocate_with () =
+  let prefer = match colocate_with with Some (p, bs) -> p :: bs | None -> [] in
+  match pick c ~n:c.replication ~exclude:[] ~exclude_domains:[] ~prefer with
+  | Some (primary :: backups) -> Some (primary, backups)
+  | Some [] | None -> None
+
+(* Choose replacement backups for a region that lost replicas: avoid the
+   survivors' machines and their failure domains. *)
+let choose_replacements c ~survivors ~needed =
+  pick c ~n:needed ~exclude:survivors
+    ~exclude_domains:(List.map c.domain_of survivors)
+    ~prefer:[]
+
+let domains_distinct c machines =
+  let ds = List.map c.domain_of machines in
+  List.length (List.sort_uniq Int.compare ds) = List.length machines

@@ -1,0 +1,23 @@
+(** Replica selection for regions (§3): balance region counts across
+    machines subject to capacity, keep every replica of a region in a
+    distinct failure domain, and honour application locality constraints by
+    co-locating with a target region's replicas. *)
+
+type constraints = {
+  members : int list;
+  domain_of : int -> int;
+  load_of : int -> int;
+  capacity_of : int -> int;
+  replication : int;
+}
+
+val choose : constraints -> ?colocate_with:int * int list -> unit -> (int * int list) option
+(** Primary and backups for a fresh region; [colocate_with] prefers exactly
+    the target's (primary, backups) — TPC-C's co-partitioning. [None] when
+    the constraints cannot be met. *)
+
+val choose_replacements : constraints -> survivors:int list -> needed:int -> int list option
+(** Replacement backups avoiding the survivors' machines and failure
+    domains. *)
+
+val domains_distinct : constraints -> int list -> bool

@@ -1,0 +1,594 @@
+open Farm_sim
+
+(* Transaction state recovery (§5.3, Figure 6):
+
+     1. block access to recovering regions   (done at NEW-CONFIG, Membership)
+     2. drain logs
+     3. find recovering transactions
+     4. lock recovery                        (region becomes active)
+     5. replicate log records to backups
+     6. vote                                 (primaries -> coordinator)
+     7. decide                               (coordinator -> replicas)
+
+   Work is distributed: draining runs per machine, steps 3-6 per region,
+   and step 7 per recovering transaction, so recovery time is dominated by
+   the in-flight transaction count, not the data size. *)
+
+(* {1 Evidence management} *)
+
+
+let get_evidence rs txid =
+  match Txid.Tbl.find_opt rs.State.rs_local txid with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          Wire.ev_txid = txid;
+          ev_regions = [];
+          ev_saw = Wire.saw_nothing ();
+          ev_payload = None;
+        }
+      in
+      Txid.Tbl.replace rs.State.rs_local txid e;
+      e
+
+let merge_evidence rs (ev : Wire.tx_evidence) =
+  let e = get_evidence rs ev.Wire.ev_txid in
+  let e =
+    if e.Wire.ev_regions = [] && ev.Wire.ev_regions <> [] then begin
+      let e' = { e with Wire.ev_regions = ev.Wire.ev_regions } in
+      Txid.Tbl.replace rs.State.rs_local ev.Wire.ev_txid e';
+      e'
+    end
+    else e
+  in
+  let e =
+    match (e.Wire.ev_payload, ev.Wire.ev_payload) with
+    | None, Some p ->
+        let e' = { e with Wire.ev_payload = Some p } in
+        Txid.Tbl.replace rs.State.rs_local ev.Wire.ev_txid e';
+        e'
+    | Some p0, Some p ->
+        let e' = { e with Wire.ev_payload = Some (Payloads.merge_payloads p0 p) } in
+        Txid.Tbl.replace rs.State.rs_local ev.Wire.ev_txid e';
+        e'
+    | _ -> e
+  in
+  let s = e.Wire.ev_saw and s' = ev.Wire.ev_saw in
+  s.Wire.saw_lock <- s.Wire.saw_lock || s'.Wire.saw_lock;
+  s.Wire.saw_commit_backup <- s.Wire.saw_commit_backup || s'.Wire.saw_commit_backup;
+  s.Wire.saw_commit_primary <- s.Wire.saw_commit_primary || s'.Wire.saw_commit_primary;
+  s.Wire.saw_abort <- s.Wire.saw_abort || s'.Wire.saw_abort;
+  s.Wire.saw_commit_recovery <- s.Wire.saw_commit_recovery || s'.Wire.saw_commit_recovery;
+  s.Wire.saw_abort_recovery <- s.Wire.saw_abort_recovery || s'.Wire.saw_abort_recovery;
+  e
+
+let region_txs rs rid =
+  match Hashtbl.find_opt rs.State.rs_region_txs rid with
+  | Some s -> s
+  | None ->
+      let s = ref Txid.Set.empty in
+      Hashtbl.replace rs.State.rs_region_txs rid s;
+      s
+
+let backup_has rs ~rid ~backup =
+  match Hashtbl.find_opt rs.State.rs_backup_has (rid, backup) with
+  | Some s -> s
+  | None ->
+      let s = ref Txid.Set.empty in
+      Hashtbl.replace rs.State.rs_backup_has (rid, backup) s;
+      s
+
+(* {1 Voting rules (§5.3 step 6)} *)
+
+let vote_from_evidence (ev : Wire.tx_evidence) =
+  let s = ev.Wire.ev_saw in
+  if s.Wire.saw_commit_primary || s.Wire.saw_commit_recovery then Wire.Vote_commit_primary
+  else if s.Wire.saw_commit_backup && not s.Wire.saw_abort_recovery then Wire.Vote_commit_backup
+  else if s.Wire.saw_lock && not s.Wire.saw_abort_recovery then Wire.Vote_lock
+  else Wire.Vote_abort
+
+(* {1 Recovery-coordinator side (steps 6-7)} *)
+
+let coordinator_for st txid =
+  if Config.is_member st.State.config txid.Txid.machine then txid.Txid.machine
+  else Config.recovery_coordinator st.State.config txid
+
+(* Decide and push the outcome to every replica of every written region,
+   then truncate (§5.3 step 7). *)
+let decide st (rc : State.rec_coord) outcome =
+  if not rc.State.rc_decided then begin
+    rc.State.rc_decided <- true;
+    let txid = rc.State.rc_txid in
+    Txid.Tbl.replace st.State.recovered_outcomes txid outcome;
+    Stats.Counter.incr st.State.metrics.recovered_txs;
+    (match Txid.Tbl.find_opt st.State.active_txs txid with
+    | Some lt -> Ivar.fill_if_empty lt.State.lt_outcome outcome
+    | None -> ());
+    let cfg = st.State.config.Config.id in
+    let msg =
+      match outcome with
+      | State.Committed -> Wire.Commit_recovery { cfg; txid }
+      | State.Aborted -> Wire.Abort_recovery { cfg; txid }
+    in
+    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+        (* resolve each region's replicas through the CM if the cache was
+           (momentarily) invalidated — dropping a target here would leave
+           recovery locks held forever *)
+        let targets =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun rid ->
+                 match Txn.ensure_mapping st rid ~retries:10 with
+                 | Some info -> info.Wire.primary :: info.Wire.backups
+                 | None -> [])
+               rc.State.rc_regions)
+        in
+        Comms.par_iter st
+          (List.map
+             (fun m () -> ignore (Comms.call st ~dst:m ~timeout:(Time.ms 10) msg))
+             targets);
+        List.iter
+          (fun m -> Comms.send st ~dst:m (Wire.Truncate_recovery { cfg; txid }))
+          targets)
+  end
+
+let try_decide st (rc : State.rec_coord) =
+  if not rc.State.rc_decided && rc.State.rc_regions <> [] then begin
+    let vote_of r = List.assoc_opt r rc.State.rc_votes in
+    let votes = List.map vote_of rc.State.rc_regions in
+    if List.exists (fun v -> v = Some Wire.Vote_commit_primary) votes then
+      decide st rc State.Committed
+    else if List.for_all Option.is_some votes then begin
+      let vs = List.filter_map Fun.id votes in
+      let commit =
+        List.exists (fun v -> v = Wire.Vote_commit_backup) vs
+        && List.for_all
+             (fun v ->
+               match v with
+               | Wire.Vote_lock | Wire.Vote_commit_backup | Wire.Vote_truncated -> true
+               | Wire.Vote_commit_primary | Wire.Vote_abort | Wire.Vote_unknown -> false)
+             vs
+      in
+      decide st rc (if commit then State.Committed else State.Aborted)
+    end
+  end
+
+(* The coordinator requests votes from primaries that stay silent past the
+   vote timeout (250 us), repeatedly until the transaction is decided. *)
+let start_vote_requester st (rc : State.rec_coord) =
+  Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+      let rec loop () =
+        Proc.sleep st.State.params.Params.vote_timeout;
+        Proc.check_cancelled ();
+        if not rc.State.rc_decided then begin
+          let cfg = st.State.config.Config.id in
+          List.iter
+            (fun rid ->
+              if not (List.mem_assoc rid rc.State.rc_votes) then
+                match State.region_info st rid with
+                | Some info ->
+                    Comms.send st ~dst:info.Wire.primary
+                      (Wire.Request_vote { cfg; rid; txid = rc.State.rc_txid })
+                | None -> ())
+            rc.State.rc_regions;
+          loop ()
+        end
+      in
+      loop ())
+
+let rec_coord_of st txid ~regions =
+  match Txid.Tbl.find_opt st.State.rec_coords txid with
+  | Some rc ->
+      if rc.State.rc_regions = [] && regions <> [] then rc.State.rc_regions <- regions;
+      rc
+  | None ->
+      let rc =
+        {
+          State.rc_txid = txid;
+          rc_votes = [];
+          rc_regions = regions;
+          rc_decided = false;
+          rc_created = State.now st;
+        }
+      in
+      Txid.Tbl.replace st.State.rec_coords txid rc;
+      start_vote_requester st rc;
+      rc
+
+let on_vote st ~cfg ~rid ~txid ~regions ~vote =
+  if cfg = st.State.config.Config.id then begin
+    let rc = rec_coord_of st txid ~regions in
+    if not (List.mem_assoc rid rc.State.rc_votes) then
+      rc.State.rc_votes <- (rid, vote) :: rc.State.rc_votes;
+    try_decide st rc
+  end
+
+(* {1 Primary side (steps 3-6)} *)
+
+let maybe_regions_active st (rs : State.recovery_state) =
+  if not rs.State.rs_regions_active_sent then begin
+    let all_active =
+      Hashtbl.fold
+        (fun _ (rep : State.replica) acc ->
+          acc && ((not (rep.State.role = State.Primary)) || rep.State.active))
+        st.State.nv.replicas true
+    in
+    if all_active then begin
+      rs.State.rs_regions_active_sent <- true;
+      Comms.send st ~dst:st.State.config.Config.cm
+        (Wire.Regions_active { cfg = rs.State.rs_cfg })
+    end
+  end
+
+let on_need_recovery st ~src ~cfg ~rid ~txs =
+  match st.State.recovery with
+  | Some rs when rs.State.rs_cfg = cfg ->
+      List.iter
+        (fun (ev : Wire.tx_evidence) ->
+          ignore (merge_evidence rs ev);
+          let s = region_txs rs rid in
+          s := Txid.Set.add ev.Wire.ev_txid !s;
+          if ev.Wire.ev_payload <> None then begin
+            let h = backup_has rs ~rid ~backup:src in
+            h := Txid.Set.add ev.Wire.ev_txid !h
+          end)
+        txs;
+      let seen =
+        match Hashtbl.find_opt rs.State.rs_need_recovery rid with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace rs.State.rs_need_recovery rid l;
+            l
+      in
+      if not (List.mem src !seen) then seen := src :: !seen
+  | _ -> ()
+
+(* Lock recovery, log-record replication, and voting for one region this
+   machine is primary of (§5.3 steps 4-6). *)
+let primary_recover_region st (rs : State.recovery_state) rid =
+  let cfg = rs.State.rs_cfg in
+  let rep = State.replica_exn st rid in
+  let backups_of () =
+    match State.region_info st rid with Some i -> i.Wire.backups | None -> []
+  in
+  (* wait for NEED-RECOVERY from every backup of the new configuration *)
+  let rec wait_backups () =
+    Proc.check_cancelled ();
+    if st.State.config.Config.id <> cfg then ()
+    else begin
+      let heard =
+        match Hashtbl.find_opt rs.State.rs_need_recovery rid with Some l -> !l | None -> []
+      in
+      if List.for_all (fun b -> List.mem b heard) (backups_of ()) then ()
+      else begin
+        Proc.sleep (Time.us 100);
+        wait_backups ()
+      end
+    end
+  in
+  wait_backups ();
+  if st.State.config.Config.id = cfg then begin
+    let txs = !(region_txs rs rid) in
+    (* 4. lock every object modified by a recovering transaction *)
+    Txid.Set.iter
+      (fun txid ->
+        Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_recovery_per_tx;
+        match (Txid.Tbl.find_opt rs.State.rs_local txid : Wire.tx_evidence option) with
+        | Some { ev_payload = Some p; _ } ->
+            let held =
+              List.filter
+                (fun (w : Wire.write_item) ->
+                  w.Wire.addr.Addr.region = rid && Objmem.recovery_lock rep w)
+                p.Wire.writes
+            in
+            if held <> [] then begin
+              let prev =
+                match Txid.Tbl.find_opt st.State.locks_held txid with
+                | Some l -> l
+                | None -> []
+              in
+              let fresh =
+                List.filter
+                  (fun (w : Wire.write_item) ->
+                    not
+                      (List.exists
+                         (fun (p : Wire.write_item) -> Addr.equal p.Wire.addr w.Wire.addr)
+                         prev))
+                  held
+              in
+              Txid.Tbl.replace st.State.locks_held txid (fresh @ prev)
+            end
+        | Some _ | None -> ())
+      txs;
+    (* the region becomes active: transactions can use it again, in
+       parallel with the rest of recovery *)
+    State.set_active rep;
+    maybe_regions_active st rs;
+    (* 5. replicate lock records to backups that miss them *)
+    Txid.Set.iter
+      (fun txid ->
+        match (Txid.Tbl.find_opt rs.State.rs_local txid : Wire.tx_evidence option) with
+        | Some { ev_payload = Some p; _ } ->
+            let missing =
+              List.filter
+                (fun b -> not (Txid.Set.mem txid !(backup_has rs ~rid ~backup:b)))
+                (backups_of ())
+            in
+            Comms.par_iter st
+              (List.map
+                 (fun b () ->
+                   ignore
+                     (Comms.call st ~dst:b ~timeout:(Time.ms 10)
+                        (Wire.Replicate_tx_state { cfg; rid; txid; lock = p })))
+                 missing)
+        | Some _ | None -> ())
+      txs;
+    (* 6. vote — re-sent until the decision arrives: a vote can land while
+       its recipient is still committing the new configuration (and be
+       rejected as stale), and when the original coordinator is dead the
+       consistent-hash replacement only learns of the transaction from the
+       votes themselves. *)
+    let send_votes () =
+      Txid.Set.fold
+        (fun txid pending ->
+          if Txid.Tbl.mem st.State.recovered_outcomes txid then pending
+          else
+            match Txid.Tbl.find_opt rs.State.rs_local txid with
+            | Some ev ->
+                let vote = vote_from_evidence ev in
+                let coord = coordinator_for st txid in
+                Comms.send st ~dst:coord
+                  (Wire.Recovery_vote
+                     { cfg; rid; txid; regions = ev.Wire.ev_regions; vote });
+                pending + 1
+            | None -> pending)
+        txs 0
+    in
+    ignore (send_votes ());
+    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+        let rec loop () =
+          Proc.sleep (Time.ms 1);
+          Proc.check_cancelled ();
+          if st.State.config.Config.id = cfg && send_votes () > 0 then loop ()
+        in
+        loop ())
+  end
+
+(* {1 Drain and entry point (step 2)} *)
+
+let is_recovering_live st cfg (lt : State.tx_live) =
+  lt.State.lt_txid.Txid.config < cfg
+  && (List.exists
+        (fun rid ->
+          match State.region_info st rid with
+          | Some i -> i.Wire.last_replica_change > lt.State.lt_txid.Txid.config
+          | None -> true)
+        lt.State.lt_written_regions
+     || List.exists
+          (fun rid ->
+            match State.region_info st rid with
+            | Some i -> i.Wire.last_primary_change > lt.State.lt_txid.Txid.config
+            | None -> true)
+          lt.State.lt_read_regions)
+
+let run st (rs : State.recovery_state) =
+  let cfg = rs.State.rs_cfg in
+  (* 2. Drain: wait for every in-flight (non-blocked) record processor to
+     finish, then examine all resident records for recovering-transaction
+     evidence. NICs ack writes regardless of configuration, so this is the
+     only way to guarantee every relevant record is seen. *)
+  let rec wait_quiesce () =
+    Proc.check_cancelled ();
+    if st.State.inflight - st.State.inflight_blocked > 0 then begin
+      Proc.sleep (Time.us 20);
+      wait_quiesce ()
+    end
+  in
+  wait_quiesce ();
+  if st.State.config.Config.id = cfg then begin
+    Cpu.exec st.State.cpu ~cost:(Time.us 50);
+    Hashtbl.iter
+      (fun _ log ->
+        Ringlog.iter_resident log (fun txid records ->
+            let regions =
+              List.concat_map (fun r -> Logproc.regions_of_record r) records
+              |> List.sort_uniq compare
+            in
+            if Logproc.is_recovering st txid ~regions_written:regions then
+              List.iter (fun r -> Logproc.record_evidence st txid r) records))
+      st.State.nv.logs_in;
+    st.State.last_drained <- cfg;
+    rs.State.rs_drained <- true;
+    (* 3a. register local evidence with the regions it affects *)
+    Txid.Tbl.iter
+      (fun txid (ev : Wire.tx_evidence) ->
+        List.iter
+          (fun rid ->
+            match State.replica st rid with
+            | Some rep when rep.State.role = State.Primary ->
+                let s = region_txs rs rid in
+                s := Txid.Set.add txid !s
+            | _ -> ())
+          ev.Wire.ev_regions)
+      rs.State.rs_local;
+    (* coordinator side: in-flight transactions that became recovering stop
+       accepting completions and wait for the vote outcome *)
+    Txid.Tbl.iter
+      (fun txid (lt : State.tx_live) ->
+        if (not lt.State.lt_recovering) && is_recovering_live st cfg lt then begin
+          lt.State.lt_recovering <- true;
+          ignore (rec_coord_of st txid ~regions:lt.State.lt_written_regions)
+        end)
+      st.State.active_txs;
+    (* reset stale votes of still-undecided recovery coordinations *)
+    Txid.Tbl.iter
+      (fun _ (rc : State.rec_coord) -> if not rc.State.rc_decided then rc.State.rc_votes <- [])
+      st.State.rec_coords;
+    (* 3b. backups report recovering transactions to the (new) primaries *)
+    Hashtbl.iter
+      (fun rid (rep : State.replica) ->
+        if rep.State.role = State.Backup then begin
+          match State.region_info st rid with
+          | Some info ->
+              let txs =
+                Txid.Tbl.fold
+                  (fun _ (ev : Wire.tx_evidence) acc ->
+                    if List.mem rid ev.Wire.ev_regions then ev :: acc else acc)
+                  rs.State.rs_local []
+              in
+              Comms.send st ~dst:info.Wire.primary (Wire.Need_recovery { cfg; rid; txs })
+          | None -> ()
+        end)
+      st.State.nv.replicas;
+    (* 4-6. per primary region, in parallel *)
+    Hashtbl.iter
+      (fun rid (rep : State.replica) ->
+        if rep.State.role = State.Primary then
+          Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+              primary_recover_region st rs rid))
+      st.State.nv.replicas;
+    maybe_regions_active st rs
+  end
+
+let on_config_commit st =
+  let rs =
+    {
+      State.rs_cfg = st.State.config.Config.id;
+      rs_drained = false;
+      rs_local = Txid.Tbl.create 64;
+      rs_need_recovery = Hashtbl.create 16;
+      rs_region_txs = Hashtbl.create 16;
+      rs_backup_has = Hashtbl.create 16;
+      rs_regions_active_sent = false;
+      rs_all_active = false;
+    }
+  in
+  st.State.recovery <- Some rs;
+  Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () -> run st rs)
+
+(* {1 Replica-side handlers for recovery messages} *)
+
+let on_replicate_tx_state st ~reply ~cfg ~rid ~txid ~lock =
+  (match st.State.recovery with
+  | Some rs when rs.State.rs_cfg = cfg ->
+      let ev =
+        merge_evidence rs
+          {
+            Wire.ev_txid = txid;
+            ev_regions = lock.Wire.regions_written;
+            ev_saw = Wire.saw_nothing ();
+            ev_payload = Some lock;
+          }
+      in
+      ev.Wire.ev_saw.Wire.saw_lock <- true;
+      ignore rid
+  | _ -> ());
+  Comms.reply_to reply Wire.Ack
+
+let on_request_vote st ~src ~cfg ~rid ~txid =
+  if cfg = st.State.config.Config.id then begin
+    let vote, regions =
+      match st.State.recovery with
+      | Some rs -> (
+          match Txid.Tbl.find_opt rs.State.rs_local txid with
+          | Some ev -> (vote_from_evidence ev, ev.Wire.ev_regions)
+          | None ->
+              if State.is_truncated st txid then (Wire.Vote_truncated, [])
+              else (Wire.Vote_unknown, []))
+      | None ->
+          if State.is_truncated st txid then (Wire.Vote_truncated, [])
+          else (Wire.Vote_unknown, [])
+    in
+    Comms.send st ~dst:src (Wire.Recovery_vote { cfg; rid; txid; regions; vote })
+  end
+
+let evidence_payload st txid =
+  match st.State.recovery with
+  | Some rs -> (
+      match Txid.Tbl.find_opt rs.State.rs_local txid with
+      | Some { Wire.ev_payload = Some p; _ } -> Some p
+      | _ -> None)
+  | None -> None
+
+(* COMMIT-RECOVERY: like COMMIT-PRIMARY at a primary (apply in place),
+   like COMMIT-BACKUP at a backup (just record it). *)
+let on_commit_recovery st ~reply ~cfg:_ ~txid =
+  Txid.Tbl.replace st.State.recovered_outcomes txid State.Committed;
+  (match st.State.recovery with
+  | Some rs -> (
+      match Txid.Tbl.find_opt rs.State.rs_local txid with
+      | Some ev -> ev.Wire.ev_saw.Wire.saw_commit_recovery <- true
+      | None -> ())
+  | None -> ());
+  (match evidence_payload st txid with
+  | Some p ->
+      List.iter
+        (fun (w : Wire.write_item) ->
+          match State.replica st w.Wire.addr.Addr.region with
+          | Some rep when rep.State.role = State.Primary ->
+              let applied = Objmem.apply_write rep w in
+              if applied && w.Wire.alloc_op = Wire.Alloc_clear then
+                Allocmgr.release_slot st rep ~off:w.Wire.addr.Addr.offset
+          | _ -> ())
+        p.Wire.writes;
+      Txid.Tbl.remove st.State.locks_held txid
+  | None -> ());
+  Comms.reply_to reply Wire.Ack
+
+let on_abort_recovery st ~reply ~cfg:_ ~txid =
+  Txid.Tbl.replace st.State.recovered_outcomes txid State.Aborted;
+  (match st.State.recovery with
+  | Some rs -> (
+      match Txid.Tbl.find_opt rs.State.rs_local txid with
+      | Some ev -> ev.Wire.ev_saw.Wire.saw_abort_recovery <- true
+      | None -> ())
+  | None -> ());
+  (* release exactly the locks this transaction holds here *)
+  (match Txid.Tbl.find_opt st.State.locks_held txid with
+  | Some writes ->
+      List.iter
+        (fun (w : Wire.write_item) ->
+          match State.replica st w.Wire.addr.Addr.region with
+          | Some rep -> Objmem.unlock rep w
+          | None -> ())
+        writes;
+      Txid.Tbl.remove st.State.locks_held txid
+  | None -> ());
+  Comms.reply_to reply Wire.Ack
+
+(* TRUNCATE-RECOVERY: backups apply the updates (like normal truncation),
+   then everyone drops the transaction's records. *)
+let on_truncate_recovery st ~cfg:_ ~txid =
+  (match Txid.Tbl.find_opt st.State.recovered_outcomes txid with
+  | Some State.Committed -> (
+      match evidence_payload st txid with
+      | Some p ->
+          List.iter
+            (fun (w : Wire.write_item) ->
+              match State.replica st w.Wire.addr.Addr.region with
+              | Some rep when rep.State.role = State.Backup ->
+                  ignore (Objmem.apply_write rep w)
+              | _ -> ())
+            p.Wire.writes
+      | None -> ())
+  | Some State.Aborted | None -> ());
+  (match Hashtbl.find_opt st.State.nv.logs_in txid.Txid.machine with
+  | Some log -> ignore (Ringlog.truncate log st.State.engine txid)
+  | None -> ());
+  State.mark_truncated st txid
+
+let on_fetch_tx_state st ~reply ~cfg ~rid ~txids =
+  let states =
+    match st.State.recovery with
+    | Some rs when rs.State.rs_cfg = cfg ->
+        List.filter_map
+          (fun txid ->
+            match Txid.Tbl.find_opt rs.State.rs_local txid with
+            | Some { Wire.ev_payload = Some p; _ } -> Some (txid, p)
+            | _ -> None)
+          txids
+    | _ -> []
+  in
+  Comms.reply_to reply (Wire.Send_tx_state { cfg; rid; states })

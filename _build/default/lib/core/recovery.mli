@@ -1,0 +1,61 @@
+
+(** Transaction state recovery (§5.3, Figure 6): drain logs, find
+    recovering transactions, lock recovery (after which regions re-activate
+    and normal transactions proceed in parallel), log-record replication,
+    voting, and the coordinator's decide step.
+
+    The vote rules: commit-primary if any replica saw COMMIT-PRIMARY or
+    COMMIT-RECOVERY; else commit-backup if any saw COMMIT-BACKUP and none
+    saw ABORT-RECOVERY; else lock if any saw LOCK and no ABORT-RECOVERY;
+    else abort. The coordinator commits on any commit-primary vote, or when
+    all written regions voted and at least one said commit-backup with the
+    rest in {lock, commit-backup, truncated}. *)
+
+val on_config_commit : State.t -> unit
+(** Start recovery for the just-committed configuration (spawned from the
+    NEW-CONFIG-COMMIT handler). *)
+
+val vote_from_evidence : Wire.tx_evidence -> Wire.vote
+
+val coordinator_for : State.t -> Txid.t -> int
+(** The transaction's original coordinator if still a member, else the
+    consistent-hash replacement every primary agrees on. *)
+
+val merge_evidence : State.recovery_state -> Wire.tx_evidence -> Wire.tx_evidence
+
+(** {1 Message handlers (wired by Node)} *)
+
+val on_need_recovery :
+  State.t -> src:int -> cfg:int -> rid:int -> txs:Wire.tx_evidence list -> unit
+
+val on_vote :
+  State.t -> cfg:int -> rid:int -> txid:Txid.t -> regions:int list -> vote:Wire.vote -> unit
+
+val on_request_vote : State.t -> src:int -> cfg:int -> rid:int -> txid:Txid.t -> unit
+
+val on_replicate_tx_state :
+  State.t ->
+  reply:(bytes:int -> Wire.message -> unit) ->
+  cfg:int ->
+  rid:int ->
+  txid:Txid.t ->
+  lock:Wire.lock_payload ->
+  unit
+
+val on_commit_recovery :
+  State.t -> reply:(bytes:int -> Wire.message -> unit) -> cfg:int -> txid:Txid.t -> unit
+(** Processed like COMMIT-PRIMARY at a primary (apply in place), like
+    COMMIT-BACKUP at a backup. *)
+
+val on_abort_recovery :
+  State.t -> reply:(bytes:int -> Wire.message -> unit) -> cfg:int -> txid:Txid.t -> unit
+
+val on_truncate_recovery : State.t -> cfg:int -> txid:Txid.t -> unit
+
+val on_fetch_tx_state :
+  State.t ->
+  reply:(bytes:int -> Wire.message -> unit) ->
+  cfg:int ->
+  rid:int ->
+  txids:Txid.t list ->
+  unit

@@ -1,0 +1,235 @@
+open Farm_sim
+
+(** Shared mutable state of one FaRM machine.
+
+    All protocol modules ({!Commit}, {!Logproc}, {!Lease}, {!Cm},
+    {!Recovery}, {!Datarec}, {!Allocmgr}) operate on this record; {!Node}
+    wires message dispatch; {!Cluster} builds the fleet.
+
+    State splits between process state, which dies with the machine
+    (caches, coordinator tables, leases, configuration), and NVRAM state
+    ([nv]), owned by the cluster harness and surviving crashes: region
+    replicas, block headers, and incoming ring logs. *)
+
+type role = Primary | Backup
+
+type replica = {
+  rid : int;
+  mem : Bytes.t;  (** the region bytes, in NVRAM *)
+  mutable role : role;
+  mutable active : bool;
+      (** false while blocked for lock recovery (§5.3 step 1) *)
+  mutable active_wait : unit Ivar.t;
+  block_headers : (int, int) Hashtbl.t;
+      (** block index -> object size; replicated in NVRAM (§5.5) *)
+  free_lists : (int, int list ref) Hashtbl.t;
+      (** primary-only, volatile: object size -> free offsets *)
+  free_set : (int, unit) Hashtbl.t;
+      (** membership mirror: an offset is listed at most once *)
+  mutable next_free_block : int;
+  mutable free_lists_valid : bool;
+      (** false on a new primary until the recovery scan finishes *)
+  mutable fresh_backup : bool;
+      (** zeroed replica awaiting bulk data recovery (§5.4) *)
+}
+
+type nvstate = {
+  bank : Farm_nvram.Bank.t;
+  replicas : (int, replica) Hashtbl.t;
+  logs_in : (int, Ringlog.t) Hashtbl.t;  (** sender -> log stored here *)
+}
+
+(** {1 Coordinator wait-states} *)
+
+type lock_wait = {
+  mutable lw_awaiting : int;
+  mutable lw_ok : bool;
+  lw_done : unit Ivar.t;
+}
+
+type outcome = Committed | Aborted
+
+type tx_live = {
+  lt_txid : Txid.t;
+  lt_written_regions : int list;
+  lt_read_regions : int list;
+  lt_outcome : outcome Ivar.t;  (** filled by recovery when it takes over *)
+  mutable lt_recovering : bool;
+}
+
+type trunc_track = { mutable low : int; above : (int, unit) Hashtbl.t }
+(** Truncation tracking per coordinator thread: a low bound plus the set of
+    truncated local ids above it (§5.3 step 6). *)
+
+type rec_coord = {
+  rc_txid : Txid.t;
+  mutable rc_votes : (int * Wire.vote) list;
+  mutable rc_regions : int list;
+  mutable rc_decided : bool;
+  rc_created : Time.t;
+}
+(** Recovery-coordinator state for one recovering transaction. *)
+
+type recovery_state = {
+  rs_cfg : int;
+  mutable rs_drained : bool;
+  rs_local : Wire.tx_evidence Txid.Tbl.t;
+  rs_need_recovery : (int, int list ref) Hashtbl.t;
+  rs_region_txs : (int, Txid.Set.t ref) Hashtbl.t;
+  rs_backup_has : (int * int, Txid.Set.t ref) Hashtbl.t;
+  mutable rs_regions_active_sent : bool;
+  mutable rs_all_active : bool;
+}
+(** Per-configuration-change recovery state (§5.3). *)
+
+type lease_impl = Rpc_shared | Ud_shared | Ud_thread | Ud_thread_pri
+(** The four lease-manager implementations of Figure 16. *)
+
+type lease_state = {
+  mutable impl : lease_impl;
+  mutable last_grant_from_cm : Time.t;  (** last grant from my grantor *)
+  mutable expiry_events : int;
+  mutable suspended_until : Time.t;
+  mutable cm_suspected : bool;
+  peer_leases : (int, Time.t) Hashtbl.t;
+      (** grantor side for group leaders in the two-level hierarchy *)
+  mutable grantor_messages : int;
+}
+
+type cm_state = {
+  mutable next_rid : int;
+  owners : (int, Wire.region_info) Hashtbl.t;  (** authoritative region map *)
+  cm_leases : (int, Time.t) Hashtbl.t;
+  mutable regions_active_from : int list;
+  mutable all_active_sent : bool;
+  mutable ack_pending : (int * int list ref * unit Ivar.t) option;
+  mutable pending_data_recovery : int;
+}
+
+type metrics = {
+  committed : Stats.Counter.t;
+  aborted : Stats.Counter.t;
+  abort_reasons : int array;
+  commit_latency : Stats.Hist.t;
+  tx_latency : Stats.Hist.t;
+  throughput : Stats.Series.t;
+  lockfree_reads : Stats.Counter.t;
+  recovered_txs : Stats.Counter.t;
+}
+
+type commit_phase =
+  | Before_lock
+  | After_lock
+  | After_validate
+  | After_commit_backup
+  | After_commit_primary
+  | After_truncate
+      (** Hook points for the failure-injection tests. *)
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  rng : Rng.t;
+  params : Params.t;
+  fabric : Wire.message Farm_net.Fabric.t;
+  zk : Config.t Farm_coord.Zk.t;
+  cpu : Cpu.t;
+  nv : nvstate;
+  mutable ctx : Proc.Ctx.t;
+  mutable alive : bool;
+  mutable config : Config.t;
+  mutable region_map : (int, Wire.region_info) Hashtbl.t;  (** mapping cache *)
+  mutable last_drained : int;
+  mutable blocked : bool;  (** external client requests blocked *)
+  logs_out : (int, Ringlog.t) Hashtbl.t;  (** sender views of remote logs *)
+  pollers : (int, bool ref) Hashtbl.t;
+  spill : (int, int) Hashtbl.t;
+      (** full region -> co-located overflow region for allocation *)
+  next_local : int array;
+  outstanding : (int, Txid.Set.t ref) Hashtbl.t;
+  pending_lock : lock_wait Txid.Tbl.t;
+  active_txs : tx_live Txid.Tbl.t;
+  locks_held : Wire.write_item list Txid.Tbl.t;
+      (** primary-side lock ownership: the ABORT path must release exactly
+          the locks its transaction took *)
+  pending_trunc : (int, Txid.t list ref) Hashtbl.t;
+  truncated : (int * int, trunc_track) Hashtbl.t;
+  mutable inflight : int;
+  mutable inflight_blocked : int;
+  deferred_trunc : (int, Txid.Set.t ref) Hashtbl.t;
+  mutable recovery : recovery_state option;
+  rec_coords : rec_coord Txid.Tbl.t;
+  recovered_outcomes : outcome Txid.Tbl.t;
+  lease : lease_state;
+  mutable cm : cm_state option;
+  mutable reconfig_active : bool;
+  pending_suspects : (int, unit) Hashtbl.t;
+  metrics : metrics;
+  directory : (int, t) Hashtbl.t;
+      (** the cluster's "memory bus": one-sided operations reach remote
+          replicas through it without touching the remote CPU *)
+  mutable on_suspect : int list -> unit;
+  mutable app_handler : (tag:int -> args:int array -> bool) option;
+  mutable phase_hook : (commit_phase -> Txid.t -> unit) option;
+  mutable trace : string -> unit;
+}
+
+val create_metrics : unit -> metrics
+
+val create :
+  id:int ->
+  engine:Engine.t ->
+  rng:Rng.t ->
+  params:Params.t ->
+  fabric:Wire.message Farm_net.Fabric.t ->
+  zk:Config.t Farm_coord.Zk.t ->
+  cpu:Cpu.t ->
+  nv:nvstate ->
+  config:Config.t ->
+  directory:(int, t) Hashtbl.t ->
+  t
+
+val now : t -> Time.t
+val is_cm : t -> bool
+val ensure_cm : t -> cm_state
+val peer : t -> int -> t option
+
+(** {1 Replicas and regions} *)
+
+val add_replica : t -> rid:int -> role:role -> replica
+(** Create (or find) the local replica record, backed by zeroed NVRAM. *)
+
+val region_info : t -> int -> Wire.region_info option
+val primary_of : t -> int -> int option
+val replica : t -> int -> replica option
+val replica_exn : t -> int -> replica
+
+val await_active : replica -> unit
+(** Block until lock recovery re-activates the region (§5.3 step 4). *)
+
+val set_active : replica -> unit
+val set_inactive : replica -> unit
+
+(** {1 Logs and transactions} *)
+
+val log_to : t -> int -> Ringlog.t
+
+val fresh_txid : t -> thread:int -> Txid.t
+val low_bound : t -> thread:int -> int
+val forget_outstanding : t -> Txid.t -> unit
+
+(** {1 Truncation tracking} *)
+
+val trunc_track : t -> coord:int * int -> trunc_track
+val mark_truncated : t -> Txid.t -> unit
+val update_low_bound : t -> coord:int * int -> int -> unit
+val is_truncated : t -> Txid.t -> bool
+
+val queue_truncation : t -> dst:int -> Txid.t -> unit
+val take_truncations : t -> dst:int -> Txid.t list
+
+(** {1 Metrics and hooks} *)
+
+val record_commit : t -> latency:Time.t -> unit
+val record_abort : t -> unit
+val phase : t -> commit_phase -> Txid.t -> unit

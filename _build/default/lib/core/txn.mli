@@ -1,0 +1,77 @@
+open Farm_sim
+
+(** Transaction execution phase (§3, §4).
+
+    Reads go to primaries — one-sided RDMA when remote, local memory access
+    otherwise — and record the version of every object they touch; writes
+    (and allocations/frees) are buffered at the coordinator until
+    {!Commit.commit}. *)
+
+type abort_reason =
+  | Conflict  (** lock or validation failure: a concurrent writer won *)
+  | Not_allocated  (** the object was freed *)
+  | Out_of_space
+  | Failed  (** unresolvable machine failures; recovery aborted the tx *)
+  | Explicit  (** the application called {!Api.abort} *)
+
+val pp_abort : Format.formatter -> abort_reason -> unit
+
+exception Abort of abort_reason
+
+type read_entry = { r_version : int; r_value : bytes }
+
+type write_entry = {
+  w_version : int;
+  mutable w_value : bytes;
+  mutable w_alloc : Wire.alloc_op;
+}
+
+type t = {
+  st : State.t;
+  thread : int;
+  t_started : Time.t;
+  mutable reads : read_entry Addr.Map.t;
+  mutable writes : write_entry Addr.Map.t;
+  mutable allocated : (Addr.t * int) list;
+  mutable finished : bool;
+}
+
+val begin_tx : State.t -> thread:int -> t
+
+val read : t -> Addr.t -> len:int -> Bytes.t
+(** Read [len] data bytes of an object. Atomic per object; successive
+    reads return the same data; reads of objects written by this
+    transaction return the buffered value. Raises {!Abort} on conflicts
+    that cannot resolve, on freed objects, and on unrecoverable failures. *)
+
+val write : t -> Addr.t -> Bytes.t -> unit
+(** Buffer a write. The object's observed version (fetched if it was not
+    read first) becomes the lock target at commit. *)
+
+val alloc : t -> size:int -> ?near:Addr.t -> ?region:int -> unit -> Addr.t
+(** Allocate an object. The slot is tentatively taken from the primary's
+    slab free list during execution, but its allocation bit is only set at
+    commit, so aborts and crashes leak nothing (§5.5). [near] places the
+    object in the same region as an existing one (locality hint). *)
+
+val free : t -> Addr.t -> unit
+(** Free an object at commit. Freeing an object allocated by this same
+    transaction cancels both operations. *)
+
+val return_allocations : t -> unit
+(** Return tentatively allocated slots after an abort. *)
+
+val read_lockfree : State.t -> Addr.t -> len:int -> int * Bytes.t
+(** Single-object lock-free read: returns (version, data). *)
+
+(** {1 Internals shared with Commit and the harness} *)
+
+val ensure_mapping : State.t -> int -> retries:int -> Wire.region_info option
+(** Cached region-to-replicas mapping, fetched from the CM on miss. *)
+
+val invalidate_mapping : State.t -> int -> unit
+
+val read_versioned : State.t -> addr:Addr.t -> len:int -> int * Bytes.t
+
+(** Versioned read with retries across lock conflicts and
+    reconfigurations. *)

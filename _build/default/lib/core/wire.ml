@@ -1,0 +1,208 @@
+(* All log-record types (Table 1) and message types (Table 2) of the FaRM
+   transaction protocol, plus the reconfiguration, lease, region-management
+   and allocator messages described in §3 and §5. *)
+
+type alloc_op = Alloc_none | Alloc_set | Alloc_clear
+
+type write_item = {
+  addr : Addr.t;
+  version : int;  (* version observed at read; the lock target *)
+  value : bytes;  (* new object data *)
+  alloc_op : alloc_op;
+}
+
+(* Payload shared by LOCK and COMMIT-BACKUP records: transaction id, the ids
+   of all regions written by the transaction, and the written objects the
+   destination holds a replica of. *)
+type lock_payload = {
+  txid : Txid.t;
+  regions_written : int list;
+  writes : write_item list;
+}
+
+type record =
+  | Lock of lock_payload
+  | Commit_backup of lock_payload
+  | Commit_primary of Txid.t
+  | Abort of Txid.t
+  | Truncate_marker
+
+(* Every log record piggybacks the writer thread's truncation information:
+   identifiers to truncate and the low bound on its non-truncated
+   transaction ids. *)
+type log_record = {
+  payload : record;
+  truncations : Txid.t list;
+  low_bound : int;
+  cfg : int;  (* configuration in which the record was written *)
+}
+
+(* What record types a replica has seen for a recovering transaction; the
+   evidence that drives the voting rules of §5.3 step 6. *)
+type saw = {
+  mutable saw_lock : bool;
+  mutable saw_commit_backup : bool;
+  mutable saw_commit_primary : bool;
+  mutable saw_abort : bool;
+  mutable saw_commit_recovery : bool;
+  mutable saw_abort_recovery : bool;
+}
+
+let saw_nothing () =
+  {
+    saw_lock = false;
+    saw_commit_backup = false;
+    saw_commit_primary = false;
+    saw_abort = false;
+    saw_commit_recovery = false;
+    saw_abort_recovery = false;
+  }
+
+type tx_evidence = {
+  ev_txid : Txid.t;
+  ev_regions : int list;  (* regions written by the transaction *)
+  ev_saw : saw;
+  ev_payload : lock_payload option;  (* lock-record contents, if held *)
+}
+
+type vote =
+  | Vote_commit_primary
+  | Vote_commit_backup
+  | Vote_lock
+  | Vote_abort
+  | Vote_truncated
+  | Vote_unknown
+
+let pp_vote ppf v =
+  Fmt.string ppf
+    (match v with
+    | Vote_commit_primary -> "commit-primary"
+    | Vote_commit_backup -> "commit-backup"
+    | Vote_lock -> "lock"
+    | Vote_abort -> "abort"
+    | Vote_truncated -> "truncated"
+    | Vote_unknown -> "unknown")
+
+type region_info = {
+  rid : int;
+  primary : int;
+  backups : int list;
+  last_primary_change : int;  (* configuration id *)
+  last_replica_change : int;
+  critical : bool;
+      (* the region is down to a single surviving replica: data recovery
+         for it runs aggressively instead of paced (§6.4) *)
+}
+
+type message =
+  (* normal-case transaction protocol *)
+  | Lock_reply of { txid : Txid.t; ok : bool; cfg : int }
+  | Validate_req of { txid : Txid.t; items : (Addr.t * int) list }
+  | Validate_reply of { txid : Txid.t; ok : bool }
+  (* transaction state recovery (Table 2) *)
+  | Need_recovery of { cfg : int; rid : int; txs : tx_evidence list }
+  | Fetch_tx_state of { cfg : int; rid : int; txids : Txid.t list }
+  | Send_tx_state of { cfg : int; rid : int; states : (Txid.t * lock_payload) list }
+  | Replicate_tx_state of { cfg : int; rid : int; txid : Txid.t; lock : lock_payload }
+  | Recovery_vote of {
+      cfg : int;
+      rid : int;
+      txid : Txid.t;
+      regions : int list;
+      vote : vote;
+    }
+  | Request_vote of { cfg : int; rid : int; txid : Txid.t }
+  | Commit_recovery of { cfg : int; txid : Txid.t }
+  | Abort_recovery of { cfg : int; txid : Txid.t }
+  | Truncate_recovery of { cfg : int; txid : Txid.t }
+  (* reconfiguration (§5.2) *)
+  | Suspect_req of { cfg : int; suspect : int }
+  | New_config of {
+      config : Config.t;
+      regions : region_info list;
+      cm_changed : bool;
+    }
+  | New_config_ack of { cfg : int }
+  | New_config_commit of { cfg : int }
+  | Regions_active of { cfg : int }
+  | All_regions_active of { cfg : int }
+  | Region_recovered of { cfg : int; rid : int }
+  (* leases (§5.1): a lease is an interval starting when the granter sent
+     it, so grants carry their send time — a grant that sat in a shared
+     queue arrives already stale *)
+  | Lease_request of { cfg : int; sent_ns : int }
+  | Lease_grant_and_request of { cfg : int; sent_ns : int }
+  | Lease_grant of { cfg : int; sent_ns : int }
+  (* region allocation (§3) *)
+  | Alloc_region_req of { locality : int option }
+  | Alloc_region_reply of { info : region_info option }
+  | Prepare_region of { info : region_info }
+  | Prepare_region_ack of { rid : int; ok : bool }
+  | Commit_region of { info : region_info }
+  | Fetch_mapping of { rid : int }
+  | Mapping_reply of { info : region_info option }
+  (* allocator (§5.5) *)
+  | Block_header of { rid : int; block : int; obj_size : int }
+  | Block_headers_sync of { rid : int; headers : (int * int) list }
+  | Alloc_obj_req of { rid : int; size : int }
+  | Alloc_obj_reply of { addr : Addr.t option; version : int }
+  | Free_slot_hint of { addr : Addr.t }
+  (* application-level function shipping (the TATP single-field-update
+     optimization of §6.2 ships the update to the object's primary) *)
+  | App_call of { tag : int; args : int array }
+  | App_reply of { ok : bool }
+  (* generic *)
+  | Ack
+  | Nack
+
+(* Wire-size estimates for the NIC cost model. *)
+
+let write_item_bytes w = 12 + 8 + Bytes.length w.value + 2
+
+let lock_payload_bytes p =
+  16 + (4 * List.length p.regions_written)
+  + List.fold_left (fun acc w -> acc + write_item_bytes w) 0 p.writes
+
+let record_bytes r =
+  let base =
+    match r.payload with
+    | Lock p | Commit_backup p -> 16 + lock_payload_bytes p
+    | Commit_primary _ -> 32
+    | Abort _ -> 32
+    | Truncate_marker -> 24
+  in
+  base + (16 * List.length r.truncations) + 8
+
+let evidence_bytes e =
+  24
+  + (4 * List.length e.ev_regions)
+  + (match e.ev_payload with Some p -> lock_payload_bytes p | None -> 0)
+
+let message_bytes = function
+  | Lock_reply _ -> 32
+  | Validate_req { items; _ } -> 24 + (20 * List.length items)
+  | Validate_reply _ -> 32
+  | Need_recovery { txs; _ } ->
+      24 + List.fold_left (fun acc e -> acc + evidence_bytes e) 0 txs
+  | Fetch_tx_state { txids; _ } -> 24 + (16 * List.length txids)
+  | Send_tx_state { states; _ } ->
+      24 + List.fold_left (fun acc (_, p) -> acc + 16 + lock_payload_bytes p) 0 states
+  | Replicate_tx_state { lock; _ } -> 40 + lock_payload_bytes lock
+  | Recovery_vote { regions; _ } -> 40 + (4 * List.length regions)
+  | Request_vote _ -> 32
+  | Commit_recovery _ | Abort_recovery _ | Truncate_recovery _ -> 28
+  | Suspect_req _ -> 16
+  | New_config { config; regions; _ } ->
+      64 + (12 * Config.size config) + (32 * List.length regions)
+  | New_config_ack _ | New_config_commit _ -> 16
+  | Regions_active _ | All_regions_active _ | Region_recovered _ -> 16
+  | Lease_request _ | Lease_grant_and_request _ | Lease_grant _ -> 16
+  | Alloc_region_req _ | Alloc_region_reply _ -> 48
+  | Prepare_region _ | Prepare_region_ack _ | Commit_region _ -> 48
+  | Fetch_mapping _ | Mapping_reply _ -> 48
+  | Block_header _ -> 24
+  | Block_headers_sync { headers; _ } -> 16 + (8 * List.length headers)
+  | Alloc_obj_req _ | Alloc_obj_reply _ | Free_slot_hint _ -> 32
+  | App_call { args; _ } -> 16 + (8 * Array.length args)
+  | App_reply _ -> 16
+  | Ack | Nack -> 8

@@ -1,0 +1,1 @@
+lib/kv/btree.ml: Addr Api Array Bytes Codec Farm_core Fmt Hashtbl List State Txn

@@ -1,0 +1,1 @@
+lib/kv/btree.mli: Addr Bytes Farm_core Hashtbl State Txn

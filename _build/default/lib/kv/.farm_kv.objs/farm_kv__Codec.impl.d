@@ -1,0 +1,1 @@
+lib/kv/codec.ml: Addr Bytes Char Farm_core Int64

@@ -1,0 +1,1 @@
+lib/kv/codec.mli: Addr Bytes Farm_core

@@ -1,0 +1,1 @@
+lib/kv/hashtable.ml: Addr Api Array Bytes Codec Farm_core Fmt Txn

@@ -1,0 +1,1 @@
+lib/kv/hashtable.mli: Addr Bytes Farm_core State Txn

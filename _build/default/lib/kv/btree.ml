@@ -1,0 +1,429 @@
+open Farm_core
+
+(* The FaRM B-tree (§6.2): integer keys, word-sized values (typically an
+   encoded address), fence keys for consistent traversals (as in Minuet),
+   and per-machine caching of internal nodes so that a lookup usually needs
+   a single RDMA read (the leaf).
+
+   Writes (inserts, deletes, splits) run entirely inside the enclosing FaRM
+   transaction with real reads of every node they touch, so OCC versioning
+   makes structure modifications strictly serializable. Read-only
+   traversals may navigate via cached internal nodes; the leaf's fence keys
+   are checked and a mismatch (a split raced the cache) invalidates the
+   cache and retries with real reads. Interior nodes are never freed
+   (deletes do not rebalance), so stale cached pointers always reach a
+   valid node.
+
+   Node layout (data bytes):
+     0   kind (0 = leaf, 1 = internal)
+     8   nkeys
+     16  fence_lo (inclusive)       24  fence_hi (exclusive)
+     32  keys[fanout]
+     internal: 32+8F children[fanout+1]
+     leaf:     32+8F values[fanout], then next-leaf address            *)
+
+type t = {
+  root_ptr : Addr.t;  (* object holding the encoded root address *)
+  regions : int array;
+  fanout : int;
+  cache : (int * int, Bytes.t) Hashtbl.t;  (* (machine, encoded addr) -> node *)
+}
+
+type node = {
+  leaf : bool;
+  lo : int;
+  hi : int;
+  keys : int array;  (* length nkeys *)
+  slots : int array;  (* children (nkeys+1) for internal; values (nkeys) for leaf *)
+  next : Addr.t option;  (* leaf chain *)
+}
+
+let node_data_size t = 32 + (8 * t.fanout) + (8 * (t.fanout + 1)) + 8
+
+let parse t data =
+  let leaf = Codec.get_int data 0 = 0 in
+  let n = Codec.get_int data 8 in
+  if n < 0 || n > t.fanout + 1 then
+    Fmt.failwith "Btree.parse: corrupt node (kind=%d nkeys=%d lo=%d hi=%d)"
+      (Codec.get_int data 0) n (Codec.get_int data 16) (Codec.get_int data 24);
+  let lo = Codec.get_int data 16 and hi = Codec.get_int data 24 in
+  let keys = Array.init n (fun i -> Codec.get_int data (32 + (8 * i))) in
+  let base = 32 + (8 * t.fanout) in
+  let slots =
+    if leaf then Array.init n (fun i -> Codec.get_int data (base + (8 * i)))
+    else Array.init (n + 1) (fun i -> Codec.get_int data (base + (8 * i)))
+  in
+  let next = if leaf then Codec.get_addr data (base + (8 * t.fanout)) else None in
+  { leaf; lo; hi; keys; slots; next }
+
+let serialize t (nd : node) =
+  let data = Bytes.make (node_data_size t) '\000' in
+  Codec.set_int data 0 (if nd.leaf then 0 else 1);
+  Codec.set_int data 8 (Array.length nd.keys);
+  Codec.set_int data 16 nd.lo;
+  Codec.set_int data 24 nd.hi;
+  Array.iteri (fun i k -> Codec.set_int data (32 + (8 * i)) k) nd.keys;
+  let base = 32 + (8 * t.fanout) in
+  Array.iteri (fun i v -> Codec.set_int data (base + (8 * i)) v) nd.slots;
+  if nd.leaf then Codec.set_addr data (base + (8 * t.fanout)) nd.next;
+  data
+
+let create st ~thread ~regions ?(fanout = 14) () =
+  if Array.length regions = 0 then invalid_arg "Btree.create";
+  let t =
+    {
+      root_ptr = Addr.make ~region:0 ~offset:0;
+      regions;
+      fanout;
+      cache = Hashtbl.create 1024;
+    }
+  in
+  let root_ptr =
+    match
+      Api.run_retry st ~thread (fun tx ->
+          let leaf_addr = Txn.alloc tx ~size:(node_data_size t) ~region:regions.(0) () in
+          let empty =
+            { leaf = true; lo = min_int; hi = max_int; keys = [||]; slots = [||]; next = None }
+          in
+          Txn.write tx leaf_addr (serialize t empty);
+          let rp = Txn.alloc tx ~size:8 ~region:regions.(0) () in
+          let b = Bytes.create 8 in
+          Codec.set_int b 0 (Codec.encode_addr leaf_addr);
+          Txn.write tx rp b;
+          rp)
+    with
+    | Ok rp -> rp
+    | Error e -> Fmt.failwith "Btree.create: %a" Txn.pp_abort e
+  in
+  { t with root_ptr }
+
+let read_root tx t =
+  match Codec.get_addr (Txn.read tx t.root_ptr ~len:8) 0 with
+  | Some a -> a
+  | None -> failwith "Btree: null root"
+
+(* {1 Transactional reads (real reads; populate the cache)} *)
+
+let read_node tx t addr =
+  let data = Txn.read tx addr ~len:(node_data_size t) in
+  Hashtbl.replace t.cache (tx.Txn.st.State.id, Codec.encode_addr addr) (Bytes.copy data);
+  try parse t data
+  with Failure msg -> Fmt.failwith "%s at %a" msg Addr.pp addr
+
+let child_for nd key =
+  let n = Array.length nd.keys in
+  let rec go i = if i < n && key >= nd.keys.(i) then go (i + 1) else i in
+  go 0
+
+let rec descend tx t addr key =
+  let nd = read_node tx t addr in
+  if nd.leaf then (addr, nd)
+  else
+    match Codec.decode_addr nd.slots.(child_for nd key) with
+    | Some child -> descend tx t child key
+    | None -> failwith "Btree: null child"
+
+let find tx t key =
+  let _, leaf = descend tx t (read_root tx t) key in
+  let rec go i =
+    if i >= Array.length leaf.keys then None
+    else if leaf.keys.(i) = key then Some leaf.slots.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* {1 Inserts with splits} *)
+
+let array_insert a i v =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then v else a.(j - 1))
+
+(* Returns the promoted separator and new right sibling when the node
+   split. *)
+let rec insert_at tx t addr key value : (int * Addr.t) option =
+  let nd = read_node tx t addr in
+  if nd.leaf then begin
+    let pos =
+      let rec go i =
+        if i < Array.length nd.keys && nd.keys.(i) < key then go (i + 1) else i
+      in
+      go 0
+    in
+    if pos < Array.length nd.keys && nd.keys.(pos) = key then begin
+      (* update in place *)
+      let slots = Array.copy nd.slots in
+      slots.(pos) <- value;
+      Txn.write tx addr (serialize t { nd with slots });
+      None
+    end
+    else begin
+      let keys = array_insert nd.keys pos key in
+      let slots = array_insert nd.slots pos value in
+      if Array.length keys <= t.fanout then begin
+        Txn.write tx addr (serialize t { nd with keys; slots });
+        None
+      end
+      else begin
+        (* split the leaf; the separator is the right half's first key *)
+        let mid = Array.length keys / 2 in
+        let sep = keys.(mid) in
+        let right_addr = Txn.alloc tx ~size:(node_data_size t) ~near:addr () in
+        let right =
+          {
+            leaf = true;
+            lo = sep;
+            hi = nd.hi;
+            keys = Array.sub keys mid (Array.length keys - mid);
+            slots = Array.sub slots mid (Array.length slots - mid);
+            next = nd.next;
+          }
+        in
+        let left =
+          {
+            nd with
+            hi = sep;
+            keys = Array.sub keys 0 mid;
+            slots = Array.sub slots 0 mid;
+            next = Some right_addr;
+          }
+        in
+        Txn.write tx right_addr (serialize t right);
+        Txn.write tx addr (serialize t left);
+        Some (sep, right_addr)
+      end
+    end
+  end
+  else begin
+    let ci = child_for nd key in
+    match Codec.decode_addr nd.slots.(ci) with
+    | None -> failwith "Btree: null child"
+    | Some child -> (
+        match insert_at tx t child key value with
+        | None -> None
+        | Some (sep, right_addr) ->
+            let keys = array_insert nd.keys ci sep in
+            let slots = array_insert nd.slots (ci + 1) (Codec.encode_addr right_addr) in
+            if Array.length keys <= t.fanout then begin
+              Txn.write tx addr (serialize t { nd with keys; slots });
+              None
+            end
+            else begin
+              let mid = Array.length keys / 2 in
+              let sep' = keys.(mid) in
+              let right_addr' = Txn.alloc tx ~size:(node_data_size t) ~near:addr () in
+              let right =
+                {
+                  leaf = false;
+                  lo = sep';
+                  hi = nd.hi;
+                  keys = Array.sub keys (mid + 1) (Array.length keys - mid - 1);
+                  slots = Array.sub slots (mid + 1) (Array.length slots - mid - 1);
+                  next = None;
+                }
+              in
+              let left =
+                {
+                  nd with
+                  hi = sep';
+                  keys = Array.sub keys 0 mid;
+                  slots = Array.sub slots 0 (mid + 1);
+                }
+              in
+              Txn.write tx right_addr' (serialize t right);
+              Txn.write tx addr (serialize t left);
+              Some (sep', right_addr')
+            end)
+  end
+
+let insert tx t key value =
+  let root = read_root tx t in
+  match insert_at tx t root key value with
+  | None -> ()
+  | Some (sep, right_addr) ->
+      (* grow the tree: a new root over the two halves *)
+      let new_root_addr = Txn.alloc tx ~size:(node_data_size t) ~near:root () in
+      let new_root =
+        {
+          leaf = false;
+          lo = min_int;
+          hi = max_int;
+          keys = [| sep |];
+          slots = [| Codec.encode_addr root; Codec.encode_addr right_addr |];
+          next = None;
+        }
+      in
+      Txn.write tx new_root_addr (serialize t new_root);
+      let b = Bytes.create 8 in
+      Codec.set_int b 0 (Codec.encode_addr new_root_addr);
+      Txn.write tx t.root_ptr b
+
+(* Delete a key from its leaf (no rebalancing: interior nodes are never
+   freed, which keeps stale cached pointers safe). Returns whether the key
+   was present. *)
+let delete tx t key =
+  let addr, leaf = descend tx t (read_root tx t) key in
+  let n = Array.length leaf.keys in
+  let rec pos i = if i >= n then None else if leaf.keys.(i) = key then Some i else pos (i + 1) in
+  match pos 0 with
+  | None -> false
+  | Some i ->
+      let keys = Array.init (n - 1) (fun j -> if j < i then leaf.keys.(j) else leaf.keys.(j + 1)) in
+      let slots = Array.init (n - 1) (fun j -> if j < i then leaf.slots.(j) else leaf.slots.(j + 1)) in
+      Txn.write tx addr (serialize t { leaf with keys; slots });
+      true
+
+(* Range scan over [lo, hi] inclusive, following the leaf chain. *)
+let range tx t ~lo ~hi =
+  let _, leaf0 = descend tx t (read_root tx t) lo in
+  let rec walk (leaf : node) acc =
+    let acc = ref acc in
+    let overflow = ref false in
+    Array.iteri
+      (fun i k ->
+        if k >= lo && k <= hi then acc := (k, leaf.slots.(i)) :: !acc
+        else if k > hi then overflow := true)
+      leaf.keys;
+    if !overflow then List.rev !acc
+    else
+      match leaf.next with
+      | Some next when leaf.hi <= hi -> walk (read_node tx t next) !acc
+      | _ -> List.rev !acc
+  in
+  walk leaf0 []
+
+(* {1 Structural invariants} — used by the test-suite: walks the whole
+   tree inside a transaction and checks fence keys, key ordering, and the
+   leaf chain. *)
+
+let check_invariants tx t =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  let rec walk addr ~lo ~hi ~depth =
+    if depth > 32 then err "tree too deep (cycle?)"
+    else begin
+      let nd = read_node tx t addr in
+      if nd.lo <> lo then err "node %a fence_lo %d <> expected %d" Addr.pp addr nd.lo lo;
+      if nd.hi <> hi then err "node %a fence_hi %d <> expected %d" Addr.pp addr nd.hi hi;
+      Array.iteri
+        (fun i k ->
+          if k < lo || k >= hi then err "key %d outside fences at %a" k Addr.pp addr;
+          if i > 0 && nd.keys.(i - 1) >= k then err "keys unsorted at %a" Addr.pp addr)
+        nd.keys;
+      if not nd.leaf then begin
+        if Array.length nd.slots <> Array.length nd.keys + 1 then
+          err "internal arity mismatch at %a" Addr.pp addr;
+        Array.iteri
+          (fun i child ->
+            let clo = if i = 0 then lo else nd.keys.(i - 1) in
+            let chi = if i = Array.length nd.keys then hi else nd.keys.(i) in
+            match Codec.decode_addr child with
+            | Some c -> walk c ~lo:clo ~hi:chi ~depth:(depth + 1)
+            | None -> err "null child at %a" Addr.pp addr)
+          nd.slots
+      end
+    end
+  in
+  walk (read_root tx t) ~lo:min_int ~hi:max_int ~depth:0;
+  (* the leaf chain visits every key in order *)
+  let rec leftmost addr =
+    let nd = read_node tx t addr in
+    if nd.leaf then (addr, nd)
+    else
+      match Codec.decode_addr nd.slots.(0) with
+      | Some c -> leftmost c
+      | None -> (addr, nd)
+  in
+  let _, first = leftmost (read_root tx t) in
+  let rec chain (nd : node) prev count =
+    let prev =
+      Array.fold_left
+        (fun prev k ->
+          if k <= prev then err "leaf chain unsorted (%d after %d)" k prev;
+          k)
+        prev nd.keys
+    in
+    let count = count + Array.length nd.keys in
+    match nd.next with
+    | Some next when count < 1_000_000 -> chain (read_node tx t next) prev count
+    | _ -> count
+  in
+  let total = chain first min_int 0 in
+  (List.rev !errors, total)
+
+(* {1 Cached lookups} *)
+
+let cached_node st t addr = Hashtbl.find_opt t.cache (st.State.id, Codec.encode_addr addr)
+
+let invalidate st t =
+  Hashtbl.iter
+    (fun (m, a) _ -> if m = st.State.id then Hashtbl.remove t.cache (m, a))
+    (Hashtbl.copy t.cache)
+
+(* Lock-free point lookup: navigate cached internal nodes, read the leaf
+   with one RDMA read, and check its fence keys; on a miss or fence
+   violation, fall back to a transactional lookup that refreshes the
+   cache. *)
+let lookup_lockfree st t key =
+  let fallback () =
+    invalidate st t;
+    match Api.run_retry st ~thread:0 (fun tx -> find tx t key) with
+    | Ok v -> v
+    | Error _ -> None
+  in
+  let root =
+    match Api.read_lockfree st t.root_ptr ~len:8 with
+    | Some b -> Codec.get_addr b 0
+    | None -> None
+  in
+  match root with
+  | None -> fallback ()
+  | Some root ->
+      let rec go addr depth =
+        if depth > 24 then fallback ()
+        else
+          match cached_node st t addr with
+          | Some data ->
+              let nd = parse t data in
+              if nd.leaf then read_leaf addr
+              else (
+                match Codec.decode_addr nd.slots.(child_for nd key) with
+                | Some child -> go child (depth + 1)
+                | None -> fallback ())
+          | None -> read_leaf_or_descend addr depth
+      and read_leaf addr =
+        match Api.read_lockfree st addr ~len:(node_data_size t) with
+        | None -> fallback ()
+        | Some data ->
+            let nd = parse t data in
+            if (not nd.leaf) || key < nd.lo || key >= nd.hi then fallback ()
+            else begin
+              let rec find i =
+                if i >= Array.length nd.keys then None
+                else if nd.keys.(i) = key then Some nd.slots.(i)
+                else find (i + 1)
+              in
+              find 0
+            end
+      and read_leaf_or_descend addr depth =
+        match Api.read_lockfree st addr ~len:(node_data_size t) with
+        | None -> fallback ()
+        | Some data ->
+            let nd = parse t data in
+            if nd.leaf then
+              if key < nd.lo || key >= nd.hi then fallback ()
+              else begin
+                let rec find i =
+                  if i >= Array.length nd.keys then None
+                  else if nd.keys.(i) = key then Some nd.slots.(i)
+                  else find (i + 1)
+                in
+                find 0
+              end
+            else begin
+              Hashtbl.replace t.cache (st.State.id, Codec.encode_addr addr) data;
+              match Codec.decode_addr nd.slots.(child_for nd key) with
+              | Some child -> go child (depth + 1)
+              | None -> fallback ()
+            end
+      in
+      go root 0

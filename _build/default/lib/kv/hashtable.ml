@@ -1,0 +1,208 @@
+open Farm_core
+
+(* The FaRM hash table ([16], used for all unordered indexes in §6.2).
+
+   A fixed array of bucket objects, each holding a handful of fixed-size
+   entries plus an overflow pointer to a chained bucket. Buckets are spread
+   round-robin across the table's regions, so a partitioned table (TATP by
+   subscriber, TPC-C by warehouse) keeps a key's bucket co-located with the
+   rest of its partition.
+
+   Point lookups normally touch one bucket object: a single one-sided RDMA
+   read on the lock-free path.
+
+   Bucket layout (data bytes, after the object header):
+     count stored implicitly per entry:
+     entry[i]  at  i * entry_size:    used(1) | key(ksize) | value(vsize)
+     overflow  at  slots * entry_size: encoded address (8)              *)
+
+type t = {
+  buckets : Addr.t array;
+  regions : int array;  (* the regions the table was created over *)
+  ksize : int;
+  vsize : int;
+  slots : int;
+  partitions : int;  (* 1 = unpartitioned *)
+  partition_of : Bytes.t -> int;  (* key -> partition *)
+}
+
+let entry_size t = 1 + t.ksize + t.vsize
+let bucket_data_size t = (t.slots * entry_size t) + 8
+
+let bucket_of t key =
+  if t.partitions <= 1 then Codec.fnv1a key mod Array.length t.buckets
+  else begin
+    (* partitioned tables keep a key's bucket in its partition's regions
+       (TPC-C warehouse co-partitioning, §6.2) *)
+    let per = Array.length t.buckets / t.partitions in
+    let p = t.partition_of key mod t.partitions in
+    (p * per) + (Codec.fnv1a key mod per)
+  end
+
+(* Create the table: allocates every bucket object (zeroed = all slots
+   free) in one or more transactions from [st]. With [partitions] > 1 the
+   bucket array is split into contiguous partition ranges, each placed in
+   the region [regions.(partition mod |regions|)]. *)
+let create st ~thread ~regions ~buckets ~ksize ~vsize ?(slots = 6) ?(partitions = 1)
+    ?(partition_of = fun _ -> 0) () =
+  if buckets <= 0 || Array.length regions = 0 then invalid_arg "Hashtable.create";
+  let buckets =
+    if partitions > 1 then (max 1 (buckets / partitions)) * partitions else buckets
+  in
+  let t =
+    {
+      buckets = Array.make buckets (Addr.make ~region:0 ~offset:0);
+      regions;
+      ksize;
+      vsize;
+      slots;
+      partitions;
+      partition_of;
+    }
+  in
+  let region_of_bucket b =
+    if partitions <= 1 then regions.(b mod Array.length regions)
+    else begin
+      let per = buckets / partitions in
+      regions.(b / per mod Array.length regions)
+    end
+  in
+  let size = bucket_data_size t in
+  let batch = 64 in
+  let i = ref 0 in
+  while !i < buckets do
+    let hi = min buckets (!i + batch) in
+    let lo = !i in
+    (match
+       Api.run_retry st ~thread (fun tx ->
+           for b = lo to hi - 1 do
+             let addr = Txn.alloc tx ~size ~region:(region_of_bucket b) () in
+             Txn.write tx addr (Bytes.make size '\000');
+             t.buckets.(b) <- addr
+           done)
+     with
+    | Ok () -> ()
+    | Error e -> Fmt.failwith "Hashtable.create: %a" Txn.pp_abort e);
+    i := hi
+  done;
+  t
+
+(* {1 Bucket parsing} *)
+
+let entry_used data ~esz i = Bytes.get data (i * esz) <> '\000'
+
+let entry_key t data ~esz i = Bytes.sub data ((i * esz) + 1) t.ksize
+
+let entry_value t data ~esz i = Bytes.sub data ((i * esz) + 1 + t.ksize) t.vsize
+
+let set_entry t data ~esz i ~key ~value =
+  Bytes.set data (i * esz) '\001';
+  Bytes.blit key 0 data ((i * esz) + 1) t.ksize;
+  Bytes.blit value 0 data ((i * esz) + 1 + t.ksize) t.vsize
+
+let clear_entry data ~esz i = Bytes.set data (i * esz) '\000'
+
+let overflow_of t data = Codec.get_addr data (t.slots * entry_size t)
+
+let find_in_bucket t data key =
+  let esz = entry_size t in
+  let rec go i =
+    if i >= t.slots then None
+    else if entry_used data ~esz i && Bytes.equal (entry_key t data ~esz i) key then
+      Some i
+    else go (i + 1)
+  in
+  go 0
+
+let free_slot t data =
+  let esz = entry_size t in
+  let rec go i =
+    if i >= t.slots then None else if entry_used data ~esz i then go (i + 1) else Some i
+  in
+  go 0
+
+let norm_key t key =
+  let k = Bytes.make t.ksize '\000' in
+  Bytes.blit key 0 k 0 (min (Bytes.length key) t.ksize);
+  k
+
+(* {1 Transactional operations} *)
+
+let rec lookup_from tx t addr key =
+  let data = Txn.read tx addr ~len:(bucket_data_size t) in
+  match find_in_bucket t data key with
+  | Some i -> Some (entry_value t data ~esz:(entry_size t) i)
+  | None -> (
+      match overflow_of t data with
+      | Some next -> lookup_from tx t next key
+      | None -> None)
+
+let lookup tx t key =
+  let key = norm_key t key in
+  lookup_from tx t t.buckets.(bucket_of t key) key
+
+(* Insert or update. Follows the overflow chain; allocates a chained
+   bucket co-located with the head bucket when everything is full. *)
+let insert tx t key value =
+  let key = norm_key t key in
+  let value =
+    let v = Bytes.make t.vsize '\000' in
+    Bytes.blit value 0 v 0 (min (Bytes.length value) t.vsize);
+    v
+  in
+  let esz = entry_size t in
+  let rec go addr =
+    let data = Bytes.copy (Txn.read tx addr ~len:(bucket_data_size t)) in
+    match find_in_bucket t data key with
+    | Some i ->
+        set_entry t data ~esz i ~key ~value;
+        Txn.write tx addr data
+    | None -> (
+        match free_slot t data with
+        | Some i ->
+            set_entry t data ~esz i ~key ~value;
+            Txn.write tx addr data
+        | None -> (
+            match overflow_of t data with
+            | Some next -> go next
+            | None ->
+                let size = bucket_data_size t in
+                let next = Txn.alloc tx ~size ~near:addr () in
+                let fresh = Bytes.make size '\000' in
+                set_entry t fresh ~esz 0 ~key ~value;
+                Txn.write tx next fresh;
+                Codec.set_addr data (t.slots * esz) (Some next);
+                Txn.write tx addr data))
+  in
+  go t.buckets.(bucket_of t key)
+
+let delete tx t key =
+  let key = norm_key t key in
+  let esz = entry_size t in
+  let rec go addr =
+    let data = Bytes.copy (Txn.read tx addr ~len:(bucket_data_size t)) in
+    match find_in_bucket t data key with
+    | Some i ->
+        clear_entry data ~esz i;
+        Txn.write tx addr data;
+        true
+    | None -> (
+        match overflow_of t data with Some next -> go next | None -> false)
+  in
+  go t.buckets.(bucket_of t key)
+
+(* {1 Lock-free lookups (§3, §6.2)} — single-object read-only transactions;
+   one RDMA read per (rarely chained) bucket. *)
+
+let lookup_lockfree st t key =
+  let key = norm_key t key in
+  let rec go addr =
+    match Api.read_lockfree st addr ~len:(bucket_data_size t) with
+    | None -> None
+    | Some data -> (
+        match find_in_bucket t data key with
+        | Some i -> Some (entry_value t data ~esz:(entry_size t) i)
+        | None -> (
+            match overflow_of t data with Some next -> go next | None -> None))
+  in
+  go t.buckets.(bucket_of t key)

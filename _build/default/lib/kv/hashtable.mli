@@ -1,0 +1,55 @@
+open Farm_core
+
+(** The FaRM hash table ([16]; all unordered indexes of §6.2).
+
+    A fixed array of bucket objects, each holding [slots] fixed-size
+    entries plus an overflow pointer to a chained bucket. Point lookups
+    normally touch a single bucket object — one one-sided RDMA read on the
+    lock-free path. Partitioned tables ([partitions] > 1) keep a key's
+    bucket in its partition's regions; TPC-C uses this to co-partition its
+    indexes by warehouse. *)
+
+type t = {
+  buckets : Addr.t array;
+  regions : int array;
+  ksize : int;
+  vsize : int;
+  slots : int;
+  partitions : int;
+  partition_of : Bytes.t -> int;
+}
+
+val create :
+  State.t ->
+  thread:int ->
+  regions:int array ->
+  buckets:int ->
+  ksize:int ->
+  vsize:int ->
+  ?slots:int ->
+  ?partitions:int ->
+  ?partition_of:(Bytes.t -> int) ->
+  unit ->
+  t
+(** Allocate all bucket objects (in batched transactions from the calling
+    machine). Keys shorter than [ksize] are zero-padded; values are
+    truncated/padded to [vsize]. *)
+
+val bucket_of : t -> Bytes.t -> int
+val bucket_data_size : t -> int
+val entry_size : t -> int
+
+(** {1 Transactional operations} *)
+
+val lookup : Txn.t -> t -> Bytes.t -> Bytes.t option
+val insert : Txn.t -> t -> Bytes.t -> Bytes.t -> unit
+(** Insert or update; allocates an overflow bucket (co-located with the
+    head bucket) when the chain is full. *)
+
+val delete : Txn.t -> t -> Bytes.t -> bool
+
+(** {1 Lock-free lookups (§3)} *)
+
+val lookup_lockfree : State.t -> t -> Bytes.t -> Bytes.t option
+(** Optimized single-object read-only transaction: one RDMA read per
+    (rarely chained) bucket, no commit phase. *)

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Cpu Engine Farm_sim Fmt Ivar Nic Params Printf Rng Time

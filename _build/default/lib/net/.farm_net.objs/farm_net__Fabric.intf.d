@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Cpu Engine Farm_sim Format Nic Params Rng Time

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Array Engine Farm_sim Params Time

@@ -1,0 +1,1 @@
+lib/net/params.ml: Farm_sim Time

@@ -1,0 +1,239 @@
+open Farm_sim
+
+type error = [ `Unreachable | `Timeout ]
+
+let pp_error ppf = function
+  | `Unreachable -> Fmt.string ppf "unreachable"
+  | `Timeout -> Fmt.string ppf "timeout"
+
+type 'msg handler = src:int -> reply:(bytes:int -> 'msg -> unit) -> 'msg -> unit
+
+type 'msg machine = {
+  id : int;
+  nic : Nic.t;
+  cpu : Cpu.t;
+  mutable alive : bool;
+  mutable partition : int;
+  mutable on_message : 'msg handler;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  params : Params.t;
+  rng : Rng.t;
+  mutable machines : 'msg machine option array;
+}
+
+let create engine ~params ~rng = { engine; params; rng; machines = Array.make 8 None }
+
+let no_handler ~src:_ ~reply:_ _ = ()
+
+let add_machine t ~id ~cpu =
+  if id < 0 then invalid_arg "Fabric.add_machine: negative id";
+  let n = Array.length t.machines in
+  if id >= n then begin
+    let m = ref n in
+    while id >= !m do
+      m := !m * 2
+    done;
+    let machines = Array.make !m None in
+    Array.blit t.machines 0 machines 0 n;
+    t.machines <- machines
+  end;
+  (match t.machines.(id) with
+  | Some _ -> invalid_arg "Fabric.add_machine: duplicate id"
+  | None -> ());
+  let m =
+    {
+      id;
+      nic = Nic.create t.engine ~params:t.params;
+      cpu;
+      alive = true;
+      partition = 0;
+      on_message = no_handler;
+    }
+  in
+  t.machines.(id) <- Some m
+
+(* Re-register a machine after a restart: fresh NIC pipelines and CPU, back
+   on the network. *)
+let reset_machine t ~id ~cpu =
+  match if id >= 0 && id < Array.length t.machines then t.machines.(id) else None with
+  | None -> invalid_arg "Fabric.reset_machine: unknown machine"
+  | Some m ->
+      t.machines.(id) <-
+        Some
+          {
+            m with
+            nic = Nic.create t.engine ~params:t.params;
+            cpu;
+            alive = true;
+            partition = 0;
+            on_message = no_handler;
+          }
+
+let get t id =
+  match if id >= 0 && id < Array.length t.machines then t.machines.(id) else None with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Fabric: unknown machine %d" id)
+
+let set_handler t id handler = (get t id).on_message <- handler
+let set_alive t id alive = (get t id).alive <- alive
+let is_alive t id = (get t id).alive
+let set_partition t id p = (get t id).partition <- p
+let nic t id = (get t id).nic
+let cpu t id = (get t id).cpu
+let engine t = t.engine
+let params t = t.params
+
+let reachable t src dst =
+  let a = get t src and b = get t dst in
+  a.alive && b.alive && a.partition = b.partition
+
+let latency t =
+  let j = Time.to_ns t.params.Params.fabric_jitter in
+  Time.add t.params.Params.fabric_latency (Time.ns (if j > 0 then Rng.int t.rng j else 0))
+
+(* Size in bytes of a one-sided request descriptor on the wire. *)
+let req_bytes = 32
+let ack_bytes = 16
+
+let fail_later t iv =
+  Engine.schedule_in t.engine ~after:t.params.Params.failure_timeout (fun () ->
+      Ivar.fill_if_empty iv (Error `Unreachable))
+
+(* One-sided RDMA read: charges CPU only at [src]. [read] runs at the
+   instant the target NIC performs the DMA — the operation's linearization
+   point. *)
+let one_sided_read t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
+  let ms = get t src in
+  Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
+  let iv : ('a, error) result Ivar.t = Ivar.create () in
+  if src = dst then begin
+    (* Local access: no NIC involved; negligible extra cost. *)
+    Ivar.fill iv (Ok (read ()))
+  end
+  else begin
+    let t_req = Nic.occupy ms.nic ~bytes:req_bytes in
+    Engine.schedule t.engine ~at:(Time.add t_req (latency t)) (fun () ->
+        if not (reachable t src dst) then fail_later t iv
+        else begin
+          let md = get t dst in
+          let t_dst = Nic.occupy md.nic ~bytes in
+          Engine.schedule t.engine ~at:t_dst (fun () ->
+              if not (reachable t src dst) then fail_later t iv
+              else begin
+                let v = read () in
+                Engine.schedule t.engine ~at:(Time.add t_dst (latency t)) (fun () ->
+                    if ms.alive then begin
+                      let t_cpl = Nic.occupy ms.nic ~bytes in
+                      Engine.schedule t.engine ~at:t_cpl (fun () ->
+                          Ivar.fill_if_empty iv (Ok v))
+                    end)
+              end)
+        end)
+  end;
+  let r = Ivar.read iv in
+  (match r with
+  | Ok _ -> Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll
+  | Error _ -> ());
+  r
+
+(* One-sided RDMA write with hardware ack: [apply] mutates target memory at
+   the DMA instant; the target CPU is never involved. *)
+let one_sided_write t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) result =
+  let ms = get t src in
+  Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
+  let iv : (unit, error) result Ivar.t = Ivar.create () in
+  if src = dst then begin
+    apply ();
+    Ivar.fill iv (Ok ())
+  end
+  else begin
+    let t_req = Nic.occupy ms.nic ~bytes in
+    Engine.schedule t.engine ~at:(Time.add t_req (latency t)) (fun () ->
+        if not (reachable t src dst) then fail_later t iv
+        else begin
+          let md = get t dst in
+          let t_dst = Nic.occupy md.nic ~bytes in
+          Engine.schedule t.engine ~at:t_dst (fun () ->
+              if not (reachable t src dst) then fail_later t iv
+              else begin
+                apply ();
+                (* Hardware ack generated by the target NIC. *)
+                Engine.schedule t.engine ~at:(Time.add t_dst (latency t)) (fun () ->
+                    if ms.alive then begin
+                      let t_cpl = Nic.occupy ms.nic ~bytes:ack_bytes in
+                      Engine.schedule t.engine ~at:t_cpl (fun () ->
+                          Ivar.fill_if_empty iv (Ok ()))
+                    end)
+              end)
+        end)
+  end;
+  let r = Ivar.read iv in
+  (match r with
+  | Ok _ -> Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll
+  | Error _ -> ());
+  r
+
+let deliver t ~src ~dst ~prio ~bytes msg ~reply =
+  let route at =
+    Engine.schedule t.engine ~at (fun () ->
+        if reachable t src dst then begin
+          let md = get t dst in
+          let t_dst =
+            if prio then Nic.occupy_priority md.nic ~bytes else Nic.occupy md.nic ~bytes
+          in
+          Engine.schedule t.engine ~at:t_dst (fun () ->
+              if md.alive then md.on_message ~src ~reply msg)
+        end)
+  in
+  route
+
+(* Fire-and-forget message. The receiver's handler runs at NIC-delivery
+   time in "interrupt context": it must charge its own CPU before doing real
+   work. *)
+let send ?(prio = false) ?cpu_cost t ~src ~dst ~bytes msg =
+  let ms = get t src in
+  let cost = match cpu_cost with Some c -> c | None -> t.params.Params.cpu_rpc_send in
+  if Time.( > ) cost Time.zero then Cpu.exec ms.cpu ~cost;
+  let t_tx = if prio then Nic.occupy_priority ms.nic ~bytes else Nic.occupy ms.nic ~bytes in
+  let no_reply ~bytes:_ _ = () in
+  (deliver t ~src ~dst ~prio ~bytes msg ~reply:no_reply) (Time.add t_tx (latency t))
+
+(* Blocking request/response. The receiver handler is given a [reply]
+   closure; calling it routes the response back and wakes the caller. *)
+let call ?(prio = false) ?timeout t ~src ~dst ~bytes msg : ('msg, error) result =
+  let ms = get t src in
+  Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rpc_send;
+  let iv = Ivar.create () in
+  let reply ~bytes:resp_bytes resp =
+    let md = get t dst in
+    if md.alive then begin
+      let t_tx =
+        if prio then Nic.occupy_priority md.nic ~bytes:resp_bytes
+        else Nic.occupy md.nic ~bytes:resp_bytes
+      in
+      Engine.schedule t.engine ~at:(Time.add t_tx (latency t)) (fun () ->
+          if ms.alive then begin
+            let t_rx =
+              if prio then Nic.occupy_priority ms.nic ~bytes:resp_bytes
+              else Nic.occupy ms.nic ~bytes:resp_bytes
+            in
+            Engine.schedule t.engine ~at:t_rx (fun () -> Ivar.fill_if_empty iv (Ok resp))
+          end)
+    end
+  in
+  let t_tx = if prio then Nic.occupy_priority ms.nic ~bytes else Nic.occupy ms.nic ~bytes in
+  if reachable t src dst then
+    (deliver t ~src ~dst ~prio ~bytes msg ~reply) (Time.add t_tx (latency t))
+  else fail_later t iv;
+  (match timeout with
+  | Some d ->
+      Engine.schedule_in t.engine ~after:d (fun () -> Ivar.fill_if_empty iv (Error `Timeout))
+  | None -> ());
+  let r = Ivar.read iv in
+  (match r with
+  | Ok _ -> Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rpc_recv
+  | Error _ -> ());
+  r

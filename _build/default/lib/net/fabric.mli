@@ -1,0 +1,73 @@
+open Farm_sim
+
+(** The simulated RDMA fabric: machines, reachability, one-sided verbs and
+    messaging.
+
+    ['msg] is the application-level message type (FaRM instantiates it with
+    {!Farm_core.Wire.message}). Memory semantics stay with the caller:
+    one-sided operations take closures that execute at the target-NIC DMA
+    instant, so the network layer needs no knowledge of regions or logs.
+
+    Machine failure is modelled by {!set_alive}: a dead machine's NIC stops
+    serving one-sided operations and stops delivering messages, but
+    responses already in flight still arrive — exactly the property that
+    forces FaRM to drain logs during recovery. Network partitions are
+    modelled by {!set_partition}: machines reach each other iff they are
+    alive and in the same partition group. *)
+
+type error = [ `Unreachable | `Timeout ]
+
+val pp_error : Format.formatter -> error -> unit
+
+type 'msg handler = src:int -> reply:(bytes:int -> 'msg -> unit) -> 'msg -> unit
+
+type 'msg t
+
+val create : Engine.t -> params:Params.t -> rng:Rng.t -> 'msg t
+
+val add_machine : 'msg t -> id:int -> cpu:Cpu.t -> unit
+(** Register machine [id] with its CPU resource; a fresh NIC set is
+    created for it. *)
+
+val reset_machine : 'msg t -> id:int -> cpu:Cpu.t -> unit
+(** Re-register a machine after a restart: fresh NICs, alive again, no
+    handler installed yet. *)
+
+val set_handler : 'msg t -> int -> 'msg handler -> unit
+(** Install the receive dispatcher. It runs in "interrupt context" at
+    NIC-delivery time and must charge its own CPU before heavy work. *)
+
+val set_alive : 'msg t -> int -> bool -> unit
+val is_alive : 'msg t -> int -> bool
+val set_partition : 'msg t -> int -> int -> unit
+val reachable : 'msg t -> int -> int -> bool
+val nic : 'msg t -> int -> Nic.t
+val cpu : 'msg t -> int -> Cpu.t
+val engine : 'msg t -> Engine.t
+val params : 'msg t -> Params.t
+
+val latency : 'msg t -> Time.t
+(** Sample a one-way fabric latency. *)
+
+(** {1 One-sided verbs} — no CPU at the target, ever. Must be called from a
+    process on machine [src]. *)
+
+val one_sided_read : 'msg t -> src:int -> dst:int -> bytes:int -> (unit -> 'a) -> ('a, error) result
+(** [read] executes at the target-NIC DMA instant (the linearization
+    point) and its result is carried back with the completion. *)
+
+val one_sided_write : 'msg t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> (unit, error) result
+(** [apply] mutates target memory at the DMA instant; completion reports
+    the NIC hardware ack. NICs ack regardless of configuration — FaRM's
+    recovery protocol copes with this by draining logs. *)
+
+(** {1 Messaging} *)
+
+val send : ?prio:bool -> ?cpu_cost:Time.t -> 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
+(** Fire-and-forget. [prio] uses the dedicated (unreliable-datagram) path
+    that never queues behind bulk traffic; [cpu_cost] overrides the default
+    sender-side CPU charge (the lease manager uses both). *)
+
+val call : ?prio:bool -> ?timeout:Time.t -> 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> ('msg, error) result
+(** Blocking request/response; the receiver's handler gets a [reply]
+    closure correlated with this call. *)

@@ -1,0 +1,26 @@
+open Farm_sim
+
+(** Cost model of the simulated RDMA network.
+
+    All CPU costs are thread time on the machine's {!Farm_sim.Cpu} resource;
+    NIC costs occupy the machine's NIC pipelines. One-sided operations cost
+    CPU only at the issuing machine — the property FaRM's protocols are
+    designed around. *)
+
+type t = {
+  fabric_latency : Time.t;  (** one-way wire propagation + switch *)
+  fabric_jitter : Time.t;  (** uniform jitter added per hop *)
+  nics_per_machine : int;
+  nic_msg_ns : Time.t;  (** per-message NIC processing time *)
+  nic_byte_ns_x1000 : int;  (** payload cost, in ns per byte x1000 *)
+  cpu_rdma_issue : Time.t;  (** CPU to post a one-sided verb *)
+  cpu_rdma_poll : Time.t;  (** CPU to reap a completion *)
+  cpu_rpc_send : Time.t;  (** CPU to marshal and post a send *)
+  cpu_rpc_recv : Time.t;  (** CPU to poll, demarshal, dispatch a receive *)
+  failure_timeout : Time.t;
+      (** delay before an op on an unreachable machine completes in error *)
+}
+
+val default : t
+(** Calibrated so the Figure 2 experiment reproduces the paper's ~4x
+    RDMA-over-RPC per-machine read rate. *)

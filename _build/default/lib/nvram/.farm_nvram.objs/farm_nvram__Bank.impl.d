@@ -1,0 +1,1 @@
+lib/nvram/bank.ml: Bytes Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/nvram/bank.mli: Bytes

@@ -1,0 +1,30 @@
+type t = {
+  machine : int;
+  mutable regions : (int, Bytes.t) Hashtbl.t;
+  mutable wiped : bool;
+}
+
+let create ~machine = { machine; regions = Hashtbl.create 16; wiped = false }
+
+let machine t = t.machine
+
+let alloc t ~key ~size =
+  if Hashtbl.mem t.regions key then
+    invalid_arg (Printf.sprintf "Bank.alloc: region %d already present" key);
+  let b = Bytes.make size '\000' in
+  Hashtbl.replace t.regions key b;
+  b
+
+let find t ~key = Hashtbl.find_opt t.regions key
+
+let remove t ~key = Hashtbl.remove t.regions key
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.regions [] |> List.sort compare
+
+let total_bytes t = Hashtbl.fold (fun _ b acc -> acc + Bytes.length b) t.regions 0
+
+let wipe t =
+  Hashtbl.reset t.regions;
+  t.wiped <- true
+
+let is_wiped t = t.wiped

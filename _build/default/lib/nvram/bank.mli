@@ -1,0 +1,25 @@
+(** A machine's non-volatile DRAM.
+
+    Banks are owned by the cluster harness, not by the machine's process
+    context: killing a machine's FaRM process leaves its bank intact, which
+    is exactly the guarantee the distributed-UPS design of §2.1 provides.
+    {!wipe} models losing the NVRAM contents too (battery failure), used by
+    the f-failure durability tests. *)
+
+type t
+
+val create : machine:int -> t
+val machine : t -> int
+
+val alloc : t -> key:int -> size:int -> Bytes.t
+(** Allocate a zeroed buffer for region [key]. Raises if present. *)
+
+val find : t -> key:int -> Bytes.t option
+val remove : t -> key:int -> unit
+val keys : t -> int list
+val total_bytes : t -> int
+
+val wipe : t -> unit
+(** Lose all contents (power failure without a successful SSD save). *)
+
+val is_wiped : t -> bool

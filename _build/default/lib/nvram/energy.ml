@@ -1,0 +1,36 @@
+(* Distributed-UPS energy and cost model of paper §2.1 and Figure 1.
+
+   Measured data point from the paper: saving 1 GB to a single M.2 SSD
+   consumes ~110 J, of which ~90 J powers the two CPU sockets for the
+   duration of the save. Extra SSDs shorten the save and hence the CPU-time
+   energy; the non-CPU component (SSD program energy, DRAM refresh) is
+   per-byte and constant. *)
+
+type t = {
+  cpu_power_w : float;  (* both sockets during the save *)
+  ssd_bandwidth_gbps : float;  (* sequential write bandwidth per SSD *)
+  fixed_j_per_gb : float;  (* SSD program + DRAM energy per GB *)
+}
+
+let default = { cpu_power_w = 90.0; ssd_bandwidth_gbps = 1.0; fixed_j_per_gb = 20.0 }
+
+let save_seconds_per_gb t ~ssds =
+  if ssds <= 0 then invalid_arg "Energy.save_seconds_per_gb";
+  1.0 /. (t.ssd_bandwidth_gbps *. float_of_int ssds)
+
+let joules_per_gb t ~ssds =
+  (t.cpu_power_w *. save_seconds_per_gb t ~ssds) +. t.fixed_j_per_gb
+
+(* Cost model (§2.1): LES batteries at < $0.005 per Joule; SSD capacity
+   reservation at $0.90/GB; DRAM at $12/GB. *)
+
+let dollars_per_joule = 0.005
+let ssd_reserve_per_gb = 0.90
+let dram_per_gb = 12.0
+
+let energy_cost_per_gb t ~ssds = joules_per_gb t ~ssds *. dollars_per_joule
+
+let total_nonvolatility_cost_per_gb t ~ssds =
+  energy_cost_per_gb t ~ssds +. ssd_reserve_per_gb
+
+let overhead_fraction t ~ssds = total_nonvolatility_cost_per_gb t ~ssds /. dram_per_gb

@@ -1,0 +1,52 @@
+type t = {
+  engine : Engine.t;
+  busy_until : Time.t array;
+  mutable busy_total : Time.t;
+}
+
+let create engine ~threads =
+  if threads <= 0 then invalid_arg "Cpu.create: threads must be positive";
+  { engine; busy_until = Array.make threads Time.zero; busy_total = Time.zero }
+
+let threads t = Array.length t.busy_until
+
+(* Index of the thread that frees up first: the central-queue FCFS policy of
+   a G/G/k server. *)
+let pick t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.busy_until - 1 do
+    if Time.( < ) t.busy_until.(i) t.busy_until.(!best) then best := i
+  done;
+  !best
+
+let acquire t ~cost =
+  let i = pick t in
+  let start = Time.max (Engine.now t.engine) t.busy_until.(i) in
+  let finish = Time.add start cost in
+  t.busy_until.(i) <- finish;
+  t.busy_total <- Time.add t.busy_total cost;
+  finish
+
+let exec t ~cost =
+  let finish = acquire t ~cost in
+  Proc.suspend (fun resume ->
+      Engine.schedule t.engine ~at:finish (fun () -> resume (Ok ())))
+
+let exec_bg ?ctx t ~cost fn =
+  let finish = acquire t ~cost in
+  Engine.schedule t.engine ~at:finish (fun () ->
+      match ctx with
+      | Some c when Proc.Ctx.is_cancelled c -> ()
+      | _ -> fn ())
+
+let queue_delay t =
+  let i = pick t in
+  Time.max Time.zero (Time.sub t.busy_until.(i) (Engine.now t.engine))
+
+let busy_total t = t.busy_total
+
+let utilization t ~since ~until =
+  let window = Time.to_s_float (Time.sub until since) in
+  if window <= 0. then 0.
+  else
+    Time.to_s_float t.busy_total /. (window *. float_of_int (threads t))

@@ -1,0 +1,32 @@
+(** A machine's CPU modelled as [k] hardware threads fed from one FCFS
+    queue (a G/G/k service center).
+
+    Work items claim the earliest-free thread; when all threads are busy the
+    item queues, which is what produces realistic saturation knees in the
+    throughput-latency curves. One-sided RDMA bypasses this resource at the
+    target machine entirely — the defining property the FaRM protocols
+    exploit. *)
+
+type t
+
+val create : Engine.t -> threads:int -> t
+val threads : t -> int
+
+val exec : t -> cost:Time.t -> unit
+(** Run [cost] worth of CPU work; blocks the calling process until the work
+    completes (including any queueing delay). *)
+
+val exec_bg : ?ctx:Proc.Ctx.t -> t -> cost:Time.t -> (unit -> unit) -> unit
+(** Schedule background CPU work; [fn] runs when the work completes, unless
+    [ctx] was cancelled in the meantime. Usable outside a process. *)
+
+val acquire : t -> cost:Time.t -> Time.t
+(** Low-level: claim a slot and return its completion instant. *)
+
+val queue_delay : t -> Time.t
+(** Delay a zero-cost item would currently experience before starting. *)
+
+val busy_total : t -> Time.t
+(** Cumulative CPU time consumed across all threads. *)
+
+val utilization : t -> since:Time.t -> until:Time.t -> float

@@ -1,0 +1,48 @@
+type t = {
+  heap : (unit -> unit) Heap.t;
+  mutable now : Time.t;
+  mutable seq : int;
+  mutable stopped : bool;
+  mutable events_processed : int;
+}
+
+let create () =
+  { heap = Heap.create (); now = Time.zero; seq = 0; stopped = false; events_processed = 0 }
+
+let now t = t.now
+
+let schedule t ~at fn =
+  let at = Time.max at t.now in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~key:at ~seq:t.seq fn
+
+let schedule_in t ~after fn = schedule t ~at:(Time.add t.now after) fn
+
+let stop t = t.stopped <- true
+
+let events_processed t = t.events_processed
+
+let run ?until t =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Heap.peek_key t.heap with
+    | None -> continue := false
+    | Some at ->
+        (match until with
+        | Some limit when Time.( > ) at limit ->
+            t.now <- limit;
+            continue := false
+        | _ -> (
+            match Heap.pop t.heap with
+            | None -> continue := false
+            | Some (at, fn) ->
+                t.now <- at;
+                t.events_processed <- t.events_processed + 1;
+                fn ()))
+  done;
+  match until with
+  | Some limit when Time.( < ) t.now limit && not t.stopped -> t.now <- limit
+  | _ -> ()
+
+let pending t = Heap.length t.heap

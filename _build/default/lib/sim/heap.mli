@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by [(key, seq)].
+
+    The secondary [seq] key gives FIFO order among entries with equal primary
+    keys, which the event queue relies on for deterministic scheduling of
+    simultaneous events. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+
+val peek_key : 'a t -> int option
+(** Smallest key currently in the heap. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the entry with the smallest [(key, seq)]. *)

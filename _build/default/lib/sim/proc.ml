@@ -1,0 +1,80 @@
+exception Cancelled
+
+module Ctx = struct
+  type t = { name : string; mutable cancelled : bool }
+
+  let create ?(name = "proc") () = { name; cancelled = false }
+  let cancel t = t.cancelled <- true
+  let is_cancelled t = t.cancelled
+  let name t = t.name
+end
+
+type env = { engine : Engine.t; ctx : Ctx.t }
+
+type _ Effect.t +=
+  | Suspend : ((('a, exn) result -> unit) -> unit) -> 'a Effect.t
+  | Get_env : env Effect.t
+
+let spawn ?ctx ?name engine fn =
+  let ctx = match ctx with Some c -> c | None -> Ctx.create ?name () in
+  let env = { engine; ctx } in
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          match e with
+          | Cancelled -> ()
+          | e ->
+              let bt = Printexc.get_raw_backtrace () in
+              Printexc.raise_with_backtrace e bt);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Get_env ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k env)
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let resumed = ref false in
+                  let resume res =
+                    if not !resumed then begin
+                      resumed := true;
+                      Engine.schedule engine ~at:(Engine.now engine) (fun () ->
+                          if Ctx.is_cancelled ctx then
+                            Effect.Deep.discontinue k Cancelled
+                          else
+                            match res with
+                            | Ok v -> Effect.Deep.continue k v
+                            | Error e -> Effect.Deep.discontinue k e)
+                    end
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  let run () =
+    if not (Ctx.is_cancelled ctx) then Effect.Deep.match_with fn () handler
+  in
+  Engine.schedule engine ~at:(Engine.now engine) run
+
+let env () = Effect.perform Get_env
+let engine () = (env ()).engine
+let self_ctx () = (env ()).ctx
+let now () = Engine.now (engine ())
+
+let suspend register = Effect.perform (Suspend register)
+
+let sleep d =
+  let e = engine () in
+  suspend (fun resume -> Engine.schedule_in e ~after:d (fun () -> resume (Ok ())))
+
+let sleep_until at =
+  let e = engine () in
+  suspend (fun resume -> Engine.schedule e ~at (fun () -> resume (Ok ())))
+
+let yield () = sleep Time.zero
+
+let check_cancelled () = if Ctx.is_cancelled (self_ctx ()) then raise Cancelled

@@ -1,0 +1,1 @@
+lib/workloads/baseline.ml: Cluster Farm_core Params

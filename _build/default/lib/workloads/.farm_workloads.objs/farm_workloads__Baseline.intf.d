@@ -1,0 +1,1 @@
+lib/workloads/baseline.mli: Cluster Farm_core Params

@@ -1,0 +1,1 @@
+lib/workloads/driver.ml: Cluster Engine Farm_core Farm_sim Fun List Params Proc Rng State Stats Time

@@ -1,0 +1,1 @@
+lib/workloads/driver.mli: Cluster Farm_core Farm_sim Rng State Stats Time

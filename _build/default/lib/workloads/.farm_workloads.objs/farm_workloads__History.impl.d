@@ -1,0 +1,1 @@
+lib/workloads/history.ml: Addr Array Farm_core Fmt Hashtbl List Txn

@@ -1,0 +1,1 @@
+lib/workloads/history.mli: Addr Farm_core Format Txn

@@ -1,0 +1,1 @@
+lib/workloads/kvlookup.ml: Api Array Bytes Cluster Driver Farm_core Farm_kv Farm_sim Fmt Hashtable Int64 Rng Txn Wire

@@ -1,0 +1,1 @@
+lib/workloads/kvlookup.mli: Cluster Driver Farm_core Farm_kv Hashtable

@@ -1,0 +1,1 @@
+lib/workloads/tatp.ml: Addr Api Array Bytes Char Cluster Comms Driver Farm_core Farm_kv Farm_sim Fmt Hashtable Int64 Rng State Time Txn Wire

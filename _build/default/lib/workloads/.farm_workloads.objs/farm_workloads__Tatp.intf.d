@@ -1,0 +1,1 @@
+lib/workloads/tatp.mli: Bytes Cluster Driver Farm_core Farm_kv Farm_sim Hashtable Rng State Txn

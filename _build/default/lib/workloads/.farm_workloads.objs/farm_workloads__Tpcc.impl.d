@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Addr Api Array Btree Bytes Cluster Driver Farm_core Farm_kv Farm_sim Fmt Hashtable Hashtbl Int64 List Proc Rng State Stats Time Txn Wire

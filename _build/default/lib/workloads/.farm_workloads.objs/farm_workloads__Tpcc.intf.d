@@ -1,0 +1,1 @@
+lib/workloads/tpcc.mli: Btree Cluster Driver Farm_core Farm_kv Farm_sim Hashtable Stats

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Api Array Btree Bytes Char Cluster Driver Farm_core Farm_kv Farm_sim Fmt Hashtable Int64 Rng Txn Wire

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.mli: Btree Cluster Driver Farm_core Farm_kv Farm_sim Hashtable

@@ -1,0 +1,27 @@
+open Farm_core
+
+(** A strict-serializability checker over recorded transaction histories.
+
+    Object versions are an exact serialization witness: per object, writers
+    are totally ordered by the version they install, a read at version [v]
+    sits between the writers of [v] and [v+1], and no two committed
+    transactions may install the same version. The checker builds that
+    precedence graph and reports a violation as either a duplicate write
+    (lost-update/double-commit) or a cycle (non-serializable order). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Txn.t -> int
+(** Record a transaction's execution footprint (call it right after a
+    successful commit, before reusing the transaction value); returns the
+    dense transaction id used in verdicts. *)
+
+type verdict = Serializable | Duplicate_write of Addr.t * int | Cycle of int list
+
+val check : t -> verdict
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val size : t -> int
+(** Number of recorded transactions. *)

@@ -1,0 +1,12 @@
+open Farm_core
+open Farm_kv
+
+(** The §6.3 "read performance" workload: 16-byte keys, 32-byte values,
+    uniform access, lock-free reads — normally a single one-sided RDMA read
+    per lookup, no commit protocol. *)
+
+type t = { table : Hashtable.t; keys : int }
+
+val create : Cluster.t -> keys:int -> regions:int -> t
+val load : Cluster.t -> t -> unit
+val op : t -> Driver.worker_ctx -> bool

@@ -1,0 +1,52 @@
+open Farm_sim
+open Farm_core
+open Farm_kv
+
+(** TATP — Telecommunication Application Transaction Processing (§6.2/6.3):
+    four hash-table-backed tables and the standard seven-transaction mix
+    (70% single-row lock-free lookups, 10% multi-row validated reads, 20%
+    updates, with UPDATE_LOCATION function-shipped to the row's primary). *)
+
+type t = {
+  subscribers : int;
+  sub : Hashtable.t;
+  access : Hashtable.t;
+  special : Hashtable.t;
+  callfwd : Hashtable.t;
+}
+
+val key8 : int -> Bytes.t
+val update_location_tag : int
+
+val create : Cluster.t -> subscribers:int -> regions_per_table:int -> t
+(** Allocate regions and tables and register the function-shipping handler
+    on every machine. *)
+
+val load : Cluster.t -> t -> unit
+(** Populate per the TATP population rules (1-4 access/special rows per
+    subscriber, half the special facilities with a call-forwarding row). *)
+
+val random_sid : t -> Rng.t -> int
+(** TATP's non-uniform (OR-based) subscriber-id generator — the skew behind
+    the paper's throughput dips. *)
+
+(** {1 The seven transactions} — each returns whether the transaction
+    completed (application-level misses still count as completed). *)
+
+val get_subscriber_data : State.t -> t -> Rng.t -> bool
+val get_access_data : State.t -> t -> Rng.t -> bool
+val get_new_destination : State.t -> thread:int -> t -> Rng.t -> bool
+val update_subscriber_data : State.t -> thread:int -> t -> Rng.t -> bool
+val update_location : State.t -> thread:int -> t -> Rng.t -> bool
+val insert_call_forwarding : State.t -> thread:int -> t -> Rng.t -> bool
+val delete_call_forwarding : State.t -> thread:int -> t -> Rng.t -> bool
+
+val do_update_location :
+  State.t -> t -> thread:int -> s:int -> vlr:int -> (unit, Txn.abort_reason) result
+(** The locally-executed UPDATE_LOCATION body (the function-shipping
+    target). *)
+
+val install : State.t -> t -> unit
+
+val op : t -> Driver.worker_ctx -> bool
+(** One operation of the standard mix. *)

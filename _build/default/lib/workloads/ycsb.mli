@@ -1,0 +1,27 @@
+open Farm_core
+open Farm_kv
+
+(** YCSB — the key-value benchmark family the original FaRM paper [16]
+    evaluated; this paper's §6.3 read-performance experiment is its
+    read-only point. Core workloads A (update heavy), B (read mostly),
+    C (read only), D (read latest, with inserts), E (short B-tree scans),
+    F (read-modify-write); reads ride the lock-free path. *)
+
+type profile = A | B | C | D | E | F
+
+val profile_name : profile -> string
+
+type t = {
+  table : Hashtable.t;
+  tree : Btree.t;
+  mutable keys : int;
+  vsize : int;
+}
+
+val create : Cluster.t -> keys:int -> regions:int -> t
+val load : Cluster.t -> t -> unit
+
+val zipf : Farm_sim.Rng.t -> int -> int
+(** Zipfian-approximate key popularity (repeated-halving hot-spot). *)
+
+val op : profile -> t -> Driver.worker_ctx -> bool

@@ -1,0 +1,1 @@
+test/test_commit_edge.ml: Addr Alcotest Api Array Cluster Farm_core Farm_sim Fmt Hashtbl List Params Proc State Test_util Time Txn Wire

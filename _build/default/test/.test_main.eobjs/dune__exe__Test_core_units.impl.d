@@ -1,0 +1,1 @@
+test/test_core_units.ml: Addr Alcotest Array Bytes Config Engine Farm_core Farm_sim Fun Gen List Obj_layout Option Placement QCheck QCheck_alcotest Ringlog Rng Txid Wire

@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Addr Alcotest Array Cluster Config Driver Engine Farm_coord Farm_core Farm_kv Farm_sim Farm_workloads State Stats Tatp Test_util Time Tpcc Txn Wire

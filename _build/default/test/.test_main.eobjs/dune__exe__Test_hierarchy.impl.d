@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Api Array Cluster Config Farm_core Farm_sim Fmt Lease List Params Printf State Test_util Time Txn Wire

@@ -1,0 +1,1 @@
+test/test_kv_extra.ml: Addr Alcotest Api Array Btree Bytes Cluster Farm_core Farm_kv Farm_net Farm_sim Fmt Hashtable Hashtbl Int64 List Params Printf Proc Rng State Test_util Time Txn Wire

@@ -1,0 +1,1 @@
+test/test_lease.ml: Alcotest Api Array Cluster Config Cpu Farm_core Farm_sim Hashtbl Lease Params Printf Proc Rng State Test_util Time Wire

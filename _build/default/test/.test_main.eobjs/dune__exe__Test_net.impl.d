@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Cpu Engine Fabric Farm_net Farm_sim Nic Params Printf Proc Rng Time

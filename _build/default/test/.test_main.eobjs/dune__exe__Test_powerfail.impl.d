@@ -1,0 +1,1 @@
+test/test_powerfail.ml: Alcotest Api Array Cluster Config Farm_core Farm_sim Fmt Proc Rng State Test_util Time Txn Wire

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Api Array Cluster Config Engine Farm_core Farm_sim Fmt Hashtbl List Printf Proc Ringlog Rng State Test_util Time Txn Wire

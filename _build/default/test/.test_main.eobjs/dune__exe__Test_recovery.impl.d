@@ -1,0 +1,1 @@
+test/test_recovery.ml: Addr Alcotest Api Array Bytes Cluster Comms Config Farm_core Farm_kv Farm_sim Fmt Hashtbl Int64 List Obj_layout Params Printf Proc Rng State Test_util Time Txid Txn Wire

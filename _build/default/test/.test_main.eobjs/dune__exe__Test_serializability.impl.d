@@ -1,0 +1,1 @@
+test/test_serializability.ml: Addr Alcotest Array Bytes Cluster Commit Engine Farm_core Farm_sim Farm_workloads History List Obj Proc Rng State Test_util Time Txn Wire

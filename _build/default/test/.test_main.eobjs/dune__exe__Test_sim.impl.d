@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Engine Farm_sim Gen Heap Ivar List Mailbox Option Proc QCheck QCheck_alcotest Rng Stats Time

@@ -1,0 +1,1 @@
+test/test_substrates.ml: Alcotest Bytes Char Engine Farm_coord Farm_nvram Farm_sim Option Proc Rng

@@ -1,0 +1,1 @@
+test/test_txn.ml: Addr Alcotest Api Array Bytes Cluster Farm_core Farm_sim Fmt Int64 List Option Printf Proc State Test_util Time Txn Wire

@@ -1,0 +1,1 @@
+test/test_util.ml: Api Array Bytes Cluster Farm_core Farm_sim Fmt Int64 List Params Proc State Time Txn

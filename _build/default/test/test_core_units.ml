@@ -1,0 +1,292 @@
+open Farm_sim
+open Farm_core
+
+let test name fn = Alcotest.test_case name `Quick fn
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {1 Object layout} *)
+
+let header_roundtrip =
+  QCheck.Test.make ~name:"header encodes lock/alloc/version" ~count:500
+    QCheck.(triple bool bool (int_bound 1_000_000_000))
+    (fun (locked, allocated, version) ->
+      let h = Obj_layout.make ~locked ~allocated ~version in
+      Obj_layout.is_locked h = locked
+      && Obj_layout.is_allocated h = allocated
+      && Obj_layout.version h = version)
+
+let header_with_ops () =
+  let h = Obj_layout.make ~locked:false ~allocated:true ~version:7 in
+  let h = Obj_layout.with_locked h true in
+  check_bool "locked" true (Obj_layout.is_locked h);
+  check_int "version preserved" 7 (Obj_layout.version h);
+  let h = Obj_layout.with_version h 8 in
+  check_int "new version" 8 (Obj_layout.version h);
+  check_bool "still locked" true (Obj_layout.is_locked h);
+  let h = Obj_layout.with_allocated h false in
+  check_bool "freed" false (Obj_layout.is_allocated h)
+
+let header_cas () =
+  let mem = Bytes.make 64 '\000' in
+  let h0 = Obj_layout.make ~locked:false ~allocated:true ~version:1 in
+  Obj_layout.set mem ~off:8 h0;
+  let h1 = Obj_layout.with_locked h0 true in
+  check_bool "cas succeeds" true (Obj_layout.cas mem ~off:8 ~expected:h0 ~desired:h1);
+  check_bool "cas with stale expected fails" false
+    (Obj_layout.cas mem ~off:8 ~expected:h0 ~desired:h0);
+  check_bool "locked now" true (Obj_layout.is_locked (Obj_layout.get mem ~off:8))
+
+let data_roundtrip () =
+  let mem = Bytes.make 64 '\000' in
+  Obj_layout.write_data mem ~off:0 (Bytes.of_string "hello");
+  let d = Obj_layout.read_data mem ~off:0 ~len:5 in
+  Alcotest.(check string) "data" "hello" (Bytes.to_string d)
+
+(* {1 Txid / Addr} *)
+
+let txid_ordering () =
+  let a = Txid.make ~config:1 ~machine:2 ~thread:3 ~local:4 in
+  let b = Txid.make ~config:1 ~machine:2 ~thread:3 ~local:5 in
+  check_bool "ordered by local" true (Txid.compare a b < 0);
+  check_bool "equal" true (Txid.equal a a);
+  check_bool "coord key" true (Txid.coord_key a = (2, 3))
+
+let addr_map () =
+  let a = Addr.make ~region:1 ~offset:64 in
+  let b = Addr.make ~region:1 ~offset:128 in
+  let m = Addr.Map.add a 1 (Addr.Map.add b 2 Addr.Map.empty) in
+  check_int "map lookup" 1 (Addr.Map.find a m);
+  check_bool "ordering" true (Addr.compare a b < 0)
+
+(* {1 Config} *)
+
+let config_backup_cms () =
+  let c = Config.make ~id:1 ~members:[ 0; 1; 2; 3; 4 ] ~domains:[] ~cm:3 in
+  Alcotest.(check (list int)) "successors wrap" [ 4; 0 ] (Config.backup_cms c ~k:2);
+  let c2 = Config.make ~id:1 ~members:[ 0; 1; 2 ] ~domains:[] ~cm:2 in
+  Alcotest.(check (list int)) "wrap from top" [ 0; 1 ] (Config.backup_cms c2 ~k:2)
+
+let config_recovery_coordinator_deterministic () =
+  let c = Config.make ~id:3 ~members:[ 1; 4; 7 ] ~domains:[] ~cm:1 in
+  let txid = Txid.make ~config:2 ~machine:9 ~thread:0 ~local:5 in
+  let a = Config.recovery_coordinator c txid in
+  let b = Config.recovery_coordinator c txid in
+  check_int "deterministic" a b;
+  check_bool "member" true (Config.is_member c a)
+
+let config_cm_must_be_member () =
+  Alcotest.check_raises "cm not member"
+    (Invalid_argument "Config.make: CM must be a member") (fun () ->
+      ignore (Config.make ~id:1 ~members:[ 1; 2 ] ~domains:[] ~cm:5))
+
+(* {1 Placement} *)
+
+let mk_constraints ?(cap = 100) ~members ~domain_of ~load () =
+  {
+    Placement.members;
+    domain_of;
+    load_of = (fun m -> match List.assoc_opt m load with Some l -> l | None -> 0);
+    capacity_of = (fun _ -> cap);
+    replication = 3;
+  }
+
+let placement_distinct_domains () =
+  (* machines 0-5 in 3 domains of 2 *)
+  let c = mk_constraints ~members:[ 0; 1; 2; 3; 4; 5 ] ~domain_of:(fun m -> m / 2) ~load:[] () in
+  match Placement.choose c () with
+  | Some (p, bs) ->
+      let all = p :: bs in
+      check_int "replication" 3 (List.length all);
+      check_bool "distinct domains" true (Placement.domains_distinct c all)
+  | None -> Alcotest.fail "placement failed"
+
+let placement_impossible () =
+  (* only 2 domains for replication 3 *)
+  let c = mk_constraints ~members:[ 0; 1; 2; 3 ] ~domain_of:(fun m -> m mod 2) ~load:[] () in
+  check_bool "infeasible" true (Placement.choose c () = None)
+
+let placement_balances_load () =
+  let c =
+    mk_constraints ~members:[ 0; 1; 2; 3; 4; 5 ]
+      ~domain_of:(fun m -> m)
+      ~load:[ (0, 10); (1, 10); (2, 10) ]
+      ()
+  in
+  match Placement.choose c () with
+  | Some (p, bs) ->
+      List.iter
+        (fun m -> check_bool "least-loaded picked" true (m >= 3))
+        (p :: bs)
+  | None -> Alcotest.fail "placement failed"
+
+let placement_capacity () =
+  let c =
+    mk_constraints ~cap:5 ~members:[ 0; 1; 2; 3 ]
+      ~domain_of:(fun m -> m)
+      ~load:[ (0, 5) ]
+      ()
+  in
+  match Placement.choose c () with
+  | Some (p, bs) -> check_bool "full machine excluded" false (List.mem 0 (p :: bs))
+  | None -> Alcotest.fail "placement failed"
+
+let placement_colocate () =
+  let c = mk_constraints ~members:[ 0; 1; 2; 3; 4; 5 ] ~domain_of:(fun m -> m) ~load:[] () in
+  match Placement.choose c ~colocate_with:(4, [ 5; 1 ]) () with
+  | Some (p, bs) ->
+      Alcotest.(check (list int)) "locality honoured" [ 4; 5; 1 ] (p :: bs)
+  | None -> Alcotest.fail "placement failed"
+
+let placement_replacements_avoid_survivor_domains () =
+  let c = mk_constraints ~members:[ 0; 1; 2; 3; 4; 5 ] ~domain_of:(fun m -> m / 2) ~load:[] () in
+  match Placement.choose_replacements c ~survivors:[ 0; 2 ] ~needed:1 with
+  | Some [ m ] ->
+      check_bool "fresh domain" true (m / 2 <> 0 && m / 2 <> 1)
+  | Some _ | None -> Alcotest.fail "replacement failed"
+
+let placement_qcheck =
+  QCheck.Test.make ~name:"placement always satisfies constraints" ~count:200
+    QCheck.(pair (int_range 3 12) (int_bound 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let members = List.init n Fun.id in
+      let domains = Array.init n (fun _ -> Rng.int rng (max 3 (n / 2))) in
+      let c =
+        mk_constraints ~members ~domain_of:(fun m -> domains.(m)) ~load:[] ()
+      in
+      match Placement.choose c () with
+      | Some (p, bs) -> Placement.domains_distinct c (p :: bs) && List.length bs = 2
+      | None ->
+          (* only acceptable when fewer than 3 distinct domains exist *)
+          List.length (List.sort_uniq compare (Array.to_list domains)) < 3)
+
+(* {1 Ring log} *)
+
+let mk_log () = Ringlog.create ~sender:0 ~receiver:1 ~capacity:4096
+
+let dummy_record txid =
+  { Wire.payload = Wire.Commit_primary txid; truncations = []; low_bound = 0; cfg = 1 }
+
+let tx n = Txid.make ~config:1 ~machine:0 ~thread:0 ~local:n
+
+let ringlog_reserve_release () =
+  let log = mk_log () in
+  check_bool "reserve ok" true (Ringlog.reserve log 1000);
+  check_bool "reserve more" true (Ringlog.reserve log 3000);
+  check_bool "over capacity" false (Ringlog.reserve log 100);
+  Ringlog.unreserve log 3000;
+  check_bool "after release" true (Ringlog.reserve log 100)
+
+let ringlog_append_retain_truncate () =
+  let e = Engine.create () in
+  let log = mk_log () in
+  let seen = ref [] in
+  Ringlog.set_on_append log (fun _ entry -> seen := entry :: !seen);
+  check_bool "reserve" true (Ringlog.reserve log 200);
+  Ringlog.consume_reservation log 100;
+  Ringlog.dma_append log (dummy_record (tx 1)) ~size:100;
+  check_int "delivered" 1 (List.length !seen);
+  check_int "used" 100 (Ringlog.used log);
+  check_int "pending count" 1 (Ringlog.pending_count log (tx 1));
+  let entry = List.hd !seen in
+  Ringlog.retain log entry;
+  check_int "pending cleared" 0 (Ringlog.pending_count log (tx 1));
+  check_int "resident" 1 (List.length (Ringlog.resident_records log (tx 1)));
+  ignore (Ringlog.truncate log e (tx 1));
+  check_int "space freed" 0 (Ringlog.used log);
+  Ringlog.unreserve log 100 (* the unconsumed remainder of the reservation *);
+  Engine.run e;
+  check_bool "sender estimate updated lazily" true (Ringlog.reserve log 4000)
+
+let ringlog_discard () =
+  let e = Engine.create () in
+  let log = mk_log () in
+  let entry = ref None in
+  Ringlog.set_on_append log (fun _ en -> entry := Some en);
+  Ringlog.consume_reservation log 50;
+  Ringlog.dma_append log (dummy_record (tx 2)) ~size:50;
+  Ringlog.discard log e (Option.get !entry);
+  check_int "freed" 0 (Ringlog.used log);
+  check_int "no resident" 0 (List.length (Ringlog.resident_records log (tx 2)))
+
+let ringlog_space_qcheck =
+  QCheck.Test.make ~name:"ring log space accounting stays consistent" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 10 200))
+    (fun sizes ->
+      let e = Engine.create () in
+      let log = Ringlog.create ~sender:0 ~receiver:1 ~capacity:1_000_000 in
+      let entries = ref [] in
+      Ringlog.set_on_append log (fun _ en -> entries := en :: !entries);
+      let total = ref 0 in
+      List.iteri
+        (fun i size ->
+          if Ringlog.reserve log size then begin
+            Ringlog.consume_reservation log size;
+            Ringlog.dma_append log (dummy_record (tx i)) ~size;
+            total := !total + size
+          end)
+        sizes;
+      let used_ok = Ringlog.used log = !total in
+      (* retain then truncate everything: space returns to zero *)
+      List.iter (fun en -> Ringlog.retain log en) !entries;
+      List.iteri (fun i _ -> ignore (Ringlog.truncate log e (tx i))) sizes;
+      Engine.run e;
+      used_ok && Ringlog.used log = 0)
+
+(* {1 Wire sizes} *)
+
+let wire_sizes_monotone () =
+  let w v =
+    {
+      Wire.addr = Addr.make ~region:1 ~offset:0;
+      version = 1;
+      value = Bytes.make v 'x';
+      alloc_op = Wire.Alloc_none;
+    }
+  in
+  let p n = { Wire.txid = tx 0; regions_written = [ 1 ]; writes = List.init n (fun _ -> w 32) } in
+  let size n = Wire.record_bytes { Wire.payload = Wire.Lock (p n); truncations = []; low_bound = 0; cfg = 1 } in
+  check_bool "more writes, bigger record" true (size 4 > size 1);
+  let with_trunc =
+    Wire.record_bytes
+      { Wire.payload = Wire.Lock (p 1); truncations = [ tx 1; tx 2 ]; low_bound = 0; cfg = 1 }
+  in
+  check_bool "piggyback adds bytes" true (with_trunc > size 1)
+
+let suites =
+  [
+    ( "core.obj_layout",
+      [
+        qtest header_roundtrip;
+        test "with ops" header_with_ops;
+        test "cas" header_cas;
+        test "data roundtrip" data_roundtrip;
+      ] );
+    ("core.ids", [ test "txid ordering" txid_ordering; test "addr map" addr_map ]);
+    ( "core.config",
+      [
+        test "backup cms" config_backup_cms;
+        test "recovery coordinator" config_recovery_coordinator_deterministic;
+        test "cm must be member" config_cm_must_be_member;
+      ] );
+    ( "core.placement",
+      [
+        test "distinct domains" placement_distinct_domains;
+        test "impossible" placement_impossible;
+        test "balances load" placement_balances_load;
+        test "capacity" placement_capacity;
+        test "colocate" placement_colocate;
+        test "replacements avoid survivor domains" placement_replacements_avoid_survivor_domains;
+        qtest placement_qcheck;
+      ] );
+    ( "core.ringlog",
+      [
+        test "reserve/release" ringlog_reserve_release;
+        test "append/retain/truncate" ringlog_append_retain_truncate;
+        test "discard" ringlog_discard;
+        qtest ringlog_space_qcheck;
+      ] );
+    ("core.wire", [ test "sizes monotone" wire_sizes_monotone ]);
+  ]

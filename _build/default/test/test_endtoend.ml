@@ -1,0 +1,88 @@
+open Farm_sim
+open Farm_core
+open Farm_workloads
+open Test_util
+
+let slow name fn = Alcotest.test_case name `Slow fn
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* TPC-C keeps its consistency conditions across a machine failure: the
+   W_YTD/D_YTD equality and order density must hold after recovery. *)
+let tpcc_consistent_across_failure () =
+  let c = mk_cluster ~machines:6 ~seed:13 () in
+  let scale = { Tpcc.warehouses = 3; districts = 3; customers = 8; items = 40 } in
+  let t = Tpcc.create c ~scale () in
+  Tpcc.load c t;
+  let victim =
+    (* a machine that holds data but is not the CM *)
+    let bucket = t.Tpcc.warehouse.Farm_kv.Hashtable.buckets.(0) in
+    Cluster.run_on c ~machine:1 (fun st ->
+        match Txn.ensure_mapping st bucket.Addr.region ~retries:5 with
+        | Some info when info.Wire.primary <> 0 -> info.Wire.primary
+        | _ -> 1)
+  in
+  Engine.schedule c.Cluster.engine
+    ~at:(Time.add (Cluster.now c) (Time.ms 25))
+    (fun () -> Cluster.kill c victim);
+  ignore (Driver.run c ~workers:3 ~duration:(Time.ms 120) ~op:(Tpcc.op t));
+  Cluster.run_for c ~d:(Time.ms 100);
+  check_bool "W_YTD = sum(D_YTD) after failure + recovery" true (Tpcc.check_ytd c t);
+  check_bool "orders dense after failure + recovery" true (Tpcc.check_orders c t);
+  check_bool "new orders committed" true (Stats.Counter.get t.Tpcc.new_orders > 50)
+
+(* TATP under a power cycle: the database survives whole-cluster loss. *)
+let tatp_across_power_cycle () =
+  let c = mk_cluster ~machines:5 ~seed:6 () in
+  let t = Tatp.create c ~subscribers:200 ~regions_per_table:1 in
+  Tatp.load c t;
+  ignore (Driver.run c ~workers:3 ~duration:(Time.ms 30) ~op:(Tatp.op t));
+  Cluster.power_cycle c;
+  Cluster.run_for c ~d:(Time.ms 120);
+  (* every subscriber row is still there and the mix still runs *)
+  let missing = ref 0 in
+  Cluster.run_on c ~machine:1 (fun st ->
+      for s = 1 to 200 do
+        if Farm_kv.Hashtable.lookup_lockfree st t.Tatp.sub (Tatp.key8 s) = None then
+          incr missing
+      done);
+  check_int "all subscribers survive the power cycle" 0 !missing;
+  let stats = Driver.run c ~workers:3 ~duration:(Time.ms 20) ~op:(Tatp.op t) in
+  check_bool "TATP live after power cycle" true (Stats.Counter.get stats.Driver.ops > 200)
+
+(* Reconfiguration requires the coordination service: with the Zookeeper
+   quorum down, a failure cannot evict anyone (the CAS is refused); when
+   quorum returns, reconfiguration completes. *)
+let reconfig_needs_zk_quorum () =
+  let c = mk_cluster ~machines:5 ~seed:2 () in
+  let r = Cluster.alloc_region_exn c in
+  let cell = (alloc_cells c ~region:r.Wire.rid ~n:1 ~init:9).(0) in
+  Cluster.run_for c ~d:(Time.ms 5);
+  (* take down the ZK quorum, then kill a machine *)
+  Farm_coord.Zk.kill_replica c.Cluster.zk 0;
+  Farm_coord.Zk.kill_replica c.Cluster.zk 1;
+  Farm_coord.Zk.kill_replica c.Cluster.zk 2;
+  let victim = surviving_machine c ~not_in:[ 0 ] in
+  Cluster.kill c victim;
+  Cluster.run_for c ~d:(Time.ms 100);
+  check_int "no reconfiguration without ZK quorum" 1
+    (Cluster.machine c 0).State.config.Config.id;
+  (* quorum heals: the pending suspicion drives the change through *)
+  Farm_coord.Zk.revive_replica c.Cluster.zk 0;
+  Farm_coord.Zk.revive_replica c.Cluster.zk 1;
+  Cluster.run_for c ~d:(Time.ms 200);
+  check_int "reconfiguration completed after quorum returned" 2
+    (Cluster.machine c 0).State.config.Config.id;
+  check_bool "victim evicted" false
+    (Config.is_member (Cluster.machine c 0).State.config victim);
+  check_int "data intact" 9 (read_cell c ~machine:0 cell)
+
+let suites =
+  [
+    ( "endtoend",
+      [
+        slow "tpcc consistent across failure" tpcc_consistent_across_failure;
+        slow "tatp across power cycle" tatp_across_power_cycle;
+        slow "reconfig needs zk quorum" reconfig_needs_zk_quorum;
+      ] );
+  ]

@@ -1,0 +1,64 @@
+open Farm_sim
+open Farm_core
+
+(* Shared helpers for cluster-level tests. *)
+
+let quick_params =
+  { Params.default with Params.lease_duration = Time.ms 5; region_size = 1 lsl 18 }
+
+let mk_cluster ?(seed = 42) ?(machines = 5) ?(params = quick_params) ?domains () =
+  Cluster.create ~seed ~params ?domains ~machines ()
+
+(* An integer cell stored in a FaRM object. *)
+let read_int tx addr = Int64.to_int (Bytes.get_int64_le (Txn.read tx addr ~len:8) 0)
+
+let write_int tx addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Txn.write tx addr b
+
+(* Allocate [n] cells initialized to [init] in [region], from machine 0. *)
+let alloc_cells cluster ~region ~n ~init =
+  Cluster.run_on cluster ~machine:0 (fun st ->
+      match
+        Api.run_retry st ~thread:0 (fun tx ->
+            Array.init n (fun _ ->
+                let a = Txn.alloc tx ~size:8 ~region () in
+                write_int tx a init;
+                a))
+      with
+      | Ok addrs -> addrs
+      | Error e -> Fmt.failwith "alloc_cells: %a" Txn.pp_abort e)
+
+let read_cell cluster ~machine addr =
+  Cluster.run_on cluster ~machine (fun st ->
+      match Api.run_retry st ~thread:0 (fun tx -> read_int tx addr) with
+      | Ok v -> v
+      | Error e -> Fmt.failwith "read_cell: %a" Txn.pp_abort e)
+
+let sum_cells cluster ~machine addrs =
+  Cluster.run_on cluster ~machine (fun st ->
+      match
+        Api.run_retry st ~thread:0 (fun tx ->
+            Array.fold_left (fun acc a -> acc + read_int tx a) 0 addrs)
+      with
+      | Ok v -> v
+      | Error e -> Fmt.failwith "sum_cells: %a" Txn.pp_abort e)
+
+(* Spawn [fn] on a machine and return a getter to its eventual result;
+   unlike [Cluster.run_on] this does not drive the engine. *)
+let background cluster ~machine fn =
+  let st = Cluster.machine cluster machine in
+  let result = ref None in
+  Proc.spawn ~ctx:st.State.ctx cluster.Cluster.engine (fun () -> result := Some (fn st));
+  fun () -> !result
+
+(* Replica bytes of a region on a machine, for byte-identity checks. *)
+let replica_bytes cluster ~machine rid =
+  match State.replica (Cluster.machine cluster machine) rid with
+  | Some rep -> Some rep.State.mem
+  | None -> None
+
+let surviving_machine _cluster ~not_in =
+  let rec go m = if List.mem m not_in then go (m + 1) else m in
+  go 0

@@ -1,0 +1,281 @@
+open Farm_sim
+open Farm_core
+open Farm_workloads
+open Test_util
+
+let test name fn = Alcotest.test_case name `Quick fn
+let slow name fn = Alcotest.test_case name `Slow fn
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* {1 Driver} *)
+
+let driver_measures () =
+  let c = mk_cluster ~machines:3 () in
+  let r = Cluster.alloc_region_exn c in
+  let cells = alloc_cells c ~region:r.Wire.rid ~n:8 ~init:0 in
+  let stats =
+    Driver.run c ~workers:2 ~duration:(Time.ms 20)
+      ~op:(fun ctx ->
+        let i = Rng.int ctx.Driver.rng 8 in
+        match
+          Api.run_retry ~attempts:4 ctx.Driver.st ~thread:ctx.Driver.thread (fun tx ->
+              let v = read_int tx cells.(i) in
+              write_int tx cells.(i) (v + 1))
+        with
+        | Ok () -> true
+        | Error _ -> false)
+  in
+  check_bool "ops recorded" true (Stats.Counter.get stats.Driver.ops > 50);
+  check_bool "latency recorded" true (Stats.Hist.count stats.Driver.latency > 50);
+  (* committed increments must equal the cells' sum *)
+  let total = sum_cells c ~machine:0 cells in
+  check_int "sum equals committed ops" (Stats.Counter.get stats.Driver.ops) total
+
+let driver_warmup_excluded () =
+  let c = mk_cluster ~machines:3 () in
+  let stats =
+    Driver.run c ~workers:1 ~warmup:(Time.ms 10) ~duration:(Time.ms 10)
+      ~op:(fun ctx ->
+        Proc.sleep (Time.us 100);
+        ignore ctx;
+        true)
+  in
+  (* ~10ms of measurement at ~10 ops/ms/machine max *)
+  check_bool "warmup not counted" true (Stats.Counter.get stats.Driver.ops <= 350)
+
+let recovery_time_detection () =
+  let stats = Driver.create_stats () in
+  (* synthesize a throughput series: 100/ms before failure at 50ms, zero
+     for 30ms, then back to 100 *)
+  for i = 0 to 49 do
+    Stats.Series.add stats.Driver.series ~at:(Time.ms i) 100
+  done;
+  for i = 80 to 120 do
+    Stats.Series.add stats.Driver.series ~at:(Time.ms i) 100
+  done;
+  match Driver.recovery_time stats ~failure_at:(Time.ms 50) ~fraction:0.8 with
+  | Some t ->
+      check_bool "detected ~30ms recovery" true
+        (Time.to_ms_float t >= 29. && Time.to_ms_float t <= 31.)
+  | None -> Alcotest.fail "recovery not detected"
+
+(* {1 TATP} *)
+
+let tatp_fixture =
+  lazy
+    (let c = mk_cluster ~machines:4 () in
+     let t = Tatp.create c ~subscribers:300 ~regions_per_table:1 in
+     Tatp.load c t;
+     (c, t))
+
+let tatp_loaded () =
+  let c, t = Lazy.force tatp_fixture in
+  (* every subscriber row exists *)
+  let missing = ref 0 in
+  Cluster.run_on c ~machine:1 (fun st ->
+      for s = 1 to 300 do
+        if Farm_kv.Hashtable.lookup_lockfree st t.Tatp.sub (Tatp.key8 s) = None then
+          incr missing
+      done);
+  check_int "all subscribers present" 0 !missing
+
+let tatp_transactions_work () =
+  let c, t = Lazy.force tatp_fixture in
+  let st = Cluster.machine c 2 in
+  Cluster.run_on c ~machine:2 (fun _ ->
+      let rng = Rng.create 5 in
+      check_bool "get_subscriber_data" true (Tatp.get_subscriber_data st t rng);
+      check_bool "get_access_data" true (Tatp.get_access_data st t rng);
+      check_bool "get_new_destination" true (Tatp.get_new_destination st ~thread:0 t rng);
+      check_bool "update_subscriber_data" true (Tatp.update_subscriber_data st ~thread:0 t rng);
+      check_bool "update_location (function-shipped)" true
+        (Tatp.update_location st ~thread:0 t rng);
+      check_bool "insert_call_forwarding" true (Tatp.insert_call_forwarding st ~thread:0 t rng);
+      check_bool "delete_call_forwarding" true (Tatp.delete_call_forwarding st ~thread:0 t rng))
+
+let tatp_update_location_applies () =
+  let c, t = Lazy.force tatp_fixture in
+  (* ship an update and read the new vlr back *)
+  Cluster.run_on c ~machine:3 (fun st ->
+      (* find a subscriber whose bucket primary is remote *)
+      let primary_of s =
+        let bucket =
+          t.Tatp.sub.Farm_kv.Hashtable.buckets
+            .(Farm_kv.Hashtable.bucket_of t.Tatp.sub (Tatp.key8 s))
+        in
+        match Txn.ensure_mapping st bucket.Addr.region ~retries:5 with
+        | Some info -> info.Wire.primary
+        | None -> Alcotest.fail "no mapping"
+      in
+      let rec pick s = if primary_of s <> st.State.id then s else pick (s + 1) in
+      let s = pick 1 in
+      let primary = primary_of s in
+      check_bool "shipping to remote primary" true (primary <> st.State.id);
+      (match
+         Comms.call st ~dst:primary ~timeout:(Time.ms 50)
+           (Wire.App_call { tag = Tatp.update_location_tag; args = [| s; 31337 |] })
+       with
+      | Ok (Wire.App_reply { ok }) -> check_bool "shipped ok" true ok
+      | _ -> Alcotest.fail "App_call failed");
+      match Farm_kv.Hashtable.lookup_lockfree st t.Tatp.sub (Tatp.key8 s) with
+      | Some row ->
+          check_int "vlr updated" 31337 (Int64.to_int (Bytes.get_int64_le row 0))
+      | None -> Alcotest.fail "subscriber vanished")
+
+let tatp_mix_runs () =
+  let c, t = Lazy.force tatp_fixture in
+  let stats = Driver.run c ~workers:4 ~duration:(Time.ms 30) ~op:(Tatp.op t) in
+  let ops = Stats.Counter.get stats.Driver.ops in
+  let failures = Stats.Counter.get stats.Driver.failures in
+  check_bool "substantial throughput" true (ops > 500);
+  check_bool "failure rate under 2%" true (failures * 50 < ops)
+
+let tatp_nonuniform_sids () =
+  let _, t = Lazy.force tatp_fixture in
+  let rng = Rng.create 77 in
+  let counts = Array.make 301 0 in
+  for _ = 1 to 20_000 do
+    let s = Tatp.random_sid t rng in
+    check_bool "in range" true (s >= 1 && s <= 300);
+    counts.(s) <- counts.(s) + 1
+  done;
+  (* TATP's OR-based generator skews toward ids with more set bits *)
+  let max_c = Array.fold_left max 0 counts in
+  let min_c = Array.fold_left min max_int (Array.sub counts 1 300) in
+  check_bool "distribution is skewed" true (max_c > 3 * (min_c + 1))
+
+(* {1 TPC-C} *)
+
+let tpcc_fixture =
+  lazy
+    (let c = mk_cluster ~machines:4 ~params:{ quick_params with Params.region_size = 1 lsl 20 } () in
+     let scale = { Tpcc.warehouses = 2; districts = 3; customers = 8; items = 40 } in
+     let t = Tpcc.create c ~scale () in
+     Tpcc.load c t;
+     (c, t))
+
+let tpcc_loads () =
+  let c, t = Lazy.force tpcc_fixture in
+  check_bool "ytd consistent after load" true (Tpcc.check_ytd c t);
+  check_bool "orders dense after load" true (Tpcc.check_orders c t)
+
+let tpcc_new_order () =
+  let c, t = Lazy.force tpcc_fixture in
+  let before = Stats.Counter.get t.Tpcc.new_orders in
+  let ok = ref false in
+  Cluster.run_on c ~machine:1 (fun st ->
+      let ctx = { Driver.st; thread = 0; rng = Rng.create 3; worker = 0 } in
+      (* retry over the 1% intentional rollbacks *)
+      let rec go n = if n = 0 then () else if Tpcc.new_order t ctx ~w:0 then ok := true else go (n - 1) in
+      go 10);
+  check_bool "new_order committed" true !ok;
+  check_bool "counted" true (Stats.Counter.get t.Tpcc.new_orders > before)
+
+let tpcc_payment_preserves_ytd () =
+  let c, t = Lazy.force tpcc_fixture in
+  Cluster.run_on c ~machine:2 (fun st ->
+      let ctx = { Driver.st; thread = 0; rng = Rng.create 9; worker = 0 } in
+      for _ = 1 to 10 do
+        ignore (Tpcc.payment t ctx ~w:1)
+      done);
+  check_bool "W_YTD = sum(D_YTD) after payments" true (Tpcc.check_ytd c t)
+
+let tpcc_mix_consistent () =
+  let c, t = Lazy.force tpcc_fixture in
+  let stats = Driver.run c ~workers:2 ~duration:(Time.ms 40) ~op:(Tpcc.op t) in
+  check_bool "mix ran" true (Stats.Counter.get stats.Driver.ops > 30);
+  Cluster.run_for c ~d:(Time.ms 20);
+  check_bool "ytd invariant holds under full mix" true (Tpcc.check_ytd c t);
+  check_bool "orders remain dense" true (Tpcc.check_orders c t)
+
+(* {1 KV lookup workload} *)
+
+let kvlookup_works () =
+  let c = mk_cluster ~machines:4 () in
+  let t = Kvlookup.create c ~keys:200 ~regions:2 in
+  Kvlookup.load c t;
+  let stats = Driver.run c ~workers:4 ~duration:(Time.ms 20) ~op:(Kvlookup.op t) in
+  check_int "no failures" 0 (Stats.Counter.get stats.Driver.failures);
+  check_bool "high lookup rate" true (Stats.Counter.get stats.Driver.ops > 1000);
+  (* lock-free reads dominate: commit protocol untouched *)
+  let lockfree =
+    Array.fold_left
+      (fun acc (st : State.t) -> acc + Stats.Counter.get st.State.metrics.lockfree_reads)
+      0 c.Cluster.machines
+  in
+  check_bool "served by lock-free reads" true (lockfree >= Stats.Counter.get stats.Driver.ops)
+
+(* {1 YCSB} *)
+
+let ycsb_profiles_run () =
+  let c = mk_cluster ~machines:4 () in
+  let t = Ycsb.create c ~keys:300 ~regions:2 in
+  Ycsb.load c t;
+  List.iter
+    (fun profile ->
+      let stats =
+        Driver.run c ~workers:2 ~duration:(Time.ms 10) ~op:(Ycsb.op profile t)
+      in
+      check_bool
+        (Printf.sprintf "%s makes progress" (Ycsb.profile_name profile))
+        true
+        (Stats.Counter.get stats.Driver.ops > 20))
+    [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ]
+
+let ycsb_zipf_skewed () =
+  let rng = Rng.create 3 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let k = Ycsb.zipf rng 1000 in
+    check_bool "in range" true (k >= 0 && k < 1000);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* the head of the distribution is much hotter than the tail *)
+  let head = Array.fold_left ( + ) 0 (Array.sub counts 0 100) in
+  let tail = Array.fold_left ( + ) 0 (Array.sub counts 900 100) in
+  check_bool
+    (Printf.sprintf "zipfian skew (head %d vs tail %d)" head tail)
+    true (head > 4 * (tail + 1))
+
+(* {1 Baseline} *)
+
+let baseline_single_machine () =
+  let c = Baseline.cluster ~seed:5 () in
+  check_int "one machine" 1 (Cluster.n_machines c);
+  let r = Cluster.alloc_region_exn c in
+  let cell = (alloc_cells c ~region:r.Wire.rid ~n:1 ~init:0).(0) in
+  Cluster.run_on c ~machine:0 (fun st ->
+      match Api.run_retry st ~thread:0 (fun tx -> write_int tx cell 5) with
+      | Ok () -> ()
+      | Error e -> Fmt.failwith "%a" Txn.pp_abort e);
+  check_int "unreplicated commit works" 5 (read_cell c ~machine:0 cell)
+
+let suites =
+  [
+    ( "workloads.driver",
+      [
+        test "measures" driver_measures;
+        test "warmup excluded" driver_warmup_excluded;
+        test "recovery time detection" recovery_time_detection;
+      ] );
+    ( "workloads.tatp",
+      [
+        slow "loaded" tatp_loaded;
+        slow "all transactions" tatp_transactions_work;
+        slow "function shipping applies" tatp_update_location_applies;
+        slow "mix runs" tatp_mix_runs;
+        slow "non-uniform sids" tatp_nonuniform_sids;
+      ] );
+    ( "workloads.tpcc",
+      [
+        slow "loads consistently" tpcc_loads;
+        slow "new_order" tpcc_new_order;
+        slow "payment preserves ytd" tpcc_payment_preserves_ytd;
+        slow "full mix consistent" tpcc_mix_consistent;
+      ] );
+    ("workloads.kv", [ test "kvlookup" kvlookup_works ]);
+    ( "workloads.ycsb",
+      [ slow "all profiles run" ycsb_profiles_run; test "zipf skew" ycsb_zipf_skewed ] );
+    ("workloads.baseline", [ test "single machine" baseline_single_machine ]);
+  ]
