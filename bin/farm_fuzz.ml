@@ -1,0 +1,94 @@
+(* farm-fuzz: deterministic fault-schedule fuzzing of the FaRM simulation.
+
+     dune exec bin/farm_fuzz.exe -- --schedules 200 --seed 1
+     dune exec bin/farm_fuzz.exe -- --replay 4611686018427387904
+
+   Each schedule runs a conserving bank + B-tree workload on a fresh
+   cluster under a random timed fault script (crashes, restarts, power
+   failures, partitions, lossy/slow links, lease stalls, clock skew), then
+   heals, quiesces, and checks the committed history for strict
+   serializability plus a battery of state invariants. Everything derives
+   from integer seeds: a failing schedule prints its seed, and --replay
+   reruns it with a byte-identical event trace. *)
+
+open Farm_sim
+open Farm_fault
+open Cmdliner
+
+let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree =
+  {
+    Explorer.machines;
+    cells;
+    workers;
+    duration = Time.ms duration_ms;
+    btree = not no_btree;
+  }
+
+let run_explore ~opts ~seed ~schedules ~verbose =
+  let report =
+    Explorer.run ~opts
+      ~on_outcome:(fun ~index o ->
+        if not (Explorer.ok o) then Fmt.pr "schedule %d: %a@." index Explorer.pp_outcome o
+        else if verbose then Fmt.pr "schedule %d: %a@." index Explorer.pp_outcome o
+        else if index mod 25 = 0 then Fmt.pr "... %d/%d schedules@." index schedules)
+      ~base_seed:seed ~schedules ()
+  in
+  Fmt.pr "%d schedules, %d transactions committed, %d failures@."
+    report.Explorer.schedules report.Explorer.total_committed
+    (List.length report.Explorer.failures);
+  List.iter
+    (fun (o : Explorer.outcome) ->
+      Fmt.pr "replay with: farm_fuzz --replay %d@." o.Explorer.seed)
+    report.Explorer.failures;
+  if report.Explorer.failures = [] then 0 else 1
+
+let run_replay ~opts ~seed =
+  let o = Explorer.run_one ~opts seed in
+  List.iter (Fmt.pr "%s@.") o.Explorer.trace;
+  Fmt.pr "%a@." Explorer.pp_outcome { o with Explorer.trace = [] };
+  if Explorer.ok o then 0 else 1
+
+let main seed schedules replay machines cells workers duration_ms no_btree verbose =
+  if machines < 3 then begin
+    Fmt.epr "farm_fuzz: --machines must be at least 3 (every region needs f+1 = 3 replicas)@.";
+    2
+  end
+  else if cells < 1 then begin
+    Fmt.epr "farm_fuzz: --cells must be at least 1@.";
+    2
+  end
+  else begin
+    let opts = opts_of ~machines ~cells ~workers ~duration_ms ~no_btree in
+    match replay with
+    | Some s -> run_replay ~opts ~seed:s
+    | None -> run_explore ~opts ~seed ~schedules ~verbose
+  end
+
+let cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed for schedule derivation.") in
+  let schedules =
+    Arg.(value & opt int 50 & info [ "schedules"; "n" ] ~doc:"Number of schedules to explore.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ]
+          ~doc:"Replay one schedule seed (as printed by a failing run) and dump its trace.")
+  in
+  let machines = Arg.(value & opt int 6 & info [ "machines"; "m" ] ~doc:"Cluster size.") in
+  let cells = Arg.(value & opt int 16 & info [ "cells" ] ~doc:"Bank cells.") in
+  let workers = Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"Workers per machine.") in
+  let duration_ms =
+    Arg.(value & opt int 60 & info [ "duration"; "d" ] ~doc:"Workload window per schedule (ms).")
+  in
+  let no_btree = Arg.(value & flag & info [ "no-btree" ] ~doc:"Disable the B-tree side workload.") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule outcome.") in
+  let term =
+    Term.(
+      const main $ seed $ schedules $ replay $ machines $ cells $ workers $ duration_ms
+      $ no_btree $ verbose)
+  in
+  Cmd.v (Cmd.info "farm_fuzz" ~doc:"Deterministic fault-schedule fuzzer for the FaRM simulation") term
+
+let () = exit (Cmd.eval' cmd)

@@ -141,7 +141,7 @@ let wipe_nvram t id = Farm_nvram.Bank.wipe t.machines.(id).State.nv.bank
    changed, so the standard drain/vote/decide recovery resolves every
    transaction that was in flight at the power failure. *)
 
-let restart_machine t id ~config =
+let restart_machine ?(rejoining = true) t id ~config =
   let old = t.machines.(id) in
   if old.State.alive then invalid_arg "Cluster.restart_machine: machine is alive";
   let cpu = Cpu.create t.engine ~threads:t.params.Params.threads_per_machine in
@@ -158,6 +158,7 @@ let restart_machine t id ~config =
       Hashtbl.replace st.State.logs_out dst log;
       Ringlog.reset_sender_view log)
     old.State.logs_out;
+  st.State.rejoining <- rejoining;
   Hashtbl.replace directory id st;
   t.machines.(id) <- st;
   st.State.trace <-
@@ -181,7 +182,9 @@ let power_cycle t =
   in
   ignore (Farm_coord.Zk.bootstrap_cas t.zk ~expected_seq:seq config);
   let machines =
-    List.map (fun id -> restart_machine t id ~config:old_config) old_config.Config.members
+    List.map
+      (fun id -> restart_machine ~rejoining:false t id ~config:old_config)
+      old_config.Config.members
   in
   (* rebuild the region map from the surviving NVRAM replica roles; every
      region is marked changed in this configuration so that every in-flight
@@ -255,6 +258,66 @@ let power_cycle t =
 
 let partition t ~group ids =
   List.iter (fun id -> Farm_net.Fabric.set_partition t.fabric id group) ids
+
+(* Undo every network fault: all machines back in partition group 0 and all
+   per-link delay/loss injection cleared. Dead machines stay dead and
+   evicted machines stay evicted — healing the network never re-admits
+   anyone (the paper never re-admits machines mid-run). *)
+let heal t =
+  Array.iter
+    (fun (st : State.t) ->
+      if st.State.alive then Farm_net.Fabric.set_partition t.fabric st.State.id 0)
+    t.machines;
+  Farm_net.Fabric.clear_link_faults t.fabric
+
+(* The newest configuration committed by any alive machine. Its members are
+   the machines whose state is authoritative: alive non-members are evicted
+   zombies whose stale tables must not be probed. *)
+let current_config t =
+  Array.fold_left
+    (fun acc (st : State.t) ->
+      if not st.State.alive then acc
+      else
+        match acc with
+        | Some (c : Config.t) when c.Config.id >= st.State.config.Config.id -> acc
+        | _ -> Some st.State.config)
+    None t.machines
+
+(* {1 Quiesce}
+
+   Drive the simulation until the cluster settles: no member is
+   reconfiguring or blocked, every recovery coordination is decided, and no
+   new milestone has appeared for two consecutive windows. Used by the
+   fault fuzzer before running invariant probes. Returns [false] when the
+   cluster fails to settle within [max_wait] — itself a liveness
+   violation. *)
+let quiesce ?(max_wait = Time.ms 1_000) ?(window = Time.ms 30) t =
+  let members_settled () =
+    match current_config t with
+    | None -> false
+    | Some cfg ->
+        List.for_all
+          (fun m ->
+            let st = t.machines.(m) in
+            (not st.State.alive)
+            || ((not st.State.reconfig_active)
+               && (not st.State.blocked)
+               && st.State.config.Config.id = cfg.Config.id
+               && Txid.Tbl.fold
+                    (fun _ rc acc -> acc && rc.State.rc_decided)
+                    st.State.rec_coords true))
+          cfg.Config.members
+  in
+  let deadline = Time.add (Engine.now t.engine) max_wait in
+  let rec loop last_count streak =
+    run_for t ~d:window;
+    let count = List.length !(t.milestones) in
+    let stable = members_settled () && count = last_count in
+    if stable && streak >= 1 then true
+    else if Time.( >= ) (Engine.now t.engine) deadline then members_settled ()
+    else loop count (if stable then streak + 1 else 0)
+  in
+  loop (-1) 0
 
 (* {1 Region setup} *)
 

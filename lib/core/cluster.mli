@@ -50,9 +50,14 @@ val kill_domain : t -> int -> unit
 val kill_cm : t -> unit
 val wipe_nvram : t -> int -> unit
 
-val restart_machine : t -> int -> config:Config.t -> State.t
+val restart_machine : ?rejoining:bool -> t -> int -> config:Config.t -> State.t
 (** Boot a dead machine's FaRM process again on top of its surviving
-    NVRAM; volatile state is rebuilt from scratch. *)
+    NVRAM; volatile state is rebuilt from scratch. By default the machine
+    comes back [rejoining]: it stays out of any configuration that lists it
+    as a member (its probe word shows the new boot epoch, so the membership
+    protocol evicts it — failure and rejoin are both configuration
+    changes). [power_cycle] passes [~rejoining:false] because the boot-time
+    configuration change already marks every region as changed. *)
 
 val power_cycle : t -> unit
 (** Full-cluster power failure and restart (§5 durability): kill every
@@ -62,6 +67,21 @@ val power_cycle : t -> unit
     per the §5.3 rules. *)
 
 val partition : t -> group:int -> int list -> unit
+
+val heal : t -> unit
+(** Undo every network fault (partitions and per-link delay/loss). Dead
+    machines stay dead; evicted machines stay evicted. *)
+
+val current_config : t -> Config.t option
+(** The newest configuration committed by any alive machine. Alive
+    non-members are evicted zombies whose state is stale. *)
+
+val quiesce : ?max_wait:Time.t -> ?window:Time.t -> t -> bool
+(** Drive the simulation until the cluster settles (no member
+    reconfiguring or blocked, every recovery coordination decided, no new
+    milestones for two windows); [false] if it fails to settle within
+    [max_wait] — itself a liveness violation. Call {!heal} first if
+    network faults are outstanding. *)
 
 (** {1 Region management} *)
 

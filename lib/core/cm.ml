@@ -110,6 +110,9 @@ let probe st ~targets =
              (fun () ->
                match State.peer st m with
                | None -> None
+               (* a reincarnated machine's probe word carries its new boot
+                  epoch: the CM does not count it as the member it probed *)
+               | Some pst when pst.State.rejoining -> None
                | Some pst ->
                    let replicas =
                      Hashtbl.fold
@@ -370,6 +373,8 @@ let rec attempt_reconfig st =
    SUSPECT messages). Runs the backup-CM election dance of §5.2 step 1 when
    the CM itself is suspected. *)
 let handle_suspicion st suspects =
+  if st.State.rejoining then ()
+  else begin
   let fresh = List.filter (fun m -> not (Hashtbl.mem st.State.pending_suspects m)) suspects in
   List.iter (fun m -> Hashtbl.replace st.State.pending_suspects m ()) suspects;
   if fresh <> [] then st.State.trace "suspect";
@@ -413,6 +418,7 @@ let handle_suspicion st suspects =
             Comms.send st ~dst:st.State.config.Config.cm
               (Wire.Suspect_req { cfg = old_id; suspect }))
           suspects)
+  end
 
 (* {1 Post-recovery bookkeeping at the CM} *)
 

@@ -230,6 +230,14 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
             Txn.return_allocations tx;
             finish (Error Txn.Failed)
       in
+      (* A failed log append means the reliable channel to that machine is
+         broken — the NIC gave up retransmitting — so the machine is
+         suspect. Reporting it (precise membership, §3) starts the
+         reconfiguration whose transaction recovery then resolves this
+         transaction; without the report a transient partition could leave
+         the coordinator waiting for a configuration change that never
+         comes, its locks held forever. *)
+      let suspect_append_failure m = st.State.on_suspect [ m ] in
       (* Abort: write ABORT records to the primaries, which release the
          locks and locally truncate the transaction. *)
       let abort_tx reason =
@@ -238,7 +246,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
              (fun (p, _) () ->
                match Logio.append st ~dst:p ~thread:tx.Txn.thread (Wire.Abort txid) with
                | Ok n -> add_to consumed p n
-               | Error _ -> ())
+               | Error _ -> suspect_append_failure p)
              primary_list);
         State.forget_outstanding st txid;
         Txn.return_allocations tx;
@@ -259,7 +267,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                  (Wire.Lock { txid; regions_written; writes = its })
              with
              | Ok n -> add_to consumed p n
-             | Error _ -> ())
+             | Error _ -> suspect_append_failure p)
            primary_list);
       match race_outcome lt lw.State.lw_done with
       | Recovered o -> recovered_result o
@@ -285,12 +293,15 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                          (Wire.Commit_backup { txid; regions_written; writes = its })
                      with
                      | Ok n -> add_to consumed b n
-                     | Error _ -> backup_failed := true)
+                     | Error _ ->
+                         backup_failed := true;
+                         suspect_append_failure b)
                    backup_list);
               if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
               else if !backup_failed then
-                (* a backup died: the configuration change is coming and
-                   will make this transaction recovering *)
+                (* a backup is gone: the suspicion just reported brings the
+                   configuration change that makes this transaction
+                   recovering *)
                 recovered_result (Ivar.read lt.State.lt_outcome)
               else begin
                 State.phase st State.After_commit_backup txid;
@@ -309,7 +320,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                         | Ok n ->
                             add_to consumed p n;
                             Ivar.fill_if_empty first_ack ()
-                        | Error _ -> ());
+                        | Error _ -> suspect_append_failure p);
                         decr remaining;
                         if !remaining = 0 then Ivar.fill all_acks ()))
                   primary_list;

@@ -5,9 +5,9 @@ open Farm_net
 
 let member st dst = Config.is_member st.State.config dst
 
-let send ?(prio = false) ?cpu_cost st ~dst msg =
+let send ?(prio = false) ?transport ?cpu_cost st ~dst msg =
   if member st dst || dst = st.State.id then
-    Fabric.send ~prio ?cpu_cost st.State.fabric ~src:st.State.id ~dst
+    Fabric.send ~prio ?transport ?cpu_cost st.State.fabric ~src:st.State.id ~dst
       ~bytes:(Wire.message_bytes msg) msg
 
 let call ?(prio = false) ?timeout st ~dst msg : (Wire.message, Fabric.error) result =

@@ -4,7 +4,14 @@ open Farm_net
 (** Messaging helpers enforcing precise membership (§5.2): machines never
     issue requests to machines outside their configuration. *)
 
-val send : ?prio:bool -> ?cpu_cost:Time.t -> State.t -> dst:int -> Wire.message -> unit
+val send :
+  ?prio:bool ->
+  ?transport:[ `Rc | `Ud ] ->
+  ?cpu_cost:Time.t ->
+  State.t ->
+  dst:int ->
+  Wire.message ->
+  unit
 
 val call :
   ?prio:bool -> ?timeout:Time.t -> State.t -> dst:int -> Wire.message ->

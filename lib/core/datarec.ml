@@ -37,6 +37,43 @@ let apply_block st (rep : State.replica) ~block (data : Bytes.t) =
         end
       done
 
+(* A fresh backup's zeroed replica may predate every slab in the region:
+   header replication (§5.5) only covers blocks carved after it joined and
+   the primary-side sync only runs on primary change. Fetch the primary's
+   replicated header table before copying so [apply_block] knows every
+   block's object size. *)
+let fetch_block_headers st (rep : State.replica) =
+  match State.region_info st rep.State.rid with
+  | None -> false
+  | Some info -> (
+      match
+        Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id
+          ~dst:info.Wire.primary
+          ~bytes:(8 * (1 + Hashtbl.length rep.State.block_headers))
+          (fun () ->
+            match State.peer st info.Wire.primary with
+            | None -> None
+            | Some pst -> (
+                match State.replica pst rep.State.rid with
+                | Some prep when prep.State.role = State.Primary ->
+                    Some
+                      (Hashtbl.fold
+                         (fun b s acc -> (b, s) :: acc)
+                         prep.State.block_headers [])
+                | _ -> None))
+      with
+      | Ok (Some headers) ->
+          List.iter
+            (fun (b, s) ->
+              if not (Hashtbl.mem rep.State.block_headers b) then
+                Hashtbl.replace rep.State.block_headers b s)
+            headers;
+          true
+      | Ok None | Error _ ->
+          (* primary moved or died; the caller retries or the next
+             reconfiguration re-assigns data recovery *)
+          false)
+
 let read_chunk st ~dst ~rid ~base ~len =
   Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst ~bytes:len
     (fun () ->
@@ -51,7 +88,7 @@ let read_chunk st ~dst ~rid ~base ~len =
 (* Recover one region at a new backup: slab blocks are split across worker
    threads; each block is fetched in [recovery_block]-sized reads
    ([recovery_concurrency] in flight), assembled, and applied. *)
-let recover_region st (rep : State.replica) ~on_done =
+let rec recover_region st (rep : State.replica) ~on_done =
   let p = st.State.params in
   (* a region down to one surviving replica is re-replicated aggressively:
      bigger reads, more in flight, no pacing (§6.4) *)
@@ -82,8 +119,11 @@ let recover_region st (rep : State.replica) ~on_done =
     | Some info -> Some info.Wire.primary
     | None -> None
   in
-  for w = 0 to workers - 1 do
-    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+  let failed = ref false in
+  Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+      if not (fetch_block_headers st rep) then failed := true;
+      for w = 0 to workers - 1 do
+        Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
         let lo = w * per_worker and hi = min nblocks ((w + 1) * per_worker) in
         for block = lo to hi - 1 do
           Proc.check_cancelled ();
@@ -127,13 +167,24 @@ let recover_region st (rep : State.replica) ~on_done =
             Cpu.exec st.State.cpu ~cost:(Time.ns (100 * (bs / 256)));
             apply_block st rep ~block buf
           end
+          else failed := true
         done;
         decr remaining;
         if !remaining = 0 then begin
-          rep.State.fresh_backup <- false;
-          on_done ()
+          if !failed then
+            (* part of the region was unreadable (primary unreachable
+               mid-recovery): keep the replica marked fresh and retry after
+               a pacing delay — re-reading already-applied blocks is benign
+               under [apply_block]'s version check *)
+            Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+                Proc.sleep (Time.ms 2);
+                recover_region st rep ~on_done)
+          else begin
+            rep.State.fresh_backup <- false;
+            on_done ()
+          end
         end)
-  done
+      done)
 
 (* Entry point: ALL-REGIONS-ACTIVE received — start data recovery for every
    freshly-assigned replica, and allocator recovery (§5.5) for every

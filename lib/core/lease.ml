@@ -24,20 +24,30 @@ open Farm_sim
 let timer_resolution = Time.us 500
 
 (* Delay before this machine's lease manager actually gets to run, per
-   implementation. *)
+   implementation. Every implementation first waits out [suspended_until]:
+   the Ud_thread preemption spikes set it, and so does the fault fuzzer's
+   lease-stall nemesis (a stalled lease manager models a GC pause or
+   scheduler outage on any implementation). *)
 let scheduling_delay st =
   let l = st.State.lease in
-  match l.State.impl with
-  | State.Rpc_shared | State.Ud_shared ->
-      (* shared worker threads: wait for a free one *)
-      Cpu.queue_delay st.State.cpu
-  | State.Ud_thread ->
-      let now = State.now st in
-      if Time.( > ) l.State.suspended_until now then Time.sub l.State.suspended_until now
-      else Time.ns (Rng.int st.State.rng 20_000)
-  | State.Ud_thread_pri ->
-      (* interrupt latency: a few microseconds *)
-      Time.ns (2_000 + Rng.int st.State.rng 3_000)
+  let now = State.now st in
+  let stall =
+    if Time.( > ) l.State.suspended_until now then Time.sub l.State.suspended_until now
+    else Time.zero
+  in
+  let base =
+    match l.State.impl with
+    | State.Rpc_shared | State.Ud_shared ->
+        (* shared worker threads: wait for a free one *)
+        Cpu.queue_delay st.State.cpu
+    | State.Ud_thread ->
+        if Time.( > ) stall Time.zero then Time.zero
+        else Time.ns (Rng.int st.State.rng 20_000)
+    | State.Ud_thread_pri ->
+        (* interrupt latency: a few microseconds *)
+        Time.ns (2_000 + Rng.int st.State.rng 3_000)
+  in
+  Time.max stall base
 
 (* Quantize a wakeup to the system timer for the interrupt-driven
    implementation. *)
@@ -49,14 +59,14 @@ let quantize st d =
   | State.Rpc_shared | State.Ud_shared -> d
 
 let send_lease st ~dst msg =
-  let prio =
+  let prio, transport =
     match st.State.lease.State.impl with
-    | State.Rpc_shared -> false
-    | State.Ud_shared | State.Ud_thread | State.Ud_thread_pri -> true
+    | State.Rpc_shared -> (false, `Rc)
+    | State.Ud_shared | State.Ud_thread | State.Ud_thread_pri -> (true, `Ud)
   in
   (* lease messages are tiny; senders on a dedicated thread pay no shared
      CPU (the scheduling delay was already modelled) *)
-  Comms.send st ~prio ~cpu_cost:Time.zero ~dst msg
+  Comms.send st ~prio ~transport ~cpu_cost:Time.zero ~dst msg
 
 (* Background OS preemption spikes for the dedicated-thread (non-priority)
    lease manager. *)
@@ -276,3 +286,25 @@ let start st =
   start_spike_generator st;
   start_renewal st;
   start_expiry_checker st
+
+(* {1 Nemesis hooks} — fault injection for the schedule fuzzer. *)
+
+(* Stall this machine's lease manager for [duration]: renewals queued
+   during the stall only go out afterwards, exactly like a GC pause or a
+   scheduler outage would delay them. *)
+let inject_stall st ~duration =
+  let l = st.State.lease in
+  l.State.suspended_until <- Time.max l.State.suspended_until (Time.add (State.now st) duration)
+
+(* Skew this machine's lease clock forward by [delta]: every lease it holds
+   or has granted looks [delta] older, so expiries fire early — the false
+   suspicions a fast-running clock produces. *)
+let inject_clock_skew st ~delta =
+  let l = st.State.lease in
+  l.State.last_grant_from_cm <- Time.sub l.State.last_grant_from_cm delta;
+  let age table =
+    let entries = Hashtbl.fold (fun m t acc -> (m, t) :: acc) table [] in
+    List.iter (fun (m, t) -> Hashtbl.replace table m (Time.sub t delta)) entries
+  in
+  age l.State.peer_leases;
+  match st.State.cm with Some cm -> age cm.State.cm_leases | None -> ()

@@ -51,3 +51,13 @@ val handle : State.t -> src:int -> Wire.message -> unit
 val start : State.t -> unit
 (** Start the renewal loop, expiry checker, and (for [Ud_thread]) the
     preemption-spike generator. *)
+
+(** {1 Nemesis hooks} — fault injection for the schedule fuzzer. *)
+
+val inject_stall : State.t -> duration:Time.t -> unit
+(** Stall this machine's lease manager: renewals and grants queued during
+    the stall run only after it ends (a GC pause / scheduler outage). *)
+
+val inject_clock_skew : State.t -> delta:Time.t -> unit
+(** Make this machine's lease clock run fast by [delta]: every lease it
+    holds or granted looks that much older, so expiries can fire early. *)

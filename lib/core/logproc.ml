@@ -145,9 +145,13 @@ let process_lock st log ~sender (e : Ringlog.entry) (p : Wire.lock_payload) =
         | _ -> (false, acquired))
   in
   (* A LOCK record may be processed after this transaction's ABORT (records
-     of one sender can be reordered across its NICs): never lock for an
-     already-truncated transaction. *)
-  if State.is_truncated st p.Wire.txid then Ringlog.discard log st.State.engine e
+     of one sender can be reordered across its NICs), or resume from the
+     region-activation wait above after recovery already decided the
+     transaction: never lock in either case. *)
+  if
+    State.is_truncated st p.Wire.txid
+    || Txid.Tbl.mem st.State.recovered_outcomes p.Wire.txid
+  then Ringlog.discard log st.State.engine e
   else begin
     let ok, acquired = lock_all [] p.Wire.writes in
     if not ok then List.iter (fun (rep, w) -> Objmem.unlock rep w) acquired

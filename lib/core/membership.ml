@@ -7,7 +7,12 @@
    recovery re-activates them. *)
 
 let apply_new_config st (config : Config.t) (regions : Wire.region_info list) =
-  if config.Config.id >= st.State.config.Config.id then begin
+  (* A reincarnated machine must not resume membership in a configuration
+     whose probe round predates its crash: stay silent so the CM's ack
+     timeout suspects and evicts it, turning the failure into a
+     configuration change that transaction recovery can observe. *)
+  if st.State.rejoining && Config.is_member config st.State.id then ()
+  else if config.Config.id >= st.State.config.Config.id then begin
     let first_time = config.Config.id > st.State.config.Config.id in
     if first_time then begin
       st.State.config <- config;

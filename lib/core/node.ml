@@ -37,7 +37,7 @@ let dispatch st ~src ~reply (msg : Wire.message) =
       in
       Comms.reply_to reply (Wire.Validate_reply { txid; ok })
   | Wire.Validate_reply _ -> ()
-  | Wire.Need_recovery { cfg; rid; txs } -> Recovery.on_need_recovery st ~src ~cfg ~rid ~txs
+  | Wire.Need_recovery { cfg; rid; txs } -> Recovery.on_need_recovery st ~src ~reply ~cfg ~rid ~txs
   | Wire.Fetch_tx_state { cfg; rid; txids } ->
       Recovery.on_fetch_tx_state st ~reply ~cfg ~rid ~txids
   | Wire.Send_tx_state _ -> ()

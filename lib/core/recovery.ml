@@ -221,7 +221,7 @@ let maybe_regions_active st (rs : State.recovery_state) =
     end
   end
 
-let on_need_recovery st ~src ~cfg ~rid ~txs =
+let on_need_recovery st ~src ~reply ~cfg ~rid ~txs =
   match st.State.recovery with
   | Some rs when rs.State.rs_cfg = cfg ->
       List.iter
@@ -242,8 +242,12 @@ let on_need_recovery st ~src ~cfg ~rid ~txs =
             Hashtbl.replace rs.State.rs_need_recovery rid l;
             l
       in
-      if not (List.mem src !seen) then seen := src :: !seen
-  | _ -> ()
+      if not (List.mem src !seen) then seen := src :: !seen;
+      Comms.reply_to reply Wire.Ack
+  | _ ->
+      (* not in this configuration (yet): no ack — the backup retries until
+         this machine's configuration catches up *)
+      ()
 
 (* Lock recovery, log-record replication, and voting for one region this
    machine is primary of (§5.3 steps 4-6). *)
@@ -275,6 +279,11 @@ let primary_recover_region st (rs : State.recovery_state) rid =
     Txid.Set.iter
       (fun txid ->
         Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_recovery_per_tx;
+        (* a decision reached through another written region can land during
+           the yield above: its COMMIT/ABORT-RECOVERY already released this
+           transaction, so locking now would leak *)
+        if Txid.Tbl.mem st.State.recovered_outcomes txid then ()
+        else
         match (Txid.Tbl.find_opt rs.State.rs_local txid : Wire.tx_evidence option) with
         | Some { ev_payload = Some p; _ } ->
             let held =
@@ -426,20 +435,40 @@ let run st (rs : State.recovery_state) =
     Txid.Tbl.iter
       (fun _ (rc : State.rec_coord) -> if not rc.State.rc_decided then rc.State.rc_votes <- [])
       st.State.rec_coords;
-    (* 3b. backups report recovering transactions to the (new) primaries *)
+    (* 3b. backups report recovering transactions to the (new) primaries —
+       re-sent until acknowledged: the report can land while the primary is
+       still committing the new configuration (and be dropped as stale),
+       which would otherwise park its lock recovery forever *)
     Hashtbl.iter
       (fun rid (rep : State.replica) ->
         if rep.State.role = State.Backup then begin
-          match State.region_info st rid with
-          | Some info ->
-              let txs =
-                Txid.Tbl.fold
-                  (fun _ (ev : Wire.tx_evidence) acc ->
-                    if List.mem rid ev.Wire.ev_regions then ev :: acc else acc)
-                  rs.State.rs_local []
+          let txs =
+            Txid.Tbl.fold
+              (fun _ (ev : Wire.tx_evidence) acc ->
+                if List.mem rid ev.Wire.ev_regions then ev :: acc else acc)
+              rs.State.rs_local []
+          in
+          Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+              let rec loop () =
+                Proc.check_cancelled ();
+                if st.State.config.Config.id = cfg then
+                  (* resolve through the CM each attempt: a just-assigned
+                     backup may not have the region's mapping cached yet *)
+                  match Txn.ensure_mapping st rid ~retries:5 with
+                  | None ->
+                      Proc.sleep (Time.us 200);
+                      loop ()
+                  | Some info -> (
+                      match
+                        Comms.call st ~dst:info.Wire.primary ~timeout:(Time.ms 1)
+                          (Wire.Need_recovery { cfg; rid; txs })
+                      with
+                      | Ok _ -> ()
+                      | Error _ ->
+                          Proc.sleep (Time.us 200);
+                          loop ())
               in
-              Comms.send st ~dst:info.Wire.primary (Wire.Need_recovery { cfg; rid; txs })
-          | None -> ()
+              loop ())
         end)
       st.State.nv.replicas;
     (* 4-6. per primary region, in parallel *)

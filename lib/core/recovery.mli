@@ -26,7 +26,13 @@ val merge_evidence : State.recovery_state -> Wire.tx_evidence -> Wire.tx_evidenc
 (** {1 Message handlers (wired by Node)} *)
 
 val on_need_recovery :
-  State.t -> src:int -> cfg:int -> rid:int -> txs:Wire.tx_evidence list -> unit
+  State.t ->
+  src:int ->
+  reply:(bytes:int -> Wire.message -> unit) ->
+  cfg:int ->
+  rid:int ->
+  txs:Wire.tx_evidence list ->
+  unit
 
 val on_vote :
   State.t -> cfg:int -> rid:int -> txid:Txid.t -> regions:int list -> vote:Wire.vote -> unit

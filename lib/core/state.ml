@@ -147,6 +147,10 @@ type t = {
   mutable region_map : (int, Wire.region_info) Hashtbl.t;  (* cache *)
   mutable last_drained : int;
   mutable blocked : bool;  (* external client requests blocked *)
+  (* restarted after a crash: must not resume membership in a configuration
+     probed before the crash (failure and rejoin are both configuration
+     changes, §5.2) *)
+  mutable rejoining : bool;
   (* sender-side views of logs located at other machines *)
   logs_out : (int, Ringlog.t) Hashtbl.t;
   (* per incoming log: a poller is currently scheduled *)
@@ -222,6 +226,7 @@ let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~config ~directory =
     region_map = Hashtbl.create 64;
     last_drained = 0;
     blocked = false;
+    rejoining = false;
     logs_out = Hashtbl.create 16;
     pollers = Hashtbl.create 16;
     spill = Hashtbl.create 16;

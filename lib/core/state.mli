@@ -141,6 +141,9 @@ type t = {
   mutable region_map : (int, Wire.region_info) Hashtbl.t;  (** mapping cache *)
   mutable last_drained : int;
   mutable blocked : bool;  (** external client requests blocked *)
+  mutable rejoining : bool;
+      (** restarted after a crash: stays out of configurations that predate
+          the reincarnation (see {!Cluster.restart_machine}) *)
   logs_out : (int, Ringlog.t) Hashtbl.t;  (** sender views of remote logs *)
   pollers : (int, bool ref) Hashtbl.t;
   spill : (int, int) Hashtbl.t;

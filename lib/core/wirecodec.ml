@@ -1,0 +1,494 @@
+(* Binary wire format for every message of Table 2 (plus the region,
+   allocator and lease messages of §3/§5).
+
+   The simulator passes messages as OCaml values, so this codec is not on
+   the hot path; it pins down an unambiguous byte representation (the one a
+   real RDMA transport would DMA) and is exercised by round-trip and
+   corruption tests. Layout: little-endian fixed-width 64-bit integers,
+   one-byte tags/booleans/bitmasks, and length-prefixed lists and byte
+   strings. [decode] accepts exactly the bytes [encode] produces: any
+   truncation, trailing garbage, or out-of-range tag yields [None]. *)
+
+exception Bad
+
+(* {1 Writers} *)
+
+let w_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let w_bool b v = w_u8 b (if v then 1 else 0)
+let w_int b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let w_bytes b s =
+  w_int b (Bytes.length s);
+  Buffer.add_bytes b s
+
+let w_list b f l =
+  w_int b (List.length l);
+  List.iter (f b) l
+
+let w_option b f = function
+  | None -> w_u8 b 0
+  | Some v ->
+      w_u8 b 1;
+      f b v
+
+let w_addr b (a : Addr.t) =
+  w_int b a.Addr.region;
+  w_int b a.Addr.offset
+
+let w_txid b (t : Txid.t) =
+  w_int b t.Txid.config;
+  w_int b t.Txid.machine;
+  w_int b t.Txid.thread;
+  w_int b t.Txid.local
+
+let w_alloc_op b (op : Wire.alloc_op) =
+  w_u8 b (match op with Wire.Alloc_none -> 0 | Wire.Alloc_set -> 1 | Wire.Alloc_clear -> 2)
+
+let w_write_item b (w : Wire.write_item) =
+  w_addr b w.Wire.addr;
+  w_int b w.Wire.version;
+  w_bytes b w.Wire.value;
+  w_alloc_op b w.Wire.alloc_op
+
+let w_lock_payload b (p : Wire.lock_payload) =
+  w_txid b p.Wire.txid;
+  w_list b w_int p.Wire.regions_written;
+  w_list b w_write_item p.Wire.writes
+
+let w_saw b (s : Wire.saw) =
+  let bit v i = if v then 1 lsl i else 0 in
+  w_u8 b
+    (bit s.Wire.saw_lock 0 lor bit s.Wire.saw_commit_backup 1
+   lor bit s.Wire.saw_commit_primary 2 lor bit s.Wire.saw_abort 3
+   lor bit s.Wire.saw_commit_recovery 4
+   lor bit s.Wire.saw_abort_recovery 5)
+
+let w_evidence b (e : Wire.tx_evidence) =
+  w_txid b e.Wire.ev_txid;
+  w_list b w_int e.Wire.ev_regions;
+  w_saw b e.Wire.ev_saw;
+  w_option b w_lock_payload e.Wire.ev_payload
+
+let w_vote b (v : Wire.vote) =
+  w_u8 b
+    (match v with
+    | Wire.Vote_commit_primary -> 0
+    | Wire.Vote_commit_backup -> 1
+    | Wire.Vote_lock -> 2
+    | Wire.Vote_abort -> 3
+    | Wire.Vote_truncated -> 4
+    | Wire.Vote_unknown -> 5)
+
+let w_region_info b (i : Wire.region_info) =
+  w_int b i.Wire.rid;
+  w_int b i.Wire.primary;
+  w_list b w_int i.Wire.backups;
+  w_int b i.Wire.last_primary_change;
+  w_int b i.Wire.last_replica_change;
+  w_bool b i.Wire.critical
+
+let w_config b (c : Config.t) =
+  w_int b c.Config.id;
+  w_list b w_int c.Config.members;
+  w_list b (fun b (m, d) -> w_int b m; w_int b d) c.Config.domains;
+  w_int b c.Config.cm
+
+(* {1 Readers}
+
+   A cursor over the input; every reader raises [Bad] on truncation or an
+   out-of-range encoding. List counts are bounded by the bytes remaining
+   (each element occupies at least one byte), so corrupt lengths fail
+   instead of allocating. *)
+
+type cursor = { data : Bytes.t; mutable pos : int }
+
+let r_u8 c =
+  if c.pos >= Bytes.length c.data then raise Bad;
+  let v = Bytes.get_uint8 c.data c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let r_bool c = match r_u8 c with 0 -> false | 1 -> true | _ -> raise Bad
+
+let r_int c =
+  if c.pos + 8 > Bytes.length c.data then raise Bad;
+  let v = Int64.to_int (Bytes.get_int64_le c.data c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_bytes c =
+  let len = r_int c in
+  if len < 0 || c.pos + len > Bytes.length c.data then raise Bad;
+  let s = Bytes.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let r_list c f =
+  let n = r_int c in
+  if n < 0 || n > Bytes.length c.data - c.pos then raise Bad;
+  List.init n (fun _ -> f c)
+
+let r_option c f = match r_u8 c with 0 -> None | 1 -> Some (f c) | _ -> raise Bad
+
+let r_addr c =
+  let region = r_int c in
+  let offset = r_int c in
+  Addr.make ~region ~offset
+
+let r_txid c =
+  let config = r_int c in
+  let machine = r_int c in
+  let thread = r_int c in
+  let local = r_int c in
+  Txid.make ~config ~machine ~thread ~local
+
+let r_alloc_op c =
+  match r_u8 c with
+  | 0 -> Wire.Alloc_none
+  | 1 -> Wire.Alloc_set
+  | 2 -> Wire.Alloc_clear
+  | _ -> raise Bad
+
+let r_write_item c =
+  let addr = r_addr c in
+  let version = r_int c in
+  let value = r_bytes c in
+  let alloc_op = r_alloc_op c in
+  { Wire.addr; version; value; alloc_op }
+
+let r_lock_payload c =
+  let txid = r_txid c in
+  let regions_written = r_list c r_int in
+  let writes = r_list c r_write_item in
+  { Wire.txid; regions_written; writes }
+
+let r_saw c =
+  let m = r_u8 c in
+  if m land lnot 0x3f <> 0 then raise Bad;
+  let bit i = m land (1 lsl i) <> 0 in
+  {
+    Wire.saw_lock = bit 0;
+    saw_commit_backup = bit 1;
+    saw_commit_primary = bit 2;
+    saw_abort = bit 3;
+    saw_commit_recovery = bit 4;
+    saw_abort_recovery = bit 5;
+  }
+
+let r_evidence c =
+  let ev_txid = r_txid c in
+  let ev_regions = r_list c r_int in
+  let ev_saw = r_saw c in
+  let ev_payload = r_option c r_lock_payload in
+  { Wire.ev_txid; ev_regions; ev_saw; ev_payload }
+
+let r_vote c =
+  match r_u8 c with
+  | 0 -> Wire.Vote_commit_primary
+  | 1 -> Wire.Vote_commit_backup
+  | 2 -> Wire.Vote_lock
+  | 3 -> Wire.Vote_abort
+  | 4 -> Wire.Vote_truncated
+  | 5 -> Wire.Vote_unknown
+  | _ -> raise Bad
+
+let r_region_info c =
+  let rid = r_int c in
+  let primary = r_int c in
+  let backups = r_list c r_int in
+  let last_primary_change = r_int c in
+  let last_replica_change = r_int c in
+  let critical = r_bool c in
+  { Wire.rid; primary; backups; last_primary_change; last_replica_change; critical }
+
+let r_config c =
+  let id = r_int c in
+  let members = r_list c r_int in
+  let domains = r_list c (fun c -> let m = r_int c in let d = r_int c in (m, d)) in
+  let cm = r_int c in
+  { Config.id; members; domains; cm }
+
+(* {1 Messages} *)
+
+let encode (msg : Wire.message) =
+  let b = Buffer.create 64 in
+  (match msg with
+  | Wire.Lock_reply { txid; ok; cfg } ->
+      w_u8 b 0;
+      w_txid b txid;
+      w_bool b ok;
+      w_int b cfg
+  | Wire.Validate_req { txid; items } ->
+      w_u8 b 1;
+      w_txid b txid;
+      w_list b (fun b (a, v) -> w_addr b a; w_int b v) items
+  | Wire.Validate_reply { txid; ok } ->
+      w_u8 b 2;
+      w_txid b txid;
+      w_bool b ok
+  | Wire.Need_recovery { cfg; rid; txs } ->
+      w_u8 b 3;
+      w_int b cfg;
+      w_int b rid;
+      w_list b w_evidence txs
+  | Wire.Fetch_tx_state { cfg; rid; txids } ->
+      w_u8 b 4;
+      w_int b cfg;
+      w_int b rid;
+      w_list b w_txid txids
+  | Wire.Send_tx_state { cfg; rid; states } ->
+      w_u8 b 5;
+      w_int b cfg;
+      w_int b rid;
+      w_list b (fun b (t, p) -> w_txid b t; w_lock_payload b p) states
+  | Wire.Replicate_tx_state { cfg; rid; txid; lock } ->
+      w_u8 b 6;
+      w_int b cfg;
+      w_int b rid;
+      w_txid b txid;
+      w_lock_payload b lock
+  | Wire.Recovery_vote { cfg; rid; txid; regions; vote } ->
+      w_u8 b 7;
+      w_int b cfg;
+      w_int b rid;
+      w_txid b txid;
+      w_list b w_int regions;
+      w_vote b vote
+  | Wire.Request_vote { cfg; rid; txid } ->
+      w_u8 b 8;
+      w_int b cfg;
+      w_int b rid;
+      w_txid b txid
+  | Wire.Commit_recovery { cfg; txid } ->
+      w_u8 b 9;
+      w_int b cfg;
+      w_txid b txid
+  | Wire.Abort_recovery { cfg; txid } ->
+      w_u8 b 10;
+      w_int b cfg;
+      w_txid b txid
+  | Wire.Truncate_recovery { cfg; txid } ->
+      w_u8 b 11;
+      w_int b cfg;
+      w_txid b txid
+  | Wire.Suspect_req { cfg; suspect } ->
+      w_u8 b 12;
+      w_int b cfg;
+      w_int b suspect
+  | Wire.New_config { config; regions; cm_changed } ->
+      w_u8 b 13;
+      w_config b config;
+      w_list b w_region_info regions;
+      w_bool b cm_changed
+  | Wire.New_config_ack { cfg } ->
+      w_u8 b 14;
+      w_int b cfg
+  | Wire.New_config_commit { cfg } ->
+      w_u8 b 15;
+      w_int b cfg
+  | Wire.Regions_active { cfg } ->
+      w_u8 b 16;
+      w_int b cfg
+  | Wire.All_regions_active { cfg } ->
+      w_u8 b 17;
+      w_int b cfg
+  | Wire.Region_recovered { cfg; rid } ->
+      w_u8 b 18;
+      w_int b cfg;
+      w_int b rid
+  | Wire.Lease_request { cfg; sent_ns } ->
+      w_u8 b 19;
+      w_int b cfg;
+      w_int b sent_ns
+  | Wire.Lease_grant_and_request { cfg; sent_ns } ->
+      w_u8 b 20;
+      w_int b cfg;
+      w_int b sent_ns
+  | Wire.Lease_grant { cfg; sent_ns } ->
+      w_u8 b 21;
+      w_int b cfg;
+      w_int b sent_ns
+  | Wire.Alloc_region_req { locality } ->
+      w_u8 b 22;
+      w_option b w_int locality
+  | Wire.Alloc_region_reply { info } ->
+      w_u8 b 23;
+      w_option b w_region_info info
+  | Wire.Prepare_region { info } ->
+      w_u8 b 24;
+      w_region_info b info
+  | Wire.Prepare_region_ack { rid; ok } ->
+      w_u8 b 25;
+      w_int b rid;
+      w_bool b ok
+  | Wire.Commit_region { info } ->
+      w_u8 b 26;
+      w_region_info b info
+  | Wire.Fetch_mapping { rid } ->
+      w_u8 b 27;
+      w_int b rid
+  | Wire.Mapping_reply { info } ->
+      w_u8 b 28;
+      w_option b w_region_info info
+  | Wire.Block_header { rid; block; obj_size } ->
+      w_u8 b 29;
+      w_int b rid;
+      w_int b block;
+      w_int b obj_size
+  | Wire.Block_headers_sync { rid; headers } ->
+      w_u8 b 30;
+      w_int b rid;
+      w_list b (fun b (blk, s) -> w_int b blk; w_int b s) headers
+  | Wire.Alloc_obj_req { rid; size } ->
+      w_u8 b 31;
+      w_int b rid;
+      w_int b size
+  | Wire.Alloc_obj_reply { addr; version } ->
+      w_u8 b 32;
+      w_option b w_addr addr;
+      w_int b version
+  | Wire.Free_slot_hint { addr } ->
+      w_u8 b 33;
+      w_addr b addr
+  | Wire.App_call { tag; args } ->
+      w_u8 b 34;
+      w_int b tag;
+      w_list b w_int (Array.to_list args)
+  | Wire.App_reply { ok } ->
+      w_u8 b 35;
+      w_bool b ok
+  | Wire.Ack -> w_u8 b 36
+  | Wire.Nack -> w_u8 b 37);
+  Buffer.to_bytes b
+
+let decode_exn c : Wire.message =
+  match r_u8 c with
+  | 0 ->
+      let txid = r_txid c in
+      let ok = r_bool c in
+      let cfg = r_int c in
+      Wire.Lock_reply { txid; ok; cfg }
+  | 1 ->
+      let txid = r_txid c in
+      let items = r_list c (fun c -> let a = r_addr c in let v = r_int c in (a, v)) in
+      Wire.Validate_req { txid; items }
+  | 2 ->
+      let txid = r_txid c in
+      let ok = r_bool c in
+      Wire.Validate_reply { txid; ok }
+  | 3 ->
+      let cfg = r_int c in
+      let rid = r_int c in
+      let txs = r_list c r_evidence in
+      Wire.Need_recovery { cfg; rid; txs }
+  | 4 ->
+      let cfg = r_int c in
+      let rid = r_int c in
+      let txids = r_list c r_txid in
+      Wire.Fetch_tx_state { cfg; rid; txids }
+  | 5 ->
+      let cfg = r_int c in
+      let rid = r_int c in
+      let states = r_list c (fun c -> let t = r_txid c in let p = r_lock_payload c in (t, p)) in
+      Wire.Send_tx_state { cfg; rid; states }
+  | 6 ->
+      let cfg = r_int c in
+      let rid = r_int c in
+      let txid = r_txid c in
+      let lock = r_lock_payload c in
+      Wire.Replicate_tx_state { cfg; rid; txid; lock }
+  | 7 ->
+      let cfg = r_int c in
+      let rid = r_int c in
+      let txid = r_txid c in
+      let regions = r_list c r_int in
+      let vote = r_vote c in
+      Wire.Recovery_vote { cfg; rid; txid; regions; vote }
+  | 8 ->
+      let cfg = r_int c in
+      let rid = r_int c in
+      let txid = r_txid c in
+      Wire.Request_vote { cfg; rid; txid }
+  | 9 ->
+      let cfg = r_int c in
+      let txid = r_txid c in
+      Wire.Commit_recovery { cfg; txid }
+  | 10 ->
+      let cfg = r_int c in
+      let txid = r_txid c in
+      Wire.Abort_recovery { cfg; txid }
+  | 11 ->
+      let cfg = r_int c in
+      let txid = r_txid c in
+      Wire.Truncate_recovery { cfg; txid }
+  | 12 ->
+      let cfg = r_int c in
+      let suspect = r_int c in
+      Wire.Suspect_req { cfg; suspect }
+  | 13 ->
+      let config = r_config c in
+      let regions = r_list c r_region_info in
+      let cm_changed = r_bool c in
+      Wire.New_config { config; regions; cm_changed }
+  | 14 -> Wire.New_config_ack { cfg = r_int c }
+  | 15 -> Wire.New_config_commit { cfg = r_int c }
+  | 16 -> Wire.Regions_active { cfg = r_int c }
+  | 17 -> Wire.All_regions_active { cfg = r_int c }
+  | 18 ->
+      let cfg = r_int c in
+      let rid = r_int c in
+      Wire.Region_recovered { cfg; rid }
+  | 19 ->
+      let cfg = r_int c in
+      let sent_ns = r_int c in
+      Wire.Lease_request { cfg; sent_ns }
+  | 20 ->
+      let cfg = r_int c in
+      let sent_ns = r_int c in
+      Wire.Lease_grant_and_request { cfg; sent_ns }
+  | 21 ->
+      let cfg = r_int c in
+      let sent_ns = r_int c in
+      Wire.Lease_grant { cfg; sent_ns }
+  | 22 -> Wire.Alloc_region_req { locality = r_option c r_int }
+  | 23 -> Wire.Alloc_region_reply { info = r_option c r_region_info }
+  | 24 -> Wire.Prepare_region { info = r_region_info c }
+  | 25 ->
+      let rid = r_int c in
+      let ok = r_bool c in
+      Wire.Prepare_region_ack { rid; ok }
+  | 26 -> Wire.Commit_region { info = r_region_info c }
+  | 27 -> Wire.Fetch_mapping { rid = r_int c }
+  | 28 -> Wire.Mapping_reply { info = r_option c r_region_info }
+  | 29 ->
+      let rid = r_int c in
+      let block = r_int c in
+      let obj_size = r_int c in
+      Wire.Block_header { rid; block; obj_size }
+  | 30 ->
+      let rid = r_int c in
+      let headers = r_list c (fun c -> let blk = r_int c in let s = r_int c in (blk, s)) in
+      Wire.Block_headers_sync { rid; headers }
+  | 31 ->
+      let rid = r_int c in
+      let size = r_int c in
+      Wire.Alloc_obj_req { rid; size }
+  | 32 ->
+      let addr = r_option c r_addr in
+      let version = r_int c in
+      Wire.Alloc_obj_reply { addr; version }
+  | 33 -> Wire.Free_slot_hint { addr = r_addr c }
+  | 34 ->
+      let tag = r_int c in
+      let args = Array.of_list (r_list c r_int) in
+      Wire.App_call { tag; args }
+  | 35 -> Wire.App_reply { ok = r_bool c }
+  | 36 -> Wire.Ack
+  | 37 -> Wire.Nack
+  | _ -> raise Bad
+
+let decode data =
+  let c = { data; pos = 0 } in
+  match decode_exn c with
+  | msg -> if c.pos = Bytes.length data then Some msg else None
+  | exception Bad -> None

@@ -1,0 +1,13 @@
+(** Binary wire format for {!Wire.message}.
+
+    The simulator passes messages as OCaml values, so this codec is off the
+    hot path; it pins down the byte representation a real transport would
+    DMA. Little-endian fixed-width integers, one-byte tags/booleans, and
+    length-prefixed lists and byte strings. *)
+
+val encode : Wire.message -> Bytes.t
+
+val decode : Bytes.t -> Wire.message option
+(** Accepts exactly the bytes {!encode} produces: truncation, trailing
+    bytes, out-of-range tags, and corrupt length prefixes all yield
+    [None] (never an exception or an over-allocation). *)

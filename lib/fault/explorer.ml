@@ -1,0 +1,237 @@
+open Farm_sim
+open Farm_core
+open Farm_workloads
+
+(* The schedule explorer: run N random fault schedules of a workload,
+   checking every run's history and final state. Each schedule runs a fresh
+   cluster whose every source of randomness — machine rngs, workload op
+   mix, the fault script itself — derives from one integer seed, so a
+   failing run is reproduced bit-for-bit by [run_one] on that seed and its
+   event trace is byte-identical.
+
+   The workload is a conserving bank: workers transfer random amounts
+   between cells, so the cell sum is invariant under any committed prefix;
+   a side stream of B-tree inserts and deletes exercises structure
+   modification under faults. Committed transactions are recorded and
+   checked for strict serializability; after the schedule the cluster is
+   healed, quiesced and probed (see {!Invariant}). *)
+
+type opts = {
+  machines : int;
+  cells : int;
+  workers : int;  (** workers per machine *)
+  duration : Time.t;  (** workload + fault window per schedule *)
+  btree : bool;
+}
+
+let default_opts =
+  { machines = 6; cells = 16; workers = 2; duration = Time.ms 60; btree = true }
+
+type outcome = {
+  seed : int;
+  committed : int;
+  violations : string list;  (** empty = the run passed every check *)
+  trace : string list;  (** merged fault / milestone event trace *)
+}
+
+let ok o = o.violations = []
+
+type report = {
+  base_seed : int;
+  schedules : int;
+  total_committed : int;
+  failures : outcome list;
+}
+
+(* Simulation-speed parameters, as the cluster test-suite uses. *)
+let params =
+  { Params.default with Params.lease_duration = Time.ms 5; region_size = 1 lsl 18 }
+
+let initial_balance = 100
+
+let read_int tx addr = Int64.to_int (Bytes.get_int64_le (Txn.read tx addr ~len:8) 0)
+
+let write_int tx addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Txn.write tx addr b
+
+(* One committed-or-aborted bank transfer, built by hand so the footprint is
+   available for history recording after commit. *)
+let transfer st ~rng ~hist ~addrs =
+  let n = Array.length addrs in
+  let a = Rng.int rng n and b = Rng.int rng n in
+  let ro = Rng.int rng 100 < 25 in
+  let tx = Txn.begin_tx st ~thread:0 in
+  match
+    try
+      let va = read_int tx addrs.(a) in
+      let vb = read_int tx addrs.(b) in
+      if not ro then
+        if a <> b then begin
+          let amt = 1 + Rng.int rng 5 in
+          write_int tx addrs.(a) (va - amt);
+          write_int tx addrs.(b) (vb + amt)
+        end
+        else write_int tx addrs.(a) va;
+      Commit.commit tx
+    with Txn.Abort reason ->
+      tx.Txn.finished <- true;
+      Txn.return_allocations tx;
+      Error reason
+  with
+  | Ok () -> ignore (History.record hist tx)
+  | Error _ -> ()
+
+let spawn_workers (c : Cluster.t) ~opts ~stop ~hist ~addrs ~tree =
+  Array.iter
+    (fun (st : State.t) ->
+      if st.State.alive then
+        for _w = 1 to opts.workers do
+          Proc.spawn ~ctx:st.State.ctx c.Cluster.engine (fun () ->
+              let rng = Rng.split st.State.rng in
+              (* per-machine handle: node caches must not be shared *)
+              let tree =
+                Option.map (fun t -> { t with Farm_kv.Btree.cache = Hashtbl.create 64 }) tree
+              in
+              while not !stop do
+                (match tree with
+                | Some t when Rng.int rng 100 < 20 ->
+                    ignore
+                      (Api.run_retry ~attempts:3 st ~thread:0 (fun tx ->
+                           let k = Rng.int rng 200 in
+                           if Rng.bool rng then Farm_kv.Btree.insert tx t k (Rng.int rng 1000)
+                           else ignore (Farm_kv.Btree.delete tx t k)))
+                | _ -> transfer st ~rng ~hist ~addrs);
+                Proc.sleep (Time.us (50 + Rng.int rng 200))
+              done)
+        done)
+    c.Cluster.machines
+
+(* Run one schedule. Every check failure becomes a violation string; the
+   run passes iff none accumulate. *)
+let run_one ?(opts = default_opts) seed =
+  let trace = ref [] in
+  let c = Cluster.create ~seed ~params ~machines:opts.machines () in
+  Engine.set_tracer c.Cluster.engine (Some (fun ~at msg -> trace := (at, msg) :: !trace));
+  (* setup: bank cells in one region, optionally a B-tree in another *)
+  let r = Cluster.alloc_region_exn c in
+  let addrs =
+    Cluster.run_on c ~machine:0 (fun st ->
+        match
+          Api.run_retry st ~thread:0 (fun tx ->
+              Array.init opts.cells (fun _ ->
+                  let a = Txn.alloc tx ~size:8 ~region:r.Wire.rid () in
+                  write_int tx a initial_balance;
+                  a))
+        with
+        | Ok addrs -> addrs
+        | Error e -> Fmt.failwith "explorer setup: %a" Txn.pp_abort e)
+  in
+  let tree =
+    if not opts.btree then None
+    else
+      let tr = Cluster.alloc_region_exn c in
+      Some
+        (Cluster.run_on c ~machine:0 (fun st ->
+             Farm_kv.Btree.create st ~thread:0 ~regions:[| tr.Wire.rid |] ()))
+  in
+  let hist = History.create () in
+  let stop = ref false in
+  spawn_workers c ~opts ~stop ~hist ~addrs ~tree;
+  (* draw and run the fault script *)
+  let start = Cluster.now c in
+  let sched =
+    Schedule.generate ~seed ~machines:opts.machines ~duration:opts.duration
+      ~lease:params.Params.lease_duration
+  in
+  Nemesis.run c ~start sched;
+  (* a power failure cancelled every worker along with its machine; resume
+     load on the rebooted cluster for the rest of the window *)
+  if
+    List.exists
+      (fun (e : Schedule.event) -> e.Schedule.fault = Schedule.Power_cycle)
+      sched.Schedule.events
+  then spawn_workers c ~opts ~stop ~hist ~addrs ~tree;
+  Cluster.run_until c ~at:(Time.add start opts.duration);
+  stop := true;
+  Cluster.run_for c ~d:(Time.ms 5);
+  (* heal, settle, and let lazy truncation converge the backups *)
+  Cluster.heal c;
+  let settled = Cluster.quiesce c in
+  Cluster.run_for c ~d:(Time.ms 60);
+  let violations = ref [] in
+  let violate fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  if not settled then violate "liveness: cluster failed to quiesce";
+  (match History.check hist with
+  | History.Serializable -> ()
+  | v -> violate "history: %a" History.pp_verdict v);
+  List.iter (fun v -> violate "%a" Invariant.pp v) (Invariant.check c);
+  (* semantic probes need a live member to run transactions from *)
+  let member =
+    match Cluster.current_config c with
+    | None -> None
+    | Some cfg ->
+        List.find_opt (fun m -> (Cluster.machine c m).State.alive) cfg.Config.members
+  in
+  (match member with
+  | None -> violate "liveness: no alive member to probe from"
+  | Some m ->
+      (match
+         Cluster.run_on c ~machine:m (fun st ->
+             Api.run_retry st ~thread:0 (fun tx ->
+                 Array.fold_left (fun acc a -> acc + read_int tx a) 0 addrs))
+       with
+      | Ok total ->
+          let expect = opts.cells * initial_balance in
+          if total <> expect then violate "conservation: cell sum %d, expected %d" total expect
+      | Error e -> violate "conservation: probe aborted: %a" Txn.pp_abort e);
+      match tree with
+      | None -> ()
+      | Some t -> (
+          let t = { t with Farm_kv.Btree.cache = Hashtbl.create 16 } in
+          match
+            Cluster.run_on c ~machine:m (fun st ->
+                Api.run_retry st ~thread:0 (fun tx -> Farm_kv.Btree.check_invariants tx t))
+          with
+          | Ok ([], _keys) -> ()
+          | Ok (problems, _) ->
+              List.iter (fun p -> violate "btree: %s" p) problems
+          | Error e -> violate "btree: probe aborted: %a" Txn.pp_abort e));
+  (* merged, time-ordered event trace: nemesis + network drops (tracer)
+     and protocol milestones; deterministic in the seed *)
+  let lines =
+    List.stable_sort
+      (fun (t1, _) (t2, _) -> Time.compare t1 t2)
+      (List.map
+         (fun (tag, m, at) -> (at, Fmt.str "milestone m%d %s" m tag))
+         (Cluster.milestones c)
+      @ List.rev !trace)
+    |> List.map (fun (at, msg) -> Fmt.str "%a %s" Time.pp at msg)
+  in
+  { seed; committed = History.size hist; violations = List.rev !violations; trace = lines }
+
+let pp_outcome ppf o =
+  if ok o then Fmt.pf ppf "seed %d: ok (%d committed)" o.seed o.committed
+  else
+    Fmt.pf ppf "seed %d: FAILED (%d committed)@.%a@.--- trace ---@.%a" o.seed o.committed
+      Fmt.(list ~sep:(any "@.") (fmt "  violation: %s"))
+      o.violations
+      Fmt.(list ~sep:(any "@.") (fmt "  %s"))
+      o.trace
+
+(* Explore [schedules] runs; per-run seeds derive from [base_seed] so the
+   whole exploration is one deterministic function of it. A failing run
+   prints its own seed for [run_one] replay. *)
+let run ?(opts = default_opts) ?on_outcome ~base_seed ~schedules () =
+  let derive = Rng.create base_seed in
+  let failures = ref [] in
+  let total = ref 0 in
+  for i = 1 to schedules do
+    let seed = Rng.bits derive in
+    let o = run_one ~opts seed in
+    total := !total + o.committed;
+    if not (ok o) then failures := o :: !failures;
+    match on_outcome with Some f -> f ~index:i o | None -> ()
+  done;
+  { base_seed; schedules; total_committed = !total; failures = List.rev !failures }

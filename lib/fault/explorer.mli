@@ -1,0 +1,49 @@
+open Farm_sim
+
+(** The schedule explorer: N random fault schedules of a conserving bank
+    (+ B-tree) workload, each on a fresh cluster fully determined by one
+    integer seed. Every run's committed history is checked for strict
+    serializability, and the healed, quiesced cluster is probed for state
+    invariants ({!Invariant}), value conservation, and B-tree structural
+    integrity. A failing run is reproduced bit-for-bit — identical faults,
+    identical event trace — by {!run_one} on its seed. *)
+
+type opts = {
+  machines : int;
+  cells : int;
+  workers : int;  (** workers per machine *)
+  duration : Time.t;  (** workload + fault window per schedule *)
+  btree : bool;
+}
+
+val default_opts : opts
+
+type outcome = {
+  seed : int;
+  committed : int;
+  violations : string list;  (** empty = the run passed every check *)
+  trace : string list;  (** merged fault / milestone event trace *)
+}
+
+val ok : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type report = {
+  base_seed : int;
+  schedules : int;
+  total_committed : int;
+  failures : outcome list;
+}
+
+val run_one : ?opts:opts -> int -> outcome
+(** Run one schedule from its seed. Deterministic: equal seeds yield equal
+    outcomes, including byte-identical traces. *)
+
+val run :
+  ?opts:opts ->
+  ?on_outcome:(index:int -> outcome -> unit) ->
+  base_seed:int ->
+  schedules:int ->
+  unit ->
+  report
+(** Explore [schedules] runs with per-run seeds derived from [base_seed]. *)

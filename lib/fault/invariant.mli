@@ -1,0 +1,18 @@
+open Farm_core
+
+(** Invariant probes for a healed, quiesced cluster.
+
+    Probes inspect only members of the newest committed configuration:
+    alive non-members are evicted zombies whose state is deliberately
+    stale. Probe output is a pure function of machine state, so a replayed
+    seed reports identical violations. *)
+
+type violation = { name : string; detail : string }
+
+val pp : Format.formatter -> violation -> unit
+
+val check : Cluster.t -> violation list
+(** Run every probe: no leaked lock bits on primaries, allocator free-list
+    / free-set agreement, primary/backup version-and-data equality for
+    every replicated object (lock bits masked, fresh backups skipped), and
+    all recovery coordinations decided. Empty list = all invariants hold. *)

@@ -1,0 +1,161 @@
+open Farm_sim
+open Farm_core
+
+(* A fault schedule is a timed script of injections drawn from a seeded
+   generator: the integer seed determines the script exactly, so any failing
+   run is reproduced bit-for-bit by re-running its seed.
+
+   The generator respects the cluster's fault budget. With [replication = 3]
+   FaRM tolerates f = 2 failures per region, so a schedule victimises at
+   most [replication - 1] distinct machines with faults that can lead to
+   suspicion and eviction (crash, partition, long lease stall, clock skew,
+   lossy links). Whole-cluster power failures are a different regime — NVRAM
+   recovery rather than membership change — so a power-cycle schedule mixes
+   only benign link delays with the power failure. *)
+
+type fault =
+  | Crash of int
+  | Restart of int
+  | Power_cycle
+  | Partition of int list  (** isolate these machines from the rest *)
+  | Heal  (** remove all partitions and link faults *)
+  | Link_fault of { src : int; dst : int; delay : Time.t; loss : float }
+  | Link_heal of { src : int; dst : int }
+  | Lease_stall of { machine : int; duration : Time.t }
+  | Clock_skew of { machine : int; delta : Time.t }
+
+type event = { at : Time.t; fault : fault }
+type t = { seed : int; machines : int; events : event list }
+
+let pp_fault ppf = function
+  | Crash m -> Fmt.pf ppf "crash m%d" m
+  | Restart m -> Fmt.pf ppf "restart m%d" m
+  | Power_cycle -> Fmt.string ppf "power-cycle"
+  | Partition ms ->
+      Fmt.pf ppf "partition {%a}" Fmt.(list ~sep:(any ",") int) ms
+  | Heal -> Fmt.string ppf "heal"
+  | Link_fault { src; dst; delay; loss } ->
+      Fmt.pf ppf "link-fault %d->%d delay=%a loss=%.2f" src dst Time.pp delay loss
+  | Link_heal { src; dst } -> Fmt.pf ppf "link-heal %d->%d" src dst
+  | Lease_stall { machine; duration } ->
+      Fmt.pf ppf "lease-stall m%d %a" machine Time.pp duration
+  | Clock_skew { machine; delta } ->
+      Fmt.pf ppf "clock-skew m%d %a" machine Time.pp delta
+
+let pp_event ppf e = Fmt.pf ppf "@%a %a" Time.pp e.at pp_fault e.fault
+
+let pp ppf t =
+  Fmt.pf ppf "schedule seed=%d machines=%d@.%a" t.seed t.machines
+    Fmt.(list ~sep:(any "@.") pp_event)
+    t.events
+
+(* Pick [k] distinct machines out of [n]. *)
+let pick_distinct rng ~n ~k ~excluding =
+  let pool = Array.of_list (List.filter (fun m -> not (List.mem m excluding)) (List.init n Fun.id)) in
+  Rng.shuffle_in_place rng pool;
+  Array.to_list (Array.sub pool 0 (min k (Array.length pool)))
+
+let generate ~seed ~machines ~duration ~lease =
+  let rng = Rng.create seed in
+  let budget = ref (Params.default.Params.replication - 1) in
+  let victims = ref [] in
+  let crashed = ref [] in
+  let events = ref [] in
+  (* inject within the first three quarters so recovery can complete inside
+     the run; the explorer heals and quiesces after the last event anyway *)
+  let horizon = Time.to_ns (Time.div_int (Time.mul_int duration 3) 4) in
+  let lo = horizon / 8 in
+  let at () = Time.ns (Rng.int_in_range rng ~lo ~hi:horizon) in
+  let add fault = events := { at = at (); fault } :: !events in
+  let victimize m =
+    if not (List.mem m !victims) then begin
+      victims := m :: !victims;
+      decr budget
+    end
+  in
+  let power_run = Rng.int rng 100 < 15 in
+  if power_run then begin
+    add Power_cycle;
+    for _ = 1 to Rng.int rng 3 do
+      let src = Rng.int rng machines and dst = Rng.int rng machines in
+      if src <> dst then
+        add (Link_fault { src; dst; delay = Time.us (Rng.int_in_range rng ~lo:20 ~hi:300); loss = 0. })
+    done
+  end
+  else
+    for _ = 1 to Rng.int_in_range rng ~lo:2 ~hi:6 do
+      match Rng.int rng 100 with
+      | k when k < 25 && !budget > 0 ->
+          (* crash one machine; maybe reboot it much later — the
+             reincarnation is an evicted zombie that must not disturb *)
+          (match pick_distinct rng ~n:machines ~k:1 ~excluding:!crashed with
+          | [ m ] ->
+              victimize m;
+              crashed := m :: !crashed;
+              let crash_at = at () in
+              events := { at = crash_at; fault = Crash m } :: !events;
+              if Rng.bool rng then
+                events :=
+                  { at = Time.add crash_at (Time.mul_int lease 4); fault = Restart m }
+                  :: !events
+          | _ -> ())
+      | k when k < 40 && !budget > 0 ->
+          (* cut a minority group off, heal a while later *)
+          let size = 1 + Rng.int rng !budget in
+          let group = pick_distinct rng ~n:machines ~k:size ~excluding:!crashed in
+          if group <> [] then begin
+            List.iter victimize group;
+            let cut_at = at () in
+            events := { at = cut_at; fault = Partition group } :: !events;
+            events :=
+              { at = Time.add cut_at (Time.mul_int lease (2 + Rng.int rng 6)); fault = Heal }
+              :: !events
+          end
+      | k when k < 60 && !budget > 0 ->
+          (* lossy or slow link: either endpoint may miss lease traffic *)
+          let src = Rng.int rng machines and dst = Rng.int rng machines in
+          if src <> dst && not (List.mem src !crashed) && not (List.mem dst !crashed)
+          then begin
+            let loss = if Rng.bool rng then 0.05 +. (0.25 *. Rng.float rng) else 0. in
+            if loss > 0. then victimize (if Rng.bool rng then src else dst);
+            let fault_at = at () in
+            events :=
+              { at = fault_at;
+                fault =
+                  Link_fault
+                    { src; dst; delay = Time.us (Rng.int_in_range rng ~lo:20 ~hi:500); loss } }
+              :: !events;
+            events :=
+              { at = Time.add fault_at (Time.mul_int lease (1 + Rng.int rng 4));
+                fault = Link_heal { src; dst } }
+              :: !events
+          end
+      | k when k < 80 && !budget > 0 ->
+          (* stall a lease manager for up to ~1.5 leases: long enough to be
+             suspected, short enough that it sometimes survives *)
+          let m = Rng.int rng machines in
+          if not (List.mem m !crashed) then begin
+            victimize m;
+            add
+              (Lease_stall
+                 { machine = m;
+                   duration = Time.ns (Time.to_ns lease * Rng.int_in_range rng ~lo:4 ~hi:15 / 10) })
+          end
+      | _ when !budget > 0 ->
+          let m = Rng.int rng machines in
+          if not (List.mem m !crashed) then begin
+            victimize m;
+            add (Clock_skew { machine = m; delta = Time.div_int lease (2 + Rng.int rng 4) })
+          end
+      | _ ->
+          (* budget exhausted: benign delay-only link fault *)
+          let src = Rng.int rng machines and dst = Rng.int rng machines in
+          if src <> dst then
+            add
+              (Link_fault
+                 { src; dst; delay = Time.us (Rng.int_in_range rng ~lo:20 ~hi:300); loss = 0. })
+    done;
+  let cmp a b =
+    match Time.compare a.at b.at with 0 -> compare a.fault b.fault | c -> c
+  in
+  { seed; machines; events = List.stable_sort cmp !events }

@@ -1,0 +1,34 @@
+open Farm_sim
+
+(** Seeded fault scripts.
+
+    A schedule is a timed list of fault injections drawn deterministically
+    from an integer seed: equal seeds yield equal scripts, so a failing
+    fuzzer run is reproduced exactly by its seed. The generator respects
+    the cluster's fault budget — at most [replication - 1] machines are
+    victimised by eviction-capable faults per schedule, so no region can
+    lose all its replicas — and whole-cluster power failures are only mixed
+    with benign link delays. *)
+
+type fault =
+  | Crash of int
+  | Restart of int
+  | Power_cycle
+  | Partition of int list  (** isolate these machines from the rest *)
+  | Heal  (** remove all partitions and link faults *)
+  | Link_fault of { src : int; dst : int; delay : Time.t; loss : float }
+  | Link_heal of { src : int; dst : int }
+  | Lease_stall of { machine : int; duration : Time.t }
+  | Clock_skew of { machine : int; delta : Time.t }
+
+type event = { at : Time.t; fault : fault }
+type t = { seed : int; machines : int; events : event list }
+
+val generate : seed:int -> machines:int -> duration:Time.t -> lease:Time.t -> t
+(** Draw a schedule for a [machines]-node cluster whose faults land within
+    the first three quarters of [duration]; [lease] scales stall and heal
+    delays. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -17,14 +17,66 @@ type 'msg machine = {
   mutable on_message : 'msg handler;
 }
 
+(* Per-directed-link fault injection (the nemesis hooks): extra one-way
+   delay and a packet-loss probability applied to everything routed from
+   [src] to [dst]. *)
+type link_fault = { mutable extra_delay : Time.t; mutable loss : float }
+
 type 'msg t = {
   engine : Engine.t;
   params : Params.t;
   rng : Rng.t;
   mutable machines : 'msg machine option array;
+  link_faults : (int * int, link_fault) Hashtbl.t;
 }
 
-let create engine ~params ~rng = { engine; params; rng; machines = Array.make 8 None }
+let create engine ~params ~rng =
+  { engine; params; rng; machines = Array.make 8 None; link_faults = Hashtbl.create 16 }
+
+let set_link_fault ?(delay = Time.zero) ?(loss = 0.) t ~src ~dst =
+  if loss < 0. || loss > 1. then invalid_arg "Fabric.set_link_fault: loss not in [0,1]";
+  Hashtbl.replace t.link_faults (src, dst) { extra_delay = delay; loss }
+
+let clear_link_fault t ~src ~dst = Hashtbl.remove t.link_faults (src, dst)
+let clear_link_faults t = Hashtbl.reset t.link_faults
+
+let link_fault t ~src ~dst = Hashtbl.find_opt t.link_faults (src, dst)
+
+(* Sample the fate of one packet on the [src]->[dst] link.
+
+   Unreliable-datagram traffic ([send]: leases, gossip, fire-and-forget
+   notifications) loses packets for real: [sample_link_ud] returns [None]
+   on a loss draw, otherwise the injected extra delay.
+
+   Reliable-connected traffic (the one-sided verbs and [call]) mirrors RDMA
+   RC queue pairs: the NIC retransmits lost frames, so injected loss
+   surfaces as added latency — one retransmission timeout per lost attempt
+   — never as an error. Only machine death and partitions fail a reliable
+   operation. *)
+let sample_link_ud t ~src ~dst =
+  match link_fault t ~src ~dst with
+  | None -> Some Time.zero
+  | Some f ->
+      if f.loss > 0. && Rng.float t.rng < f.loss then begin
+        Engine.emit t.engine (Printf.sprintf "net: drop %d->%d" src dst);
+        None
+      end
+      else Some f.extra_delay
+
+let retransmit_timeout = Time.us 20
+
+let sample_link_rc t ~src ~dst =
+  match link_fault t ~src ~dst with
+  | None -> Time.zero
+  | Some f ->
+      let d = ref f.extra_delay in
+      let tries = ref 0 in
+      while f.loss > 0. && !tries < 16 && Rng.float t.rng < f.loss do
+        incr tries;
+        Engine.emit t.engine (Printf.sprintf "net: drop %d->%d (retransmit)" src dst);
+        d := Time.add !d (Time.add retransmit_timeout f.extra_delay)
+      done;
+      !d
 
 let no_handler ~src:_ ~reply:_ _ = ()
 
@@ -114,8 +166,9 @@ let one_sided_read t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
     Ivar.fill iv (Ok (read ()))
   end
   else begin
+    let d_req = sample_link_rc t ~src ~dst in
     let t_req = Nic.occupy ms.nic ~bytes:req_bytes in
-    Engine.schedule t.engine ~at:(Time.add t_req (latency t)) (fun () ->
+    Engine.schedule t.engine ~at:(Time.add t_req (Time.add (latency t) d_req)) (fun () ->
         if not (reachable t src dst) then fail_later t iv
         else begin
           let md = get t dst in
@@ -124,7 +177,10 @@ let one_sided_read t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
               if not (reachable t src dst) then fail_later t iv
               else begin
                 let v = read () in
-                Engine.schedule t.engine ~at:(Time.add t_dst (latency t)) (fun () ->
+                let d_cpl = sample_link_rc t ~src:dst ~dst:src in
+                Engine.schedule t.engine
+                  ~at:(Time.add t_dst (Time.add (latency t) d_cpl))
+                  (fun () ->
                     if ms.alive then begin
                       let t_cpl = Nic.occupy ms.nic ~bytes in
                       Engine.schedule t.engine ~at:t_cpl (fun () ->
@@ -150,8 +206,9 @@ let one_sided_write t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) re
     Ivar.fill iv (Ok ())
   end
   else begin
+    let d_req = sample_link_rc t ~src ~dst in
     let t_req = Nic.occupy ms.nic ~bytes in
-    Engine.schedule t.engine ~at:(Time.add t_req (latency t)) (fun () ->
+    Engine.schedule t.engine ~at:(Time.add t_req (Time.add (latency t) d_req)) (fun () ->
         if not (reachable t src dst) then fail_later t iv
         else begin
           let md = get t dst in
@@ -161,7 +218,10 @@ let one_sided_write t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) re
               else begin
                 apply ();
                 (* Hardware ack generated by the target NIC. *)
-                Engine.schedule t.engine ~at:(Time.add t_dst (latency t)) (fun () ->
+                let d_ack = sample_link_rc t ~src:dst ~dst:src in
+                Engine.schedule t.engine
+                  ~at:(Time.add t_dst (Time.add (latency t) d_ack))
+                  (fun () ->
                     if ms.alive then begin
                       let t_cpl = Nic.occupy ms.nic ~bytes:ack_bytes in
                       Engine.schedule t.engine ~at:t_cpl (fun () ->
@@ -192,14 +252,26 @@ let deliver t ~src ~dst ~prio ~bytes msg ~reply =
 
 (* Fire-and-forget message. The receiver's handler runs at NIC-delivery
    time in "interrupt context": it must charge its own CPU before doing real
-   work. *)
-let send ?(prio = false) ?cpu_cost t ~src ~dst ~bytes msg =
+   work. Most messaging rides RDMA writes over reliable-connected QPs
+   ([`Rc], the default); only the lease protocol uses unreliable datagrams
+   ([`Ud]) and can actually lose packets (§3). *)
+let send ?(prio = false) ?(transport = `Rc) ?cpu_cost t ~src ~dst ~bytes msg =
   let ms = get t src in
   let cost = match cpu_cost with Some c -> c | None -> t.params.Params.cpu_rpc_send in
   if Time.( > ) cost Time.zero then Cpu.exec ms.cpu ~cost;
-  let t_tx = if prio then Nic.occupy_priority ms.nic ~bytes else Nic.occupy ms.nic ~bytes in
-  let no_reply ~bytes:_ _ = () in
-  (deliver t ~src ~dst ~prio ~bytes msg ~reply:no_reply) (Time.add t_tx (latency t))
+  match
+    match transport with
+    | `Ud -> sample_link_ud t ~src ~dst
+    | `Rc -> Some (sample_link_rc t ~src ~dst)
+  with
+  | None -> ()  (* dropped on the wire; fire-and-forget senders never know *)
+  | Some d ->
+      let t_tx =
+        if prio then Nic.occupy_priority ms.nic ~bytes else Nic.occupy ms.nic ~bytes
+      in
+      let no_reply ~bytes:_ _ = () in
+      (deliver t ~src ~dst ~prio ~bytes msg ~reply:no_reply)
+        (Time.add t_tx (Time.add (latency t) d))
 
 (* Blocking request/response. The receiver handler is given a [reply]
    closure; calling it routes the response back and wakes the caller. *)
@@ -210,11 +282,12 @@ let call ?(prio = false) ?timeout t ~src ~dst ~bytes msg : ('msg, error) result 
   let reply ~bytes:resp_bytes resp =
     let md = get t dst in
     if md.alive then begin
+      let d = sample_link_rc t ~src:dst ~dst:src in
       let t_tx =
         if prio then Nic.occupy_priority md.nic ~bytes:resp_bytes
         else Nic.occupy md.nic ~bytes:resp_bytes
       in
-      Engine.schedule t.engine ~at:(Time.add t_tx (latency t)) (fun () ->
+      Engine.schedule t.engine ~at:(Time.add t_tx (Time.add (latency t) d)) (fun () ->
           if ms.alive then begin
             let t_rx =
               if prio then Nic.occupy_priority ms.nic ~bytes:resp_bytes
@@ -225,9 +298,11 @@ let call ?(prio = false) ?timeout t ~src ~dst ~bytes msg : ('msg, error) result 
     end
   in
   let t_tx = if prio then Nic.occupy_priority ms.nic ~bytes else Nic.occupy ms.nic ~bytes in
-  if reachable t src dst then
-    (deliver t ~src ~dst ~prio ~bytes msg ~reply) (Time.add t_tx (latency t))
-  else fail_later t iv;
+  if not (reachable t src dst) then fail_later t iv
+  else begin
+    let d = sample_link_rc t ~src ~dst in
+    (deliver t ~src ~dst ~prio ~bytes msg ~reply) (Time.add t_tx (Time.add (latency t) d))
+  end;
   (match timeout with
   | Some d ->
       Engine.schedule_in t.engine ~after:d (fun () -> Ivar.fill_if_empty iv (Error `Timeout))

@@ -49,6 +49,23 @@ val params : 'msg t -> Params.t
 val latency : 'msg t -> Time.t
 (** Sample a one-way fabric latency. *)
 
+(** {1 Link-fault injection} — nemesis hooks for the fault-schedule fuzzer.
+
+    A link fault applies to every packet routed on the directed [src]->[dst]
+    link: [delay] adds to its flight time and [loss] drops it with the
+    given probability. Loss is interpreted per transport class, matching
+    RDMA semantics: reliable-connected traffic (the one-sided verbs and
+    {!call}) is retransmitted by the NIC, so each loss draw adds a
+    retransmission timeout to the operation's latency but never fails it —
+    only death and partitions do; unreliable-datagram traffic ({!send},
+    which carries leases and other fire-and-forget messages) vanishes
+    silently. Each drop is reported through {!Engine.emit}. *)
+
+val set_link_fault : ?delay:Time.t -> ?loss:float -> 'msg t -> src:int -> dst:int -> unit
+val clear_link_fault : 'msg t -> src:int -> dst:int -> unit
+val clear_link_faults : 'msg t -> unit
+(** Remove one / all link faults. *)
+
 (** {1 One-sided verbs} — no CPU at the target, ever. Must be called from a
     process on machine [src]. *)
 
@@ -63,10 +80,21 @@ val one_sided_write : 'msg t -> src:int -> dst:int -> bytes:int -> (unit -> unit
 
 (** {1 Messaging} *)
 
-val send : ?prio:bool -> ?cpu_cost:Time.t -> 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
-(** Fire-and-forget. [prio] uses the dedicated (unreliable-datagram) path
-    that never queues behind bulk traffic; [cpu_cost] overrides the default
-    sender-side CPU charge (the lease manager uses both). *)
+val send :
+  ?prio:bool ->
+  ?transport:[ `Rc | `Ud ] ->
+  ?cpu_cost:Time.t ->
+  'msg t ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  'msg ->
+  unit
+(** Fire-and-forget. [prio] uses the dedicated path that never queues
+    behind bulk traffic; [transport] selects the loss model under link
+    faults — [`Rc] (default) retransmits, [`Ud] drops for real; [cpu_cost]
+    overrides the default sender-side CPU charge (the lease manager uses
+    all three). *)
 
 val call : ?prio:bool -> ?timeout:Time.t -> 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> ('msg, error) result
 (** Blocking request/response; the receiver's handler gets a [reply]

@@ -4,10 +4,22 @@ type t = {
   mutable seq : int;
   mutable stopped : bool;
   mutable events_processed : int;
+  mutable tracer : (at:Time.t -> string -> unit) option;
 }
 
 let create () =
-  { heap = Heap.create (); now = Time.zero; seq = 0; stopped = false; events_processed = 0 }
+  {
+    heap = Heap.create ();
+    now = Time.zero;
+    seq = 0;
+    stopped = false;
+    events_processed = 0;
+    tracer = None;
+  }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let emit t msg = match t.tracer with Some f -> f ~at:t.now msg | None -> ()
 
 let now t = t.now
 

@@ -27,6 +27,14 @@ type t = { mutable events : event list; mutable next : int }
 
 let create () = { events = []; next = 0 }
 
+(* Record a transaction directly from its footprint: used by tests to build
+   known-bad histories without driving real transactions. *)
+let add t ~reads ~writes =
+  let id = t.next in
+  t.next <- id + 1;
+  t.events <- { tx = id; reads; writes } :: t.events;
+  id
+
 (* Record one committed transaction from its execution footprint. *)
 let record t (tx : Txn.t) =
   let reads =

@@ -13,6 +13,11 @@ type t
 
 val create : unit -> t
 
+val add : t -> reads:(Addr.t * int) list -> writes:(Addr.t * int) list -> int
+(** Record a transaction directly from its footprint — each entry is
+    [(object, version observed)]; a write installs [version + 1]. Meant for
+    tests that construct known-good or known-bad histories by hand. *)
+
 val record : t -> Txn.t -> int
 (** Record a transaction's execution footprint (call it right after a
     successful commit, before reusing the transaction value); returns the

@@ -1,0 +1,178 @@
+open Farm_core
+open Farm_kv
+open Test_util
+
+(* QCheck model-based testing of the kv structures: a generated operation
+   sequence is applied both to the real structure (inside FaRM transactions
+   on a small cluster) and to a [Map] reference; every operation's result
+   must agree, and a full sweep at the end compares the final contents.
+   Complements the fixed-seed random loops in [Test_kv] with shrinking:
+   a failure reduces to a minimal operation sequence. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Small key space so sequences collide, split nodes, and chain buckets. *)
+let key_gen = QCheck.Gen.int_range 0 40
+
+type op = Ins of int * int | Del of int | Find of int | Range of int * int
+
+let pp_op ppf = function
+  | Ins (k, v) -> Fmt.pf ppf "Ins(%d,%d)" k v
+  | Del k -> Fmt.pf ppf "Del %d" k
+  | Find k -> Fmt.pf ppf "Find %d" k
+  | Range (lo, hi) -> Fmt.pf ppf "Range(%d,%d)" lo hi
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Ins (k, v)) key_gen (int_range 1 1_000_000));
+        (2, map (fun k -> Del k) key_gen);
+        (2, map (fun k -> Find k) key_gen);
+        (1, map2 (fun a b -> Range (min a b, max a b)) key_gen key_gen);
+      ])
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" (Fmt.Dump.list pp_op))
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+module M = Map.Make (Int)
+
+let btree_matches_map =
+  QCheck.Test.make ~name:"btree agrees with Map reference" ~count:10 ops_arbitrary
+    (fun ops ->
+      let c = mk_cluster ~machines:3 () in
+      let r1 = Cluster.alloc_region_exn c in
+      let r2 = Cluster.alloc_region_exn c in
+      let t =
+        Cluster.run_on c ~machine:0 (fun st ->
+            Btree.create st ~thread:0 ~regions:[| r1.Wire.rid; r2.Wire.rid |] ~fanout:5 ())
+      in
+      let model = ref M.empty in
+      List.iteri
+        (fun i op ->
+          Cluster.run_on c ~machine:(i mod Cluster.n_machines c) (fun st ->
+              Api.run_retry st ~thread:0 (fun tx ->
+                  match op with
+                  | Ins (k, v) ->
+                      Btree.insert tx t k v;
+                      model := M.add k v !model
+                  | Del k ->
+                      let deleted = Btree.delete tx t k in
+                      if deleted <> M.mem k !model then
+                        QCheck.Test.fail_reportf "op %d: delete %d returned %b" i k deleted;
+                      model := M.remove k !model
+                  | Find k ->
+                      if Btree.find tx t k <> M.find_opt k !model then
+                        QCheck.Test.fail_reportf "op %d: find %d mismatch" i k
+                  | Range (lo, hi) ->
+                      let got = Btree.range tx t ~lo ~hi in
+                      let want =
+                        M.bindings (M.filter (fun k _ -> lo <= k && k <= hi) !model)
+                      in
+                      if got <> want then
+                        QCheck.Test.fail_reportf "op %d: range (%d,%d) mismatch" i lo hi)
+              |> function
+              | Ok () -> ()
+              | Error r -> QCheck.Test.fail_reportf "op %d aborted: %a" i Txn.pp_abort r))
+        ops;
+      (* final sweep: structural invariants and exact contents *)
+      Cluster.run_on c ~machine:0 (fun st ->
+          match
+            Api.run_retry st ~thread:0 (fun tx ->
+                let violations, keys = Btree.check_invariants tx t in
+                (violations, keys, Btree.range tx t ~lo:min_int ~hi:max_int))
+          with
+          | Ok (violations, keys, all) ->
+              if violations <> [] then
+                QCheck.Test.fail_reportf "invariants: %a" Fmt.(Dump.list string) violations;
+              keys = M.cardinal !model && all = M.bindings !model
+          | Error r -> QCheck.Test.fail_reportf "final sweep aborted: %a" Txn.pp_abort r))
+
+(* {1 Hash table} *)
+
+type hop = HIns of int * int | HDel of int | HFind of int
+
+let pp_hop ppf = function
+  | HIns (k, v) -> Fmt.pf ppf "Ins(%d,%d)" k v
+  | HDel k -> Fmt.pf ppf "Del %d" k
+  | HFind k -> Fmt.pf ppf "Find %d" k
+
+let hop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> HIns (k, v)) key_gen (int_range 1 1_000_000));
+        (2, map (fun k -> HDel k) key_gen);
+        (2, map (fun k -> HFind k) key_gen);
+      ])
+
+let hops_arbitrary =
+  QCheck.make
+    ~print:(Fmt.str "%a" (Fmt.Dump.list pp_hop))
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_range 1 60) hop_gen)
+
+let key8 v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  b
+
+let value16 v =
+  let b = Bytes.make 16 '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  b
+
+let hashtable_matches_map =
+  (* few buckets and slots so chains overflow *)
+  QCheck.Test.make ~name:"hashtable agrees with Map reference" ~count:15 hops_arbitrary
+    (fun ops ->
+      let c = mk_cluster ~machines:3 () in
+      let r1 = Cluster.alloc_region_exn c in
+      let t =
+        Cluster.run_on c ~machine:0 (fun st ->
+            Hashtable.create st ~thread:0 ~regions:[| r1.Wire.rid |] ~buckets:8 ~ksize:8
+              ~vsize:16 ~slots:2 ())
+      in
+      let model = ref M.empty in
+      List.iteri
+        (fun i op ->
+          Cluster.run_on c ~machine:(i mod Cluster.n_machines c) (fun st ->
+              Api.run_retry st ~thread:0 (fun tx ->
+                  match op with
+                  | HIns (k, v) ->
+                      Hashtable.insert tx t (key8 k) (value16 v);
+                      model := M.add k v !model
+                  | HDel k ->
+                      let deleted = Hashtable.delete tx t (key8 k) in
+                      if deleted <> M.mem k !model then
+                        QCheck.Test.fail_reportf "op %d: delete %d returned %b" i k deleted;
+                      model := M.remove k !model
+                  | HFind k -> (
+                      match (Hashtable.lookup tx t (key8 k), M.find_opt k !model) with
+                      | None, None -> ()
+                      | Some got, Some v when Bytes.equal got (value16 v) -> ()
+                      | _ -> QCheck.Test.fail_reportf "op %d: lookup %d mismatch" i k))
+              |> function
+              | Ok () -> ()
+              | Error r -> QCheck.Test.fail_reportf "op %d aborted: %a" i Txn.pp_abort r))
+        ops;
+      (* final sweep over the whole key space, on both transactional and
+         lock-free read paths *)
+      Cluster.run_on c ~machine:1 (fun st ->
+          List.for_all
+            (fun k ->
+              let want = Option.map value16 (M.find_opt k !model) in
+              let tx_got =
+                match Api.run_retry st ~thread:0 (fun tx -> Hashtable.lookup tx t (key8 k)) with
+                | Ok r -> r
+                | Error r -> QCheck.Test.fail_reportf "sweep aborted: %a" Txn.pp_abort r
+              in
+              let lf_got = Hashtable.lookup_lockfree st t (key8 k) in
+              tx_got = want && lf_got = want)
+            (List.init 41 Fun.id)))
+
+let suites =
+  [ ("kv-model", [ qtest btree_matches_map; qtest hashtable_matches_map ]) ]

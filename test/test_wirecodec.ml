@@ -1,0 +1,219 @@
+open Farm_core
+
+(* Round-trip and corruption properties of the binary message codec. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+let test name fn = Alcotest.test_case name `Quick fn
+
+(* {1 Generators} *)
+
+open QCheck.Gen
+
+let gen_small = int_range 0 1_000_000
+let gen_addr = map2 (fun r o -> Addr.make ~region:r ~offset:o) (int_range 0 4096) gen_small
+
+let gen_txid =
+  map
+    (fun (config, machine, thread, local) -> Txid.make ~config ~machine ~thread ~local)
+    (quad (int_range 1 64) (int_range 0 63) (int_range 0 7) gen_small)
+
+let gen_alloc_op = oneofl [ Wire.Alloc_none; Wire.Alloc_set; Wire.Alloc_clear ]
+
+let gen_write_item =
+  map
+    (fun (addr, version, value, alloc_op) ->
+      { Wire.addr; version; value; alloc_op = Option.get alloc_op })
+    (quad gen_addr gen_small
+       (map Bytes.of_string (string_size (int_range 0 32)))
+       (map Option.some gen_alloc_op))
+
+let gen_lock_payload =
+  map
+    (fun (txid, regions_written, writes) -> { Wire.txid; regions_written; writes })
+    (triple gen_txid
+       (list_size (int_range 0 4) (int_range 0 64))
+       (list_size (int_range 0 4) gen_write_item))
+
+let gen_saw =
+  map
+    (fun m ->
+      let bit i = m land (1 lsl i) <> 0 in
+      {
+        Wire.saw_lock = bit 0;
+        saw_commit_backup = bit 1;
+        saw_commit_primary = bit 2;
+        saw_abort = bit 3;
+        saw_commit_recovery = bit 4;
+        saw_abort_recovery = bit 5;
+      })
+    (int_range 0 0x3f)
+
+let gen_evidence =
+  map
+    (fun (ev_txid, ev_regions, ev_saw, ev_payload) ->
+      { Wire.ev_txid; ev_regions; ev_saw; ev_payload })
+    (quad gen_txid (list_size (int_range 0 3) (int_range 0 64)) gen_saw
+       (opt gen_lock_payload))
+
+let gen_vote =
+  oneofl
+    [
+      Wire.Vote_commit_primary;
+      Wire.Vote_commit_backup;
+      Wire.Vote_lock;
+      Wire.Vote_abort;
+      Wire.Vote_truncated;
+      Wire.Vote_unknown;
+    ]
+
+let gen_region_info =
+  map
+    (fun ((rid, primary, backups), (lpc, lrc, critical)) ->
+      {
+        Wire.rid;
+        primary;
+        backups;
+        last_primary_change = lpc;
+        last_replica_change = lrc;
+        critical;
+      })
+    (pair
+       (triple (int_range 0 4096)
+          (int_range (-1) 63) (* -1 is the dead-primary sentinel *)
+          (list_size (int_range 0 3) (int_range 0 63)))
+       (triple (int_range 0 64) (int_range 0 64) bool))
+
+let gen_config =
+  (* a valid configuration: sorted duplicate-free members containing cm *)
+  map
+    (fun (members, cm_pick, domains, id) ->
+      let members = List.sort_uniq Int.compare (cm_pick :: members) in
+      Config.make ~id ~members ~domains ~cm:cm_pick)
+    (quad
+       (list_size (int_range 0 6) (int_range 0 63))
+       (int_range 0 63)
+       (list_size (int_range 0 4) (pair (int_range 0 63) (int_range 0 7)))
+       (int_range 1 64))
+
+let gen_message =
+  let pure_ m = map (fun () -> m) unit in
+  oneof
+    [
+      map (fun ((txid, ok), cfg) -> Wire.Lock_reply { txid; ok; cfg })
+        (pair (pair gen_txid bool) gen_small);
+      map (fun (txid, items) -> Wire.Validate_req { txid; items })
+        (pair gen_txid (list_size (int_range 0 4) (pair gen_addr gen_small)));
+      map (fun (txid, ok) -> Wire.Validate_reply { txid; ok }) (pair gen_txid bool);
+      map (fun (cfg, rid, txs) -> Wire.Need_recovery { cfg; rid; txs })
+        (triple gen_small (int_range 0 4096) (list_size (int_range 0 3) gen_evidence));
+      map (fun (cfg, rid, txids) -> Wire.Fetch_tx_state { cfg; rid; txids })
+        (triple gen_small (int_range 0 4096) (list_size (int_range 0 4) gen_txid));
+      map (fun (cfg, rid, states) -> Wire.Send_tx_state { cfg; rid; states })
+        (triple gen_small (int_range 0 4096)
+           (list_size (int_range 0 3) (pair gen_txid gen_lock_payload)));
+      map (fun (cfg, rid, txid, lock) -> Wire.Replicate_tx_state { cfg; rid; txid; lock })
+        (quad gen_small (int_range 0 4096) gen_txid gen_lock_payload);
+      map
+        (fun ((cfg, rid, txid), (regions, vote)) ->
+          Wire.Recovery_vote { cfg; rid; txid; regions; vote })
+        (pair
+           (triple gen_small (int_range 0 4096) gen_txid)
+           (pair (list_size (int_range 0 3) (int_range 0 64)) gen_vote));
+      map (fun (cfg, rid, txid) -> Wire.Request_vote { cfg; rid; txid })
+        (triple gen_small (int_range 0 4096) gen_txid);
+      map (fun (cfg, txid) -> Wire.Commit_recovery { cfg; txid }) (pair gen_small gen_txid);
+      map (fun (cfg, txid) -> Wire.Abort_recovery { cfg; txid }) (pair gen_small gen_txid);
+      map (fun (cfg, txid) -> Wire.Truncate_recovery { cfg; txid }) (pair gen_small gen_txid);
+      map (fun (cfg, suspect) -> Wire.Suspect_req { cfg; suspect })
+        (pair gen_small (int_range 0 63));
+      map (fun (config, regions, cm_changed) -> Wire.New_config { config; regions; cm_changed })
+        (triple gen_config (list_size (int_range 0 3) gen_region_info) bool);
+      map (fun cfg -> Wire.New_config_ack { cfg }) gen_small;
+      map (fun cfg -> Wire.New_config_commit { cfg }) gen_small;
+      map (fun cfg -> Wire.Regions_active { cfg }) gen_small;
+      map (fun cfg -> Wire.All_regions_active { cfg }) gen_small;
+      map (fun (cfg, rid) -> Wire.Region_recovered { cfg; rid })
+        (pair gen_small (int_range 0 4096));
+      map (fun (cfg, sent_ns) -> Wire.Lease_request { cfg; sent_ns }) (pair gen_small gen_small);
+      map (fun (cfg, sent_ns) -> Wire.Lease_grant_and_request { cfg; sent_ns })
+        (pair gen_small gen_small);
+      map (fun (cfg, sent_ns) -> Wire.Lease_grant { cfg; sent_ns }) (pair gen_small gen_small);
+      map (fun locality -> Wire.Alloc_region_req { locality }) (opt (int_range 0 63));
+      map (fun info -> Wire.Alloc_region_reply { info }) (opt gen_region_info);
+      map (fun info -> Wire.Prepare_region { info }) gen_region_info;
+      map (fun (rid, ok) -> Wire.Prepare_region_ack { rid; ok })
+        (pair (int_range 0 4096) bool);
+      map (fun info -> Wire.Commit_region { info }) gen_region_info;
+      map (fun rid -> Wire.Fetch_mapping { rid }) (int_range 0 4096);
+      map (fun info -> Wire.Mapping_reply { info }) (opt gen_region_info);
+      map (fun (rid, block, obj_size) -> Wire.Block_header { rid; block; obj_size })
+        (triple (int_range 0 4096) gen_small gen_small);
+      map (fun (rid, headers) -> Wire.Block_headers_sync { rid; headers })
+        (pair (int_range 0 4096) (list_size (int_range 0 4) (pair gen_small gen_small)));
+      map (fun (rid, size) -> Wire.Alloc_obj_req { rid; size })
+        (pair (int_range 0 4096) gen_small);
+      map (fun (addr, version) -> Wire.Alloc_obj_reply { addr; version })
+        (pair (opt gen_addr) gen_small);
+      map (fun addr -> Wire.Free_slot_hint { addr }) gen_addr;
+      map (fun (tag, args) -> Wire.App_call { tag; args = Array.of_list args })
+        (pair gen_small (list_size (int_range 0 4) gen_small));
+      map (fun ok -> Wire.App_reply { ok }) bool;
+      pure_ Wire.Ack;
+      pure_ Wire.Nack;
+    ]
+
+let arbitrary_message =
+  QCheck.make ~print:(fun m -> Fmt.str "message of %d bytes" (Wire.message_bytes m)) gen_message
+
+(* {1 Properties} *)
+
+let roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trips" ~count:1000 arbitrary_message (fun m ->
+      Wirecodec.decode (Wirecodec.encode m) = Some m)
+
+let truncation_rejected =
+  (* every strict prefix of an encoded message must be rejected, without
+     exception and without over-allocating on corrupt length prefixes *)
+  QCheck.Test.make ~name:"every truncation rejected" ~count:100 arbitrary_message (fun m ->
+      let b = Wirecodec.encode m in
+      let n = Bytes.length b in
+      let ok = ref true in
+      for len = 0 to n - 1 do
+        if Wirecodec.decode (Bytes.sub b 0 len) <> None then ok := false
+      done;
+      !ok)
+
+let trailing_garbage_rejected =
+  QCheck.Test.make ~name:"trailing bytes rejected" ~count:200 arbitrary_message (fun m ->
+      let b = Wirecodec.encode m in
+      Wirecodec.decode (Bytes.cat b (Bytes.make 1 '\042')) = None)
+
+let bad_tag_rejected () =
+  Alcotest.(check bool)
+    "unknown tag" true
+    (Wirecodec.decode (Bytes.make 1 '\200') = None);
+  Alcotest.(check bool) "empty buffer" true (Wirecodec.decode Bytes.empty = None)
+
+let corrupt_length_rejected () =
+  (* a Validate_req whose item count claims more elements than the buffer
+     holds: the bounded list reader must refuse, not allocate *)
+  let txid = Txid.make ~config:1 ~machine:0 ~thread:0 ~local:7 in
+  let b = Wirecodec.encode (Wire.Validate_req { txid; items = [] }) in
+  let cut = Bytes.sub b 0 (Bytes.length b - 8) in
+  let huge = Bytes.create 8 in
+  Bytes.set_int64_le huge 0 Int64.max_int;
+  Alcotest.(check bool)
+    "huge count" true
+    (Wirecodec.decode (Bytes.cat cut huge) = None)
+
+let suites =
+  [
+    ( "wirecodec",
+      [
+        qtest roundtrip;
+        qtest truncation_rejected;
+        qtest trailing_garbage_rejected;
+        test "invalid tags rejected" bad_tag_rejected;
+        test "corrupt length prefix rejected" corrupt_length_rejected;
+      ] );
+  ]
