@@ -1,0 +1,134 @@
+open Farm_sim
+open Farm_core
+open Farm_workloads
+
+(* Ablation: doorbell-batched vs unbatched commit pipeline.
+
+   A multi-participant mix in the TATP/YCSB-F mould: every transaction
+   touches one cell in each of [spread] regions spread over the cluster —
+   80 % read-modify-write (the full LOCK / COMMIT-BACKUP / COMMIT-PRIMARY
+   pipeline against every distinct primary and backup machine), 20 %
+   multi-region read-only (batched VALIDATE header reads only). Replication
+   is raised to 5 so the per-transaction backup set spans the whole
+   cluster: commit CPU is then dominated by per-participant verb issue,
+   which is precisely what doorbell batching amortizes. Run at a saturating
+   worker count in both modes; the only difference between the two runs is
+   Params.doorbell_batching.
+
+   Emits BENCH_commit_batching.json (machine-readable, one object per
+   mode) so later PRs can track the perf trajectory. *)
+
+let spread = 8
+let cells_per_region = 32768
+let replication = 5
+
+type mode_result = {
+  label : string;
+  commits_per_us : float;
+  p50_us : float;
+  p99_us : float;
+  committed : int;
+  failed : int;
+}
+
+let run_mode ~batching ~machines ~workers ~duration =
+  let params =
+    { Params.default with Params.doorbell_batching = batching; replication;
+      region_size = 1 lsl 21 } in
+  let c = Cluster.create ~seed:42 ~params ~machines () in
+  let regions = Array.init spread (fun _ -> Cluster.alloc_region_exn c) in
+  let chunk = 256 in
+  let addrs =
+    Cluster.run_on c ~machine:0 (fun st ->
+        Array.map
+          (fun (r : Wire.region_info) ->
+            Array.init (cells_per_region / chunk) (fun _ ->
+                match
+                  Api.run_retry st ~thread:0 (fun tx ->
+                      Array.init chunk (fun _ ->
+                          let a = Txn.alloc tx ~size:8 ~region:r.Wire.rid () in
+                          Txn.write tx a (Bytes.make 8 '\000');
+                          a))
+                with
+                | Ok arr -> arr
+                | Error e -> Fmt.failwith "commit_batching setup: %a" Txn.pp_abort e)
+            |> Array.to_list |> Array.concat)
+          regions)
+  in
+  let op (ctx : Driver.worker_ctx) =
+    let rng = ctx.Driver.rng in
+    let ro = Rng.int rng 100 < 20 in
+    match
+      Api.run ctx.Driver.st ~thread:ctx.Driver.thread (fun tx ->
+          Array.iter
+            (fun per_region ->
+              let a = per_region.(Rng.int rng cells_per_region) in
+              let v = Int64.to_int (Bytes.get_int64_le (Txn.read tx a ~len:8) 0) in
+              if not ro then begin
+                let b = Bytes.create 8 in
+                Bytes.set_int64_le b 0 (Int64.of_int (v + 1));
+                Txn.write tx a b
+              end)
+            addrs)
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  let stats = Driver.run c ~workers ~warmup:(Time.ms 5) ~duration ~op in
+  {
+    label = (if batching then "batched" else "unbatched");
+    commits_per_us = Driver.throughput_per_us stats ~duration;
+    p50_us = float_of_int (Stats.Hist.percentile stats.Driver.latency 50.) /. 1e3;
+    p99_us = float_of_int (Stats.Hist.percentile stats.Driver.latency 99.) /. 1e3;
+    committed = Stats.Counter.get stats.Driver.ops;
+    failed = Stats.Counter.get stats.Driver.failures;
+  }
+
+let json_of ~machines ~workers ~duration batched unbatched =
+  let mode m =
+    Printf.sprintf
+      "    \"%s\": { \"commits_per_us\": %.4f, \"p50_us\": %.2f, \"p99_us\": %.2f, \
+       \"committed\": %d, \"failed\": %d }"
+      m.label m.commits_per_us m.p50_us m.p99_us m.committed m.failed
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"bench\": \"commit_batching\",";
+      Printf.sprintf
+        "  \"config\": { \"machines\": %d, \"workers_per_machine\": %d, \"duration_ms\": %d, \
+         \"regions_per_tx\": %d, \"replication\": %d },"
+        machines workers
+        (int_of_float (Time.to_ms_float duration))
+        spread replication;
+      "  \"modes\": {";
+      mode batched ^ ",";
+      mode unbatched;
+      "  },";
+      Printf.sprintf "  \"speedup\": %.3f"
+        (batched.commits_per_us /. unbatched.commits_per_us);
+      "}";
+    ]
+
+let run ?(machines = 12) ?(workers = 256) ?(duration = Time.ms 30) () =
+  Bench_util.header "Commit batching ablation (doorbell-batched one-sided verbs)"
+    "Storm / FaRMv2 argument: batched verb issue and completion reaping move \
+     multi-participant commits from verb-rate-bound to CPU-bound; each phase \
+     rings the NIC once instead of once per participant";
+  let batched = run_mode ~batching:true ~machines ~workers ~duration in
+  let unbatched = run_mode ~batching:false ~machines ~workers ~duration in
+  Fmt.pr "%-12s %14s %12s %12s %10s %10s@." "mode" "commits/us" "median(us)" "99th(us)"
+    "committed" "failed";
+  List.iter
+    (fun m ->
+      Fmt.pr "%-12s %14.3f %12.1f %12.1f %10d %10d@." m.label m.commits_per_us m.p50_us
+        m.p99_us m.committed m.failed)
+    [ batched; unbatched ];
+  Fmt.pr "@.speedup (batched/unbatched): %.2fx commits/us@."
+    (batched.commits_per_us /. unbatched.commits_per_us);
+  let json = json_of ~machines ~workers ~duration batched unbatched in
+  let oc = open_out "BENCH_commit_batching.json" in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Fmt.pr "wrote BENCH_commit_batching.json@.";
+  (batched, unbatched)

@@ -23,6 +23,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("scaling", "FaRM vs single-machine engine (§6.3)", fun () -> Scaling.run ());
     ("ycsb", "YCSB core workloads (from [16])", fun () -> Ycsb_bench.run ());
     ("ablations", "design-choice ablations (CM rebuild, tr, f)", Ablations.run);
+    ( "batching",
+      "batched vs unbatched commit pipeline (doorbell batching)",
+      fun () -> ignore (Commit_batching.run ()) );
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

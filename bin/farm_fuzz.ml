@@ -15,13 +15,14 @@ open Farm_sim
 open Farm_fault
 open Cmdliner
 
-let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree =
+let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching =
   {
     Explorer.machines;
     cells;
     workers;
     duration = Time.ms duration_ms;
     btree = not no_btree;
+    batching = not no_batching;
   }
 
 let run_explore ~opts ~seed ~schedules ~verbose =
@@ -48,7 +49,7 @@ let run_replay ~opts ~seed =
   Fmt.pr "%a@." Explorer.pp_outcome { o with Explorer.trace = [] };
   if Explorer.ok o then 0 else 1
 
-let main seed schedules replay machines cells workers duration_ms no_btree verbose =
+let main seed schedules replay machines cells workers duration_ms no_btree no_batching verbose =
   if machines < 3 then begin
     Fmt.epr "farm_fuzz: --machines must be at least 3 (every region needs f+1 = 3 replicas)@.";
     2
@@ -58,7 +59,7 @@ let main seed schedules replay machines cells workers duration_ms no_btree verbo
     2
   end
   else begin
-    let opts = opts_of ~machines ~cells ~workers ~duration_ms ~no_btree in
+    let opts = opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching in
     match replay with
     | Some s -> run_replay ~opts ~seed:s
     | None -> run_explore ~opts ~seed ~schedules ~verbose
@@ -83,11 +84,17 @@ let cmd =
     Arg.(value & opt int 60 & info [ "duration"; "d" ] ~doc:"Workload window per schedule (ms).")
   in
   let no_btree = Arg.(value & flag & info [ "no-btree" ] ~doc:"Disable the B-tree side workload.") in
+  let no_batching =
+    Arg.(
+      value & flag
+      & info [ "no-batching" ]
+          ~doc:"Run the unbatched (pre-doorbell-batching) commit pipeline.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule outcome.") in
   let term =
     Term.(
       const main $ seed $ schedules $ replay $ machines $ cells $ workers $ duration_ms
-      $ no_btree $ verbose)
+      $ no_btree $ no_batching $ verbose)
   in
   Cmd.v (Cmd.info "farm_fuzz" ~doc:"Deterministic fault-schedule fuzzer for the FaRM simulation") term
 

@@ -13,6 +13,13 @@ open Farm_sim
    backups. Before starting, it reserves log space for every record the
    protocol can write — including truncations — to guarantee progress.
 
+   Each phase's one-sided writes go out as a single doorbell-batched verb
+   group (Fabric.one_sided_write_batch via Logio.append_batch): the NIC is
+   rung once per phase and the completions reaped together, so a
+   multi-participant commit pays ~one issue/poll instead of one per
+   participant. Params.doorbell_batching restores the unbatched pipeline
+   for ablation.
+
    A configuration change can make the transaction "recovering" (§5.3);
    from that point the coordinator must ignore completions and defer to the
    recovery protocol's vote/decide outcome, which arrives on
@@ -37,6 +44,17 @@ let add_to_list tbl key v =
 
 (* {1 Read validation (§4 step 2)} *)
 
+(* Target-side memory access of a header read: what the remote NIC DMAs at
+   the linearization instant. *)
+let remote_header st ~dst ~(addr : Addr.t) () =
+  match State.peer st dst with
+  | None -> None
+  | Some pst -> (
+      match State.replica pst addr.Addr.region with
+      | Some rep when rep.State.role = State.Primary && rep.State.active ->
+          Some (Objmem.header rep ~off:addr.Addr.offset)
+      | _ -> None)
+
 (* One-sided read of just an object header from its primary. *)
 let read_header_at st ~dst ~(addr : Addr.t) =
   if dst = st.State.id then begin
@@ -47,18 +65,13 @@ let read_header_at st ~dst ~(addr : Addr.t) =
     | _ -> Ok None
   end
   else
-    Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst ~bytes:16 (fun () ->
-        match State.peer st dst with
-        | None -> None
-        | Some pst -> (
-            match State.replica pst addr.Addr.region with
-            | Some rep when rep.State.role = State.Primary && rep.State.active ->
-                Some (Objmem.header rep ~off:addr.Addr.offset)
-            | _ -> None))
+    Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst ~bytes:16
+      (remote_header st ~dst ~addr)
 
 (* Validate the read set: group the objects read (and not written) by
-   primary; use one-sided RDMA version reads for small groups and one RPC
-   above the [validate_rpc_threshold] (tr) to trade latency for CPU. *)
+   primary; use one-sided RDMA version reads for small groups — issued as
+   one doorbell batch spanning every such group — and one RPC above the
+   [validate_rpc_threshold] (tr) to trade latency for CPU. *)
 let validate st ~txid (reads : (Addr.t * int) list) =
   let by_primary = Hashtbl.create 8 in
   let ok = ref true in
@@ -71,30 +84,72 @@ let validate st ~txid (reads : (Addr.t * int) list) =
   if not !ok then false
   else begin
     let groups = Hashtbl.fold (fun p items acc -> (p, items) :: acc) by_primary [] in
-    let jobs =
+    let rdma_groups, rpc_groups =
+      List.partition
+        (fun (_, items) ->
+          List.length items <= st.State.params.Params.validate_rpc_threshold)
+        groups
+    in
+    let check_header version = function
+      | Some h -> if Obj_layout.is_locked h || Obj_layout.version h <> version then ok := false
+      | None -> ok := false
+    in
+    let rpc_jobs =
       List.map
         (fun (p, items) () ->
-          if List.length items <= st.State.params.Params.validate_rpc_threshold then
+          match
+            Comms.call st ~dst:p ~timeout:(Time.ms 20) (Wire.Validate_req { txid; items })
+          with
+          | Ok (Wire.Validate_reply { ok = reply_ok; _ }) -> if not reply_ok then ok := false
+          | Ok _ | Error _ -> ok := false)
+        rpc_groups
+    in
+    let rdma_jobs =
+      if rdma_groups = [] then []
+      else if st.State.params.Params.doorbell_batching then
+        [
+          (fun () ->
+            (* one header-read batch across ALL small groups (local items
+               are read directly, no NIC involved) *)
+            let remote = ref [] in
+            List.iter
+              (fun (p, items) ->
+                List.iter
+                  (fun ((addr : Addr.t), version) ->
+                    if p = st.State.id then
+                      match read_header_at st ~dst:p ~addr with
+                      | Ok h -> check_header version h
+                      | Error _ -> ok := false
+                    else remote := (p, addr, version) :: !remote)
+                  items)
+              rdma_groups;
+            let remote = List.rev !remote in
+            let results =
+              Farm_net.Fabric.one_sided_read_batch st.State.fabric ~src:st.State.id
+                (List.map (fun (p, addr, _) -> (p, 16, remote_header st ~dst:p ~addr)) remote)
+            in
+            List.iteri
+              (fun i (_, _, version) ->
+                match results.(i) with
+                | Ok h -> check_header version h
+                | Error _ -> ok := false)
+              remote);
+        ]
+      else
+        (* ablation path: the pre-batching pipeline read each group's
+           headers serially, one full-cost verb at a time *)
+        List.map
+          (fun (p, items) () ->
             List.iter
               (fun ((addr : Addr.t), version) ->
                 if !ok then
                   match read_header_at st ~dst:p ~addr with
-                  | Ok (Some h) ->
-                      if Obj_layout.is_locked h || Obj_layout.version h <> version then
-                        ok := false
-                  | Ok None | Error _ -> ok := false)
-              items
-          else begin
-            match
-              Comms.call st ~dst:p ~timeout:(Time.ms 20)
-                (Wire.Validate_req { txid; items })
-            with
-            | Ok (Wire.Validate_reply { ok = reply_ok; _ }) -> if not reply_ok then ok := false
-            | Ok _ | Error _ -> ok := false
-          end)
-        groups
+                  | Ok h -> check_header version h
+                  | Error _ -> ok := false)
+              items)
+          rdma_groups
     in
-    Comms.par_iter st jobs;
+    Comms.par_iter st (rdma_jobs @ rpc_jobs);
     !ok
   end
 
@@ -115,9 +170,11 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
     result
   in
   let reads_only =
-    Addr.Map.bindings
-      (Addr.Map.filter (fun a _ -> not (Addr.Map.mem a tx.Txn.writes)) tx.Txn.reads)
-    |> List.map (fun (a, (r : Txn.read_entry)) -> (a, r.Txn.r_version))
+    List.rev
+      (Addr.Map.fold
+         (fun a (r : Txn.read_entry) acc ->
+           if Addr.Map.mem a tx.Txn.writes then acc else (a, r.Txn.r_version) :: acc)
+         tx.Txn.reads [])
   in
   if Addr.Map.is_empty tx.Txn.writes then begin
     (* Read-only transactions: serialization point is the last read;
@@ -146,15 +203,14 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       List.sort_uniq compare (List.map (fun (w : Wire.write_item) -> w.Wire.addr.Addr.region) items)
     in
     (* resolve mappings for every written region *)
-    let infos =
-      List.filter_map
-        (fun rid ->
-          match Txn.ensure_mapping st rid ~retries:5 with
-          | Some info -> Some (rid, info)
-          | None -> None)
-        regions_written
-    in
-    if List.length infos <> List.length regions_written then begin
+    let infos = Hashtbl.create 8 in
+    List.iter
+      (fun rid ->
+        match Txn.ensure_mapping st rid ~retries:5 with
+        | Some info -> Hashtbl.replace infos rid info
+        | None -> ())
+      regions_written;
+    if Hashtbl.length infos <> List.length regions_written then begin
       State.forget_outstanding st txid;
       Txn.return_allocations tx;
       finish (Error Txn.Failed)
@@ -163,7 +219,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       let primaries = Hashtbl.create 8 and backups = Hashtbl.create 8 in
       List.iter
         (fun (w : Wire.write_item) ->
-          let info = List.assoc w.Wire.addr.Addr.region infos in
+          let info = Hashtbl.find infos w.Wire.addr.Addr.region in
           add_to_list primaries info.Wire.primary w;
           List.iter (fun b -> add_to_list backups b w) info.Wire.backups)
         items;
@@ -238,92 +294,88 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
          the coordinator waiting for a configuration change that never
          comes, its locks held forever. *)
       let suspect_append_failure m = st.State.on_suspect [ m ] in
+      (* Write one record per destination as a single doorbell-batched
+         group, then settle the books: consumed space on success, suspicion
+         on failure. Returns whether every record was acked. *)
+      let append_group ?on_complete dsts payload_of =
+        let results =
+          Logio.append_batch ?on_complete st ~thread:tx.Txn.thread
+            (List.map (fun (m, its) -> (m, payload_of m its)) dsts)
+        in
+        let all_ok = ref true in
+        List.iteri
+          (fun i (m, _) ->
+            match results.(i) with
+            | Ok n -> add_to consumed m n
+            | Error _ ->
+                all_ok := false;
+                suspect_append_failure m)
+          dsts;
+        !all_ok
+      in
       (* Abort: write ABORT records to the primaries, which release the
          locks and locally truncate the transaction. *)
       let abort_tx reason =
-        Comms.par_iter st
-          (List.map
-             (fun (p, _) () ->
-               match Logio.append st ~dst:p ~thread:tx.Txn.thread (Wire.Abort txid) with
-               | Ok n -> add_to consumed p n
-               | Error _ -> suspect_append_failure p)
-             primary_list);
+        ignore (append_group primary_list (fun _ _ -> Wire.Abort txid));
         State.forget_outstanding st txid;
         Txn.return_allocations tx;
         cleanup ();
         finish (Error reason)
       in
-      (* {2 Phase 1: LOCK} *)
+      (* {2 Phase 1: LOCK} — one batched write group to all primaries. *)
       State.phase st State.Before_lock txid;
       let lw =
         { State.lw_awaiting = List.length primary_list; lw_ok = true; lw_done = Ivar.create () }
       in
       Txid.Tbl.replace st.State.pending_lock txid lw;
-      Comms.par_iter st
-        (List.map
-           (fun (p, its) () ->
-             match
-               Logio.append st ~dst:p ~thread:tx.Txn.thread
-                 (Wire.Lock { txid; regions_written; writes = its })
-             with
-             | Ok n -> add_to consumed p n
-             | Error _ -> suspect_append_failure p)
-           primary_list);
+      ignore
+        (append_group primary_list (fun _ its ->
+             Wire.Lock { txid; regions_written; writes = its }));
       match race_outcome lt lw.State.lw_done with
       | Recovered o -> recovered_result o
       | Normal () ->
           if not lw.State.lw_ok then abort_tx Txn.Conflict
           else begin
             State.phase st State.After_lock txid;
-            (* {2 Phase 2: VALIDATE} *)
+            (* {2 Phase 2: VALIDATE} — one batched header read across all
+               groups below tr, one RPC per group above it. *)
             let validated = reads_only = [] || validate st ~txid reads_only in
             if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
             else if not validated then abort_tx Txn.Conflict
             else begin
               State.phase st State.After_validate txid;
-              (* {2 Phase 3: COMMIT-BACKUP} — wait for NIC acks from all
-                 backups before any COMMIT-PRIMARY (required for
-                 serializability across failures, §4). *)
-              let backup_failed = ref false in
-              Comms.par_iter st
-                (List.map
-                   (fun (b, its) () ->
-                     match
-                       Logio.append st ~dst:b ~thread:tx.Txn.thread
-                         (Wire.Commit_backup { txid; regions_written; writes = its })
-                     with
-                     | Ok n -> add_to consumed b n
-                     | Error _ ->
-                         backup_failed := true;
-                         suspect_append_failure b)
-                   backup_list);
+              (* {2 Phase 3: COMMIT-BACKUP} — one batched write group; wait
+                 for NIC acks from all backups before any COMMIT-PRIMARY
+                 (required for serializability across failures, §4). *)
+              let backups_ok =
+                append_group backup_list (fun _ its ->
+                    Wire.Commit_backup { txid; regions_written; writes = its })
+              in
               if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
-              else if !backup_failed then
+              else if not backups_ok then
                 (* a backup is gone: the suspicion just reported brings the
                    configuration change that makes this transaction
                    recovering *)
                 recovered_result (Ivar.read lt.State.lt_outcome)
               else begin
                 State.phase st State.After_commit_backup txid;
-                (* {2 Phase 4: COMMIT-PRIMARY} — report success on the
-                   first hardware ack. *)
+                (* {2 Phase 4: COMMIT-PRIMARY} — one batched write group
+                   with first-ack semantics: report success on the first
+                   hardware ack, delivered by the batch's per-op completion
+                   hook; the group's bookkeeping finishes in the
+                   background. *)
                 let first_ack = Ivar.create () in
                 let all_acks = Ivar.create () in
-                let remaining = ref (List.length primary_list) in
-                List.iter
-                  (fun (p, _) ->
-                    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
-                        (match
-                           Logio.append st ~dst:p ~thread:tx.Txn.thread
-                             (Wire.Commit_primary txid)
-                         with
-                        | Ok n ->
-                            add_to consumed p n;
-                            Ivar.fill_if_empty first_ack ()
-                        | Error _ -> suspect_append_failure p);
-                        decr remaining;
-                        if !remaining = 0 then Ivar.fill all_acks ()))
-                  primary_list;
+                Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+                    ignore
+                      (append_group
+                         ~on_complete:(fun _ r ->
+                           match r with
+                           | Ok () -> Ivar.fill_if_empty first_ack ()
+                           | Error _ -> ())
+                         primary_list
+                         (fun _ _ -> Wire.Commit_primary txid));
+                    Ivar.fill all_acks ());
                 match race_outcome lt first_ack with
                 | Recovered o -> recovered_result o
                 | Normal () ->

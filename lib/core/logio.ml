@@ -47,6 +47,72 @@ let append st ~dst ~thread payload : (int, Farm_net.Fabric.error) result =
       List.iter (fun txid -> State.queue_truncation st ~dst txid) truncations;
       Error e
 
+(* Append one record per destination as a single doorbell-batched verb
+   group: pending truncations for every destination are drained under one
+   preparation pass (reservations consumed, piggyback slack released), then
+   all writes go out with one issue + per-op doorbells and one completion
+   reap. [on_complete i r] fires at record [i]'s individual hardware-ack
+   (or failure) instant — COMMIT-PRIMARY's first-ack hook.
+
+   With [doorbell_batching] off this degrades to the pre-batching pipeline:
+   one full-cost one-sided write per record, issued by parallel processes,
+   each paying its own issue and poll — the ablation baseline. *)
+let append_batch ?on_complete st ~thread (descs : (int * Wire.record) list) :
+    (int, Farm_net.Fabric.error) result array =
+  let prepared =
+    Array.of_list
+      (List.map
+         (fun (dst, payload) ->
+           let truncations = State.take_truncations st ~dst in
+           let record =
+             {
+               Wire.payload;
+               truncations;
+               low_bound = State.low_bound st ~thread;
+               cfg = st.State.config.Config.id;
+             }
+           in
+           let log = State.log_to st dst in
+           let size = Wire.record_bytes record in
+           Ringlog.consume_reservation log size;
+           Ringlog.unreserve log (8 * List.length truncations);
+           (dst, record, log, size))
+         descs)
+  in
+  let results =
+    if st.State.params.Params.doorbell_batching then
+      Farm_net.Fabric.one_sided_write_batch ?on_complete st.State.fabric ~src:st.State.id
+        (Array.to_list
+           (Array.map
+              (fun (dst, record, log, size) ->
+                (dst, size, fun () -> Ringlog.dma_append log record ~size))
+              prepared))
+    else begin
+      let results = Array.make (Array.length prepared) (Ok ()) in
+      Comms.par_iter st
+        (Array.to_list
+           (Array.mapi
+              (fun i (dst, record, log, size) () ->
+                let r =
+                  Farm_net.Fabric.one_sided_write st.State.fabric ~src:st.State.id ~dst
+                    ~bytes:size (fun () -> Ringlog.dma_append log record ~size)
+                in
+                results.(i) <- r;
+                match on_complete with Some f -> f i r | None -> ())
+              prepared));
+      results
+    end
+  in
+  Array.mapi
+    (fun i r ->
+      let dst, record, _, size = prepared.(i) in
+      match r with
+      | Ok () -> Ok (size - (16 * List.length record.Wire.truncations))
+      | Error e ->
+          List.iter (fun txid -> State.queue_truncation st ~dst txid) record.Wire.truncations;
+          Error e)
+    results
+
 (* Write an explicit TRUNCATE record carrying the pending truncations for
    [dst]. Used by the background flusher and when a log fills up. *)
 let flush_truncations st ~dst =

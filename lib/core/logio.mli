@@ -17,6 +17,21 @@ val append : State.t -> dst:int -> thread:int -> Wire.record -> (int, Fabric.err
     receiver NIC's hardware ack. Returns the caller's own share of consumed
     log space. *)
 
+val append_batch :
+  ?on_complete:(int -> (unit, Fabric.error) result -> unit) ->
+  State.t ->
+  thread:int ->
+  (int * Wire.record) list ->
+  (int, Fabric.error) result array
+(** Write one record per [(dst, payload)] as a single doorbell-batched verb
+    group, draining each destination's pending truncations under one
+    preparation pass. Blocks until every record has its hardware ack (or
+    failed); results are per-record in order, each the caller's own share
+    of consumed log space. [on_complete] fires at each record's individual
+    completion instant. With {!Params.doorbell_batching} off, falls back to
+    the pre-batching pipeline: parallel single writes, each paying full
+    issue + poll. *)
+
 val flush_truncations : State.t -> dst:int -> unit
 (** Write an explicit TRUNCATE record carrying pending truncations. *)
 

@@ -11,6 +11,7 @@ type t = {
   (* transactions *)
   validate_rpc_threshold : int;
   commit_log_bytes : int;
+  doorbell_batching : bool;
   (* leases (§5.1) *)
   lease_duration : Time.t;
   lease_renew_divisor : int;
@@ -56,6 +57,7 @@ let default =
     replication = 3;
     validate_rpc_threshold = 4;
     commit_log_bytes = 64;
+    doorbell_batching = true;
     lease_duration = Time.ms 10;
     lease_renew_divisor = 5;
     lease_check_interval = Time.us 500;

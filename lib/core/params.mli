@@ -14,6 +14,14 @@ type t = {
       (** tr: reads per primary above which validation switches from
           one-sided RDMA to RPC (paper: 4) *)
   commit_log_bytes : int;  (** wire size of fixed commit-record parts *)
+  doorbell_batching : bool;
+      (** issue the commit protocol's one-sided verb groups (LOCK,
+          VALIDATE reads, COMMIT-BACKUP, COMMIT-PRIMARY, ABORT) as doorbell
+          batches — one {!Farm_net.Params.cpu_rdma_issue} plus
+          per-op {!Farm_net.Params.cpu_rdma_doorbell} and a single
+          completion reap per group. [false] restores the pre-batching
+          pipeline (one full-cost verb, poll and process spawn per record)
+          for ablation *)
   lease_duration : Time.t;  (** paper experiments use 10 ms *)
   lease_renew_divisor : int;  (** renew every lease/5 *)
   lease_check_interval : Time.t;

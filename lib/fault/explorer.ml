@@ -22,10 +22,11 @@ type opts = {
   workers : int;  (** workers per machine *)
   duration : Time.t;  (** workload + fault window per schedule *)
   btree : bool;
+  batching : bool;  (** doorbell-batched commit pipeline (the default) *)
 }
 
 let default_opts =
-  { machines = 6; cells = 16; workers = 2; duration = Time.ms 60; btree = true }
+  { machines = 6; cells = 16; workers = 2; duration = Time.ms 60; btree = true; batching = true }
 
 type outcome = {
   seed : int;
@@ -112,6 +113,7 @@ let spawn_workers (c : Cluster.t) ~opts ~stop ~hist ~addrs ~tree =
    run passes iff none accumulate. *)
 let run_one ?(opts = default_opts) seed =
   let trace = ref [] in
+  let params = { params with Params.doorbell_batching = opts.batching } in
   let c = Cluster.create ~seed ~params ~machines:opts.machines () in
   Engine.set_tracer c.Cluster.engine (Some (fun ~at msg -> trace := (at, msg) :: !trace));
   (* setup: bank cells in one region, optionally a B-tree in another *)

@@ -14,6 +14,7 @@ type opts = {
   workers : int;  (** workers per machine *)
   duration : Time.t;  (** workload + fault window per schedule *)
   btree : bool;
+  batching : bool;  (** doorbell-batched commit pipeline (the default) *)
 }
 
 val default_opts : opts

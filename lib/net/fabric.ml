@@ -154,12 +154,11 @@ let fail_later t iv =
   Engine.schedule_in t.engine ~after:t.params.Params.failure_timeout (fun () ->
       Ivar.fill_if_empty iv (Error `Unreachable))
 
-(* One-sided RDMA read: charges CPU only at [src]. [read] runs at the
-   instant the target NIC performs the DMA — the operation's linearization
-   point. *)
-let one_sided_read t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
+(* In-flight part of a one-sided read, from NIC issue to completion
+   delivery; no CPU is charged here. [read] runs at the instant the target
+   NIC performs the DMA — the operation's linearization point. *)
+let read_flight t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result Ivar.t =
   let ms = get t src in
-  Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
   let iv : ('a, error) result Ivar.t = Ivar.create () in
   if src = dst then begin
     (* Local access: no NIC involved; negligible extra cost. *)
@@ -189,17 +188,23 @@ let one_sided_read t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
               end)
         end)
   end;
-  let r = Ivar.read iv in
+  iv
+
+(* One-sided RDMA read: issue, block on the completion, reap it. Charges
+   CPU only at [src]. *)
+let one_sided_read t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
+  let ms = get t src in
+  Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
+  let r = Ivar.read (read_flight t ~src ~dst ~bytes read) in
   (match r with
   | Ok _ -> Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll
   | Error _ -> ());
   r
 
-(* One-sided RDMA write with hardware ack: [apply] mutates target memory at
-   the DMA instant; the target CPU is never involved. *)
-let one_sided_write t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) result =
+(* In-flight part of a one-sided write with hardware ack: [apply] mutates
+   target memory at the DMA instant; the target CPU is never involved. *)
+let write_flight t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) result Ivar.t =
   let ms = get t src in
-  Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
   let iv : (unit, error) result Ivar.t = Ivar.create () in
   if src = dst then begin
     apply ();
@@ -230,11 +235,65 @@ let one_sided_write t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) re
               end)
         end)
   end;
-  let r = Ivar.read iv in
+  iv
+
+let one_sided_write t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) result =
+  let ms = get t src in
+  Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
+  let r = Ivar.read (write_flight t ~src ~dst ~bytes apply) in
   (match r with
   | Ok _ -> Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll
   | Error _ -> ());
   r
+
+(* {1 Doorbell-batched verbs}
+
+   A batch issues a group of one-sided operations from one thread with a
+   single doorbell ring: the first work-queue entry pays the full
+   [cpu_rdma_issue], each subsequent one only [cpu_rdma_doorbell], and the
+   completions of the whole group are reaped with a single [cpu_rdma_poll]
+   (one completion-queue sweep) instead of one per operation.
+
+   Everything on the wire is unchanged from the single-op verbs: each
+   operation occupies the NIC pipelines individually, samples its own
+   link-fault fate, and linearizes at its own target-DMA instant — so a
+   lossy link delays only the operations routed over it, and failures
+   surface per operation. The batch is a CPU/issue optimization, not a
+   semantic change. *)
+
+let batch_issue_cost t i =
+  if i = 0 then t.params.Params.cpu_rdma_issue else t.params.Params.cpu_rdma_doorbell
+
+let reap t (ms : 'msg machine) results =
+  if Array.exists (function Ok _ -> true | Error _ -> false) results then
+    Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll;
+  results
+
+let one_sided_read_batch t ~src (descs : (int * int * (unit -> 'a)) list) :
+    ('a, error) result array =
+  let ms = get t src in
+  let flights =
+    List.mapi
+      (fun i (dst, bytes, read) ->
+        Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
+        read_flight t ~src ~dst ~bytes read)
+      descs
+  in
+  reap t ms (Array.of_list (List.map Ivar.read flights))
+
+let one_sided_write_batch ?on_complete t ~src (descs : (int * int * (unit -> unit)) list) :
+    (unit, error) result array =
+  let ms = get t src in
+  let flights =
+    List.mapi
+      (fun i (dst, bytes, apply) ->
+        Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
+        let iv = write_flight t ~src ~dst ~bytes apply in
+        (match on_complete with Some f -> Ivar.on_fill iv (fun r -> f i r) | None -> ());
+        iv)
+      descs
+  in
+  reap t ms (Array.of_list (List.map Ivar.read flights))
 
 let deliver t ~src ~dst ~prio ~bytes msg ~reply =
   let route at =

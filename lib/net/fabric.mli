@@ -78,6 +78,33 @@ val one_sided_write : 'msg t -> src:int -> dst:int -> bytes:int -> (unit -> unit
     the NIC hardware ack. NICs ack regardless of configuration — FaRM's
     recovery protocol copes with this by draining logs. *)
 
+(** {1 Doorbell-batched verbs}
+
+    Issue a group of one-sided operations with a single doorbell ring: the
+    first descriptor pays {!Params.cpu_rdma_issue}, each subsequent one
+    only {!Params.cpu_rdma_doorbell}, and one {!Params.cpu_rdma_poll} reaps
+    the whole group's completions. Wire behaviour is identical to issuing
+    the operations individually — per-op NIC occupancy, link faults and
+    DMA-instant linearization points are unchanged; only the issuing CPU
+    cost differs. Both calls block until every operation in the group has
+    completed (ack or failure) and return per-descriptor results in order.
+    An empty batch returns [[||]] and charges nothing. *)
+
+val one_sided_read_batch :
+  'msg t -> src:int -> (int * int * (unit -> 'a)) list -> ('a, error) result array
+(** Each descriptor is [(dst, bytes, read)]. *)
+
+val one_sided_write_batch :
+  ?on_complete:(int -> (unit, error) result -> unit) ->
+  'msg t ->
+  src:int ->
+  (int * int * (unit -> unit)) list ->
+  (unit, error) result array
+(** Each descriptor is [(dst, bytes, apply)]. [on_complete] fires at each
+    operation's individual completion instant (index, result) — the hook
+    the commit pipeline uses for COMMIT-PRIMARY's first-ack semantics —
+    before the batch-wide completion reap. *)
+
 (** {1 Messaging} *)
 
 val send :

@@ -7,6 +7,7 @@ type t = {
   nic_msg_ns : Time.t;
   nic_byte_ns_x1000 : int;
   cpu_rdma_issue : Time.t;
+  cpu_rdma_doorbell : Time.t;
   cpu_rdma_poll : Time.t;
   cpu_rpc_send : Time.t;
   cpu_rpc_recv : Time.t;
@@ -25,6 +26,7 @@ let default =
     nic_msg_ns = Time.ns 40;
     nic_byte_ns_x1000 = 143 (* 56 Gbps = ~7 GB/s per NIC *);
     cpu_rdma_issue = Time.ns 1_200;
+    cpu_rdma_doorbell = Time.ns 150;
     cpu_rdma_poll = Time.ns 1_600;
     cpu_rpc_send = Time.ns 2_500;
     cpu_rpc_recv = Time.ns 3_500;

@@ -13,8 +13,12 @@ type t = {
   nics_per_machine : int;
   nic_msg_ns : Time.t;  (** per-message NIC processing time *)
   nic_byte_ns_x1000 : int;  (** payload cost, in ns per byte x1000 *)
-  cpu_rdma_issue : Time.t;  (** CPU to post a one-sided verb *)
-  cpu_rdma_poll : Time.t;  (** CPU to reap a completion *)
+  cpu_rdma_issue : Time.t;  (** CPU to post a one-sided verb (WQE + doorbell) *)
+  cpu_rdma_doorbell : Time.t;
+      (** CPU to append one more WQE to an already-rung doorbell batch:
+          after the first verb of a group pays {!cpu_rdma_issue}, each
+          subsequent verb only writes its WQE — the NIC is rung once *)
+  cpu_rdma_poll : Time.t;  (** CPU to reap a completion-queue batch *)
   cpu_rpc_send : Time.t;  (** CPU to marshal and post a send *)
   cpu_rpc_recv : Time.t;  (** CPU to poll, demarshal, dispatch a receive *)
   failure_timeout : Time.t;
