@@ -29,6 +29,8 @@ type mode_result = {
   p99_us : float;
   committed : int;
   failed : int;
+  phases : (string * (int * float * float * float)) list;
+      (* phase -> (count, p50 us, p99 us, mean us), committed tx only *)
 }
 
 let run_mode ~batching ~machines ~workers ~duration =
@@ -75,6 +77,16 @@ let run_mode ~batching ~machines ~workers ~duration =
     | Error _ -> false
   in
   let stats = Driver.run c ~workers ~warmup:(Time.ms 5) ~duration ~op in
+  let phases =
+    List.map
+      (fun (name, h) ->
+        ( name,
+          ( Stats.Hist.count h,
+            float_of_int (Stats.Hist.percentile h 50.) /. 1e3,
+            float_of_int (Stats.Hist.percentile h 99.) /. 1e3,
+            Stats.Hist.mean h /. 1e3 ) ))
+      (Cluster.merged_phase_hists c)
+  in
   {
     label = (if batching then "batched" else "unbatched");
     commits_per_us = Driver.throughput_per_us stats ~duration;
@@ -82,14 +94,25 @@ let run_mode ~batching ~machines ~workers ~duration =
     p99_us = float_of_int (Stats.Hist.percentile stats.Driver.latency 99.) /. 1e3;
     committed = Stats.Counter.get stats.Driver.ops;
     failed = Stats.Counter.get stats.Driver.failures;
+    phases;
   }
 
 let json_of ~machines ~workers ~duration batched unbatched =
   let mode m =
+    let phase_fields =
+      String.concat ", "
+        (List.map
+           (fun (name, (count, p50, p99, mean)) ->
+             Printf.sprintf
+               "\"%s\": { \"count\": %d, \"p50_us\": %.2f, \"p99_us\": %.2f, \"mean_us\": \
+                %.2f }"
+               name count p50 p99 mean)
+           m.phases)
+    in
     Printf.sprintf
       "    \"%s\": { \"commits_per_us\": %.4f, \"p50_us\": %.2f, \"p99_us\": %.2f, \
-       \"committed\": %d, \"failed\": %d }"
-      m.label m.commits_per_us m.p50_us m.p99_us m.committed m.failed
+       \"committed\": %d, \"failed\": %d, \"phases\": { %s } }"
+      m.label m.commits_per_us m.p50_us m.p99_us m.committed m.failed phase_fields
   in
   String.concat "\n"
     [
@@ -126,6 +149,16 @@ let run ?(machines = 12) ?(workers = 256) ?(duration = Time.ms 30) () =
     [ batched; unbatched ];
   Fmt.pr "@.speedup (batched/unbatched): %.2fx commits/us@."
     (batched.commits_per_us /. unbatched.commits_per_us);
+  Fmt.pr "@.commit-latency phase breakdown (committed tx, merged over machines):@.";
+  Fmt.pr "%-12s %-16s %10s %10s %10s %10s@." "mode" "phase" "count" "p50(us)" "p99(us)"
+    "mean(us)";
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (name, (count, p50, p99, mean)) ->
+          Fmt.pr "%-12s %-16s %10d %10.1f %10.1f %10.1f@." m.label name count p50 p99 mean)
+        m.phases)
+    [ batched; unbatched ];
   let json = json_of ~machines ~workers ~duration batched unbatched in
   let oc = open_out "BENCH_commit_batching.json" in
   output_string oc (json ^ "\n");

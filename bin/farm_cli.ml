@@ -20,6 +20,7 @@ type common = {
   kill_ms : int option;  (* kill a non-CM machine at this offset *)
   kill_cm_ms : int option;
   power_cycle_ms : int option;  (* whole-cluster power failure *)
+  stats : bool;  (* print per-machine counters and phase histograms *)
 }
 
 let common_term =
@@ -53,12 +54,20 @@ let common_term =
       & info [ "power-cycle" ]
           ~doc:"Power-fail the whole cluster N ms in and reboot it from NVRAM.")
   in
-  let mk machines seed workers duration_ms lease_ms kill_ms kill_cm_ms power_cycle_ms =
-    { machines; seed; workers; duration_ms; lease_ms; kill_ms; kill_cm_ms; power_cycle_ms }
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "After the run, print the per-machine protocol counters and the merged \
+             commit-phase / recovery-stage latency tables.")
+  in
+  let mk machines seed workers duration_ms lease_ms kill_ms kill_cm_ms power_cycle_ms stats =
+    { machines; seed; workers; duration_ms; lease_ms; kill_ms; kill_cm_ms; power_cycle_ms; stats }
   in
   Term.(
     const mk $ machines $ seed $ workers $ duration_ms $ lease_ms $ kill_ms $ kill_cm_ms
-    $ power_cycle_ms)
+    $ power_cycle_ms $ stats)
 
 let params_of c =
   { Params.default with Params.lease_duration = Time.ms c.lease_ms }
@@ -110,6 +119,16 @@ let report cluster c (stats : Driver.stats) =
       (fun (tag, m, at) ->
         if tag <> "region-recovered" then Fmt.pr "  %-16s m%-3d %a@." tag m Time.pp at)
       (Cluster.milestones cluster)
+  end;
+  if c.stats then begin
+    Fmt.pr "@.%a" Cluster.pp_stats cluster;
+    Fmt.pr "@.nic traffic:@.";
+    Array.iter
+      (fun (st : State.t) ->
+        let nic = Farm_net.Fabric.nic cluster.Cluster.fabric st.State.id in
+        Fmt.pr "  m%-3d %8d ops %12d bytes@." st.State.id (Farm_net.Nic.ops nic)
+          (Farm_net.Nic.bytes_total nic))
+      cluster.Cluster.machines
   end
 
 let run_workload c ~setup =

@@ -23,6 +23,7 @@ let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching =
     duration = Time.ms duration_ms;
     btree = not no_btree;
     batching = not no_batching;
+    record = true;
   }
 
 let run_explore ~opts ~seed ~schedules ~verbose =
@@ -43,13 +44,19 @@ let run_explore ~opts ~seed ~schedules ~verbose =
     report.Explorer.failures;
   if report.Explorer.failures = [] then 0 else 1
 
-let run_replay ~opts ~seed =
+let run_replay ~opts ~seed ~trace_flag =
   let o = Explorer.run_one ~opts seed in
   List.iter (Fmt.pr "%s@.") o.Explorer.trace;
-  Fmt.pr "%a@." Explorer.pp_outcome { o with Explorer.trace = [] };
+  Fmt.pr "%a@." Explorer.pp_outcome { o with Explorer.trace = []; Explorer.recorder = [] };
+  if trace_flag && o.Explorer.recorder <> [] then begin
+    Fmt.pr "--- flight recorder (last %d protocol events per machine) ---@."
+      (List.length o.Explorer.recorder);
+    List.iter (Fmt.pr "%s@.") o.Explorer.recorder
+  end;
   if Explorer.ok o then 0 else 1
 
-let main seed schedules replay machines cells workers duration_ms no_btree no_batching verbose =
+let main seed schedules replay machines cells workers duration_ms no_btree no_batching verbose
+    trace_flag =
   if machines < 3 then begin
     Fmt.epr "farm_fuzz: --machines must be at least 3 (every region needs f+1 = 3 replicas)@.";
     2
@@ -61,7 +68,7 @@ let main seed schedules replay machines cells workers duration_ms no_btree no_ba
   else begin
     let opts = opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching in
     match replay with
-    | Some s -> run_replay ~opts ~seed:s
+    | Some s -> run_replay ~opts ~seed:s ~trace_flag
     | None -> run_explore ~opts ~seed ~schedules ~verbose
   end
 
@@ -91,10 +98,18 @@ let cmd =
           ~doc:"Run the unbatched (pre-doorbell-batching) commit pipeline.")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule outcome.") in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "With --replay: also dump the flight recorder (the last protocol events each \
+             machine observed), even when the run passes.")
+  in
   let term =
     Term.(
       const main $ seed $ schedules $ replay $ machines $ cells $ workers $ duration_ms
-      $ no_btree $ no_batching $ verbose)
+      $ no_btree $ no_batching $ verbose $ trace_flag)
   in
   Cmd.v (Cmd.info "farm_fuzz" ~doc:"Deterministic fault-schedule fuzzer for the FaRM simulation") term
 

@@ -12,15 +12,8 @@ open Farm_sim
 
 type 'a result_t = ('a, Txn.abort_reason) result
 
-let reason_index = function
-  | Txn.Conflict -> 0
-  | Txn.Not_allocated -> 1
-  | Txn.Out_of_space -> 2
-  | Txn.Failed -> 3
-  | Txn.Explicit -> 4
-
 let count_reason st r =
-  let i = reason_index r in
+  let i = Txn.reason_index r in
   st.State.metrics.State.abort_reasons.(i) <-
     st.State.metrics.State.abort_reasons.(i) + 1
 
@@ -37,7 +30,8 @@ let run st ~thread (f : Txn.t -> 'a) : 'a result_t =
   | exception Txn.Abort reason ->
       tx.Txn.finished <- true;
       Txn.return_allocations tx;
-      State.record_abort st;
+      Farm_obs.Obs.Span.finish tx.Txn.span ~committed:false;
+      State.record_abort ~reason:(Txn.reason_index reason) st;
       count_reason st reason;
       Error reason
 

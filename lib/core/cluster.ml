@@ -35,7 +35,8 @@ let create ?(seed = 42) ?(params = Params.default) ?(domains = fun i -> i) ~mach
   let states =
     Array.init n (fun id ->
         let cpu = Cpu.create engine ~threads:params.Params.threads_per_machine in
-        Farm_net.Fabric.add_machine fabric ~id ~cpu;
+        let obs = Farm_obs.Obs.create engine ~machine:id in
+        Farm_net.Fabric.add_machine ~obs fabric ~id ~cpu;
         let nv =
           {
             State.bank = Farm_nvram.Bank.create ~machine:id;
@@ -44,7 +45,7 @@ let create ?(seed = 42) ?(params = Params.default) ?(domains = fun i -> i) ~mach
           }
         in
         State.create ~id ~engine ~rng:(Rng.split rng) ~params ~fabric ~zk ~cpu ~nv ~config
-          ~directory)
+          ~directory ~obs)
   in
   Array.iter (fun st -> Hashtbl.replace directory st.State.id st) states;
   (* a ring log (located at the receiver) for every ordered machine pair *)
@@ -145,11 +146,14 @@ let restart_machine ?(rejoining = true) t id ~config =
   let old = t.machines.(id) in
   if old.State.alive then invalid_arg "Cluster.restart_machine: machine is alive";
   let cpu = Cpu.create t.engine ~threads:t.params.Params.threads_per_machine in
-  Farm_net.Fabric.reset_machine t.fabric ~id ~cpu;
+  (* the obs sink survives the crash: counters keep accumulating and the
+     flight recorder retains pre-crash events *)
+  let obs = old.State.obs in
+  Farm_net.Fabric.reset_machine ~obs t.fabric ~id ~cpu;
   let directory = old.State.directory in
   let st =
     State.create ~id ~engine:t.engine ~rng:(Rng.split t.rng) ~params:t.params
-      ~fabric:t.fabric ~zk:t.zk ~cpu ~nv:old.State.nv ~config ~directory
+      ~fabric:t.fabric ~zk:t.zk ~cpu ~nv:old.State.nv ~config ~directory ~obs
   in
   (* reconnect the sender-side views of the shared ring logs; reservations
      and head estimates died with the process, so resynchronize them *)
@@ -385,3 +389,77 @@ let replicas_of t rid =
     (fun acc st ->
       match State.replica st rid with Some r -> (st.State.id, r) :: acc | None -> acc)
     [] t.machines
+
+(* {1 Observability} *)
+
+let set_recording t on =
+  Array.iter (fun st -> Farm_obs.Obs.set_enabled st.State.obs on) t.machines
+
+(* Cluster-wide counter totals, in counter declaration order. *)
+let merged_counters t =
+  let order = ref [] and tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun st ->
+      List.iter
+        (fun (name, v) ->
+          if not (Hashtbl.mem tbl name) then order := name :: !order;
+          let cur = match Hashtbl.find_opt tbl name with Some c -> c | None -> 0 in
+          Hashtbl.replace tbl name (cur + v))
+        (Farm_obs.Obs.counter_totals st.State.obs))
+    t.machines;
+  List.rev_map (fun n -> (n, Hashtbl.find tbl n)) !order
+
+(* Per-phase commit-latency histograms merged across machines; string-keyed
+   so benches and CLIs need no dependency on the obs library. *)
+let merged_phase_hists t =
+  List.filter_map
+    (fun p ->
+      let h = Stats.Hist.create () in
+      Array.iter
+        (fun st -> Stats.Hist.merge ~into:h (Farm_obs.Obs.phase_hist st.State.obs p))
+        t.machines;
+      if Stats.Hist.count h = 0 then None else Some (Farm_obs.Obs.phase_name p, h))
+    Farm_obs.Obs.all_phases
+
+let merged_stage_hists t =
+  List.filter_map
+    (fun s ->
+      let h = Stats.Hist.create () in
+      Array.iter
+        (fun st -> Stats.Hist.merge ~into:h (Farm_obs.Obs.stage_hist st.State.obs s))
+        t.machines;
+      if Stats.Hist.count h = 0 then None else Some (Farm_obs.Obs.stage_name s, h))
+    Farm_obs.Obs.all_stages
+
+(* The flight recorder: every machine's event ring, merged into one
+   time-sorted, human-readable dump (ties broken by machine id). *)
+let flight_dump t =
+  let lines =
+    Array.fold_left
+      (fun acc st ->
+        List.fold_left
+          (fun acc (at, line) -> (at, st.State.id, line) :: acc)
+          acc
+          (Farm_obs.Obs.events st.State.obs))
+      [] t.machines
+  in
+  let lines =
+    List.stable_sort
+      (fun (a, ma, _) (b, mb, _) -> if a = b then compare ma mb else compare a b)
+      lines
+  in
+  List.map
+    (fun (at, m, line) ->
+      Printf.sprintf "[%12.3fus] m%d %s" (float_of_int at /. 1_000.) m line)
+    lines
+
+let pp_stats ppf t =
+  Array.iter
+    (fun st -> Fmt.pf ppf "m%d: %a@." st.State.id Farm_obs.Obs.pp_counters st.State.obs)
+    t.machines;
+  (match merged_phase_hists t with
+  | [] -> ()
+  | hs -> Fmt.pf ppf "commit phases (committed tx, merged):@.%a" Farm_obs.Obs.pp_hist_table hs);
+  match merged_stage_hists t with
+  | [] -> ()
+  | hs -> Fmt.pf ppf "recovery stages (merged):@.%a" Farm_obs.Obs.pp_hist_table hs

@@ -111,3 +111,33 @@ val merged_latency : t -> Stats.Hist.t
 
 val replicas_of : t -> int -> (int * State.replica) list
 (** All replicas of a region across the cluster, dead machines included. *)
+
+(** {1 Observability}
+
+    Every machine carries a {!Farm_obs.Obs.t} sink (reachable as
+    [(machine t i).State.obs]); counters, phase and stage histograms are
+    always live, the flight-recorder event ring only while recording is
+    enabled. The sink survives {!restart_machine}. *)
+
+val set_recording : t -> bool -> unit
+(** Enable/disable flight-recorder event capture on every machine. Does
+    not perturb the simulation: recording never draws randomness or
+    schedules work. *)
+
+val merged_counters : t -> (string * int) list
+(** Cluster-wide nonzero protocol-counter totals, in declaration order. *)
+
+val merged_phase_hists : t -> (string * Stats.Hist.t) list
+(** Commit-phase latency histograms (ns) of committed transactions, merged
+    across machines; phases that never ran are omitted. *)
+
+val merged_stage_hists : t -> (string * Stats.Hist.t) list
+(** Recovery-stage timing histograms (ns), merged across machines. *)
+
+val flight_dump : t -> string list
+(** Every machine's flight-recorder ring merged into one time-sorted,
+    rendered dump ([[%time] m<id> <event>] lines); empty when recording
+    was never enabled. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** Per-machine counters plus the merged phase/stage tables. *)

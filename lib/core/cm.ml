@@ -377,7 +377,13 @@ let handle_suspicion st suspects =
   else begin
   let fresh = List.filter (fun m -> not (Hashtbl.mem st.State.pending_suspects m)) suspects in
   List.iter (fun m -> Hashtbl.replace st.State.pending_suspects m ()) suspects;
-  if fresh <> [] then st.State.trace "suspect";
+  if fresh <> [] then begin
+    Farm_obs.Obs.add st.State.obs Farm_obs.Obs.C_suspect (List.length fresh);
+    List.iter
+      (fun m -> Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_suspect ~a:m ~b:0 ~c:0)
+      fresh;
+    st.State.trace "suspect"
+  end;
   let old_id = st.State.config.Config.id in
   let cm_suspected = List.mem st.State.config.Config.cm suspects in
   let start () =

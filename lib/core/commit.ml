@@ -165,8 +165,11 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
     | Ok () ->
         State.record_commit st ~latency:(Time.sub (State.now st) commit_start);
         Stats.Hist.record st.State.metrics.tx_latency
-          (Time.to_ns (Time.sub (State.now st) tx.Txn.t_started))
-    | Error _ -> State.record_abort st);
+          (Time.to_ns (Time.sub (State.now st) tx.Txn.t_started));
+        Farm_obs.Obs.Span.finish tx.Txn.span ~committed:true
+    | Error e ->
+        Farm_obs.Obs.Span.finish tx.Txn.span ~committed:false;
+        State.record_abort ~reason:(Txn.reason_index e) st);
     result
   in
   let reads_only =
@@ -182,6 +185,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
     if List.length reads_only <= 1 then finish (Ok ())
     else begin
       let txid = State.fresh_txid st ~thread:tx.Txn.thread in
+      Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_validate;
       let ok = validate st ~txid reads_only in
       State.forget_outstanding st txid;
       finish (if ok then Ok () else Error Txn.Conflict)
@@ -324,6 +328,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       in
       (* {2 Phase 1: LOCK} — one batched write group to all primaries. *)
       State.phase st State.Before_lock txid;
+      Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_lock;
       let lw =
         { State.lw_awaiting = List.length primary_list; lw_ok = true; lw_done = Ivar.create () }
       in
@@ -337,6 +342,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
           if not lw.State.lw_ok then abort_tx Txn.Conflict
           else begin
             State.phase st State.After_lock txid;
+            Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_validate;
             (* {2 Phase 2: VALIDATE} — one batched header read across all
                groups below tr, one RPC per group above it. *)
             let validated = reads_only = [] || validate st ~txid reads_only in
@@ -344,6 +350,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
             else if not validated then abort_tx Txn.Conflict
             else begin
               State.phase st State.After_validate txid;
+              Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_commit_backup;
               (* {2 Phase 3: COMMIT-BACKUP} — one batched write group; wait
                  for NIC acks from all backups before any COMMIT-PRIMARY
                  (required for serializability across failures, §4). *)
@@ -359,6 +366,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                 recovered_result (Ivar.read lt.State.lt_outcome)
               else begin
                 State.phase st State.After_commit_backup txid;
+                Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_commit_primary;
                 (* {2 Phase 4: COMMIT-PRIMARY} — one batched write group
                    with first-ack semantics: report success on the first
                    hardware ack, delivered by the batch's per-op completion
@@ -381,7 +389,11 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                 | Normal () ->
                     State.phase st State.After_commit_primary txid;
                     (* {2 Phase 5: TRUNCATE} — lazily, after all primaries
-                       acked, in the background. *)
+                       acked, in the background. The segment is timed from
+                       the report instant and recorded directly into the
+                       phase histogram: the span itself finishes when the
+                       application is told the commit succeeded. *)
+                    let report_at = State.now st in
                     Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
                         match race_outcome lt all_acks with
                         | Recovered _ ->
@@ -395,7 +407,10 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                               participants;
                             State.forget_outstanding st txid;
                             cleanup ();
-                            State.phase st State.After_truncate txid);
+                            State.phase st State.After_truncate txid;
+                            Farm_obs.Obs.record_phase st.State.obs
+                              Farm_obs.Obs.P_truncate
+                              (Time.to_ns (Time.sub (State.now st) report_at)));
                     finish (Ok ())
               end
             end

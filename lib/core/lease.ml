@@ -163,6 +163,8 @@ let start_renewal st =
         Proc.check_cancelled ();
         if not (State.is_cm st) then begin
           let dst = renew_target st in
+          Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_lease_renewal;
+          Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_lease_renewal ~a:dst ~b:0 ~c:0;
           send_lease st ~dst
             (Wire.Lease_request
                { cfg = st.State.config.Config.id; sent_ns = Time.to_ns (State.now st) })
@@ -219,6 +221,13 @@ let start_expiry_checker st =
             if expired <> [] then begin
               st.State.lease.State.expiry_events <-
                 st.State.lease.State.expiry_events + List.length expired;
+              Farm_obs.Obs.add st.State.obs Farm_obs.Obs.C_lease_expiry
+                (List.length expired);
+              List.iter
+                (fun m ->
+                  Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_lease_expiry ~a:m ~b:0
+                    ~c:0)
+                expired;
               (* stop repeat triggers: forget their leases *)
               List.iter (fun m -> Hashtbl.remove table m) expired;
               st.State.on_suspect expired
@@ -231,8 +240,11 @@ let start_expiry_checker st =
           && Time.( > ) (Time.sub now st.State.lease.State.last_grant_from_cm) lease
         then begin
           st.State.lease.State.expiry_events <- st.State.lease.State.expiry_events + 1;
+          let grantor = renew_target st in
+          Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_lease_expiry;
+          Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_lease_expiry ~a:grantor ~b:0 ~c:0;
           st.State.lease.State.cm_suspected <- true;
-          st.State.on_suspect [ renew_target st ]
+          st.State.on_suspect [ grantor ]
         end;
         loop ()
       in
@@ -248,6 +260,8 @@ let handle st ~src msg =
       Proc.check_cancelled ();
       let record_grantor sent_ns =
         st.State.lease.State.grantor_messages <- st.State.lease.State.grantor_messages + 1;
+        Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_lease_grant;
+        Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_lease_grant ~a:src ~b:0 ~c:0;
         match st.State.cm with
         | Some cm when State.is_cm st ->
             let prev =

@@ -37,11 +37,16 @@ let append st ~dst ~thread payload : (int, Farm_net.Fabric.error) result =
         Ringlog.dma_append log record ~size)
   with
   | Ok () ->
+      Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_append;
+      Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_log_append ~a:dst ~b:size
+        ~c:(Ringlog.used log);
       (* The caller's own share of the consumed space: piggybacked
          truncation entries are paid for by the truncated transactions'
          allowances. *)
       Ok (size - (16 * List.length truncations))
   | Error e ->
+      Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_append_fail;
+      Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_log_append_fail ~a:dst ~b:size ~c:0;
       (* The destination is gone; requeue the truncations so another record
          (or the flusher) carries them once the configuration settles. *)
       List.iter (fun txid -> State.queue_truncation st ~dst txid) truncations;
@@ -105,10 +110,17 @@ let append_batch ?on_complete st ~thread (descs : (int * Wire.record) list) :
   in
   Array.mapi
     (fun i r ->
-      let dst, record, _, size = prepared.(i) in
+      let dst, record, log, size = prepared.(i) in
       match r with
-      | Ok () -> Ok (size - (16 * List.length record.Wire.truncations))
+      | Ok () ->
+          Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_append;
+          Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_log_append ~a:dst ~b:size
+            ~c:(Ringlog.used log);
+          Ok (size - (16 * List.length record.Wire.truncations))
       | Error e ->
+          Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_append_fail;
+          Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_log_append_fail ~a:dst ~b:size
+            ~c:0;
           List.iter (fun txid -> State.queue_truncation st ~dst txid) record.Wire.truncations;
           Error e)
     results

@@ -91,10 +91,14 @@ let deferred_set st ~log_sender =
    freed. Deferred if the transaction still has unprocessed entries. *)
 let apply_truncation st log txid =
   if Ringlog.pending_count log txid > 0 then begin
+    Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_trunc_deferred;
     let s = deferred_set st ~log_sender:(Ringlog.sender log) in
     s := Txid.Set.add txid !s
   end
   else begin
+    Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_trunc;
+    Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_log_trunc ~a:txid.Txid.machine
+      ~b:txid.Txid.local ~c:0;
     let records = Ringlog.resident_records log txid in
     List.iter
       (fun (r : Wire.log_record) ->
@@ -154,6 +158,8 @@ let process_lock st log ~sender (e : Ringlog.entry) (p : Wire.lock_payload) =
   then Ringlog.discard log st.State.engine e
   else begin
     let ok, acquired = lock_all [] p.Wire.writes in
+    Farm_obs.Obs.incr st.State.obs
+      (if ok then Farm_obs.Obs.C_lock_ok else Farm_obs.Obs.C_lock_fail);
     if not ok then List.iter (fun (rep, w) -> Objmem.unlock rep w) acquired
     else Txid.Tbl.replace st.State.locks_held p.Wire.txid p.Wire.writes;
     Ringlog.retain log e;
@@ -208,10 +214,20 @@ let process_abort st log (e : Ringlog.entry) txid =
 
 (* Entry point: called (as a fresh process under the machine's context) for
    every entry DMA'd into one of this machine's logs. *)
+let payload_tag = function
+  | Wire.Lock _ -> 0
+  | Wire.Commit_backup _ -> 1
+  | Wire.Commit_primary _ -> 2
+  | Wire.Abort _ -> 3
+  | Wire.Truncate_marker -> 4
+
 let process_entry st log (e : Ringlog.entry) =
   let record = e.Ringlog.record in
   let sender = Ringlog.sender log in
   Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_log_poll;
+  Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_record;
+  Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_log_record ~a:sender
+    ~b:(payload_tag record.Wire.payload) ~c:0;
   (* piggybacked truncation information *)
   (match Ringlog.txid_of_record record with
   | Some txid ->

@@ -15,6 +15,9 @@ let apply_new_config st (config : Config.t) (regions : Wire.region_info list) =
   else if config.Config.id >= st.State.config.Config.id then begin
     let first_time = config.Config.id > st.State.config.Config.id in
     if first_time then begin
+      Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_reconfig;
+      Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_new_config ~a:config.Config.id
+        ~b:(List.length config.Config.members) ~c:config.Config.cm;
       st.State.config <- config;
       Hashtbl.reset st.State.region_map;
       List.iter (fun (i : Wire.region_info) -> Hashtbl.replace st.State.region_map i.Wire.rid i) regions;
@@ -61,6 +64,7 @@ let apply_new_config st (config : Config.t) (regions : Wire.region_info list) =
    recovery proper is started by the caller (Node). *)
 let on_config_commit st ~cfg =
   if cfg = st.State.config.Config.id then begin
+    Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_config_commit ~a:cfg ~b:0 ~c:0;
     st.State.blocked <- false;
     Hashtbl.iter
       (fun _ (rep : State.replica) ->

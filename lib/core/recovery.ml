@@ -102,6 +102,12 @@ let decide st (rc : State.rec_coord) outcome =
     let txid = rc.State.rc_txid in
     Txid.Tbl.replace st.State.recovered_outcomes txid outcome;
     Stats.Counter.incr st.State.metrics.recovered_txs;
+    let dur = Time.sub (State.now st) rc.State.rc_created in
+    Farm_obs.Obs.record_stage st.State.obs Farm_obs.Obs.S_decide dur;
+    Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_rec_decide;
+    Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_rec_decide
+      ~a:(match outcome with State.Committed -> 1 | State.Aborted -> 0)
+      ~b:(Time.to_ns dur) ~c:0;
     (match Txid.Tbl.find_opt st.State.active_txs txid with
     | Some lt -> Ivar.fill_if_empty lt.State.lt_outcome outcome
     | None -> ());
@@ -196,8 +202,19 @@ let rec_coord_of st txid ~regions =
       start_vote_requester st rc;
       rc
 
+let vote_tag = function
+  | Wire.Vote_commit_primary -> 0
+  | Wire.Vote_commit_backup -> 1
+  | Wire.Vote_lock -> 2
+  | Wire.Vote_abort -> 3
+  | Wire.Vote_truncated -> 4
+  | Wire.Vote_unknown -> 5
+
 let on_vote st ~cfg ~rid ~txid ~regions ~vote =
   if cfg = st.State.config.Config.id then begin
+    Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_rec_vote;
+    Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_rec_vote ~a:rid ~b:(vote_tag vote)
+      ~c:0;
     let rc = rec_coord_of st txid ~regions in
     if not (List.mem_assoc rid rc.State.rc_votes) then
       rc.State.rc_votes <- (rid, vote) :: rc.State.rc_votes;
@@ -252,6 +269,7 @@ let on_need_recovery st ~src ~reply ~cfg ~rid ~txs =
 (* Lock recovery, log-record replication, and voting for one region this
    machine is primary of (§5.3 steps 4-6). *)
 let primary_recover_region st (rs : State.recovery_state) rid =
+  let t0 = State.now st in
   let cfg = rs.State.rs_cfg in
   let rep = State.replica_exn st rid in
   let backups_of () =
@@ -314,6 +332,10 @@ let primary_recover_region st (rs : State.recovery_state) rid =
     (* the region becomes active: transactions can use it again, in
        parallel with the rest of recovery *)
     State.set_active rep;
+    let dur = Time.sub (State.now st) t0 in
+    Farm_obs.Obs.record_stage st.State.obs Farm_obs.Obs.S_region_active dur;
+    Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_rec_region_active ~a:rid
+      ~b:(Time.to_ns dur) ~c:0;
     maybe_regions_active st rs;
     (* 5. replicate lock records to backups that miss them *)
     Txid.Set.iter
@@ -383,6 +405,7 @@ let is_recovering_live st cfg (lt : State.tx_live) =
           lt.State.lt_read_regions)
 
 let run st (rs : State.recovery_state) =
+  let t0 = State.now st in
   let cfg = rs.State.rs_cfg in
   (* 2. Drain: wait for every in-flight (non-blocked) record processor to
      finish, then examine all resident records for recovering-transaction
@@ -410,6 +433,10 @@ let run st (rs : State.recovery_state) =
       st.State.nv.logs_in;
     st.State.last_drained <- cfg;
     rs.State.rs_drained <- true;
+    let dur = Time.sub (State.now st) t0 in
+    Farm_obs.Obs.record_stage st.State.obs Farm_obs.Obs.S_drain dur;
+    Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_rec_drain ~a:cfg ~b:(Time.to_ns dur)
+      ~c:0;
     (* 3a. register local evidence with the regions it affects *)
     Txid.Tbl.iter
       (fun txid (ev : Wire.tx_evidence) ->

@@ -186,6 +186,7 @@ type t = {
   mutable reconfig_active : bool;
   pending_suspects : (int, unit) Hashtbl.t;
   metrics : metrics;
+  obs : Farm_obs.Obs.t;  (* per-machine observability sink *)
   (* the cluster's "memory bus": lets one-sided operations reach remote
      replicas without involving the remote CPU *)
   directory : (int, t) Hashtbl.t;
@@ -210,7 +211,7 @@ let create_metrics () =
     recovered_txs = Stats.Counter.create ();
   }
 
-let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~config ~directory =
+let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~config ~directory ~obs =
   {
     id;
     engine;
@@ -257,6 +258,7 @@ let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~config ~directory =
     reconfig_active = false;
     pending_suspects = Hashtbl.create 8;
     metrics = create_metrics ();
+    obs;
     directory;
     on_suspect = (fun _ -> ());
     app_handler = None;
@@ -429,9 +431,25 @@ let take_truncations st ~dst =
 let record_commit st ~latency =
   Stats.Counter.incr st.metrics.committed;
   Stats.Hist.record st.metrics.commit_latency (Time.to_ns latency);
-  Stats.Series.add st.metrics.throughput ~at:(now st) 1
+  Stats.Series.add st.metrics.throughput ~at:(now st) 1;
+  Farm_obs.Obs.incr st.obs Farm_obs.Obs.C_tx_commit;
+  Farm_obs.Obs.event st.obs Farm_obs.Obs.K_tx_commit ~a:0 ~b:0
+    ~c:(Time.to_ns latency)
 
-let record_abort st = Stats.Counter.incr st.metrics.aborted
+let record_abort ?(reason = 0) st =
+  Stats.Counter.incr st.metrics.aborted;
+  Farm_obs.Obs.incr st.obs Farm_obs.Obs.C_tx_abort;
+  Farm_obs.Obs.event st.obs Farm_obs.Obs.K_tx_abort ~a:reason ~b:0 ~c:0
+
+let commit_phase_index = function
+  | Before_lock -> 0
+  | After_lock -> 1
+  | After_validate -> 2
+  | After_commit_backup -> 3
+  | After_commit_primary -> 4
+  | After_truncate -> 5
 
 let phase st phase txid =
+  Farm_obs.Obs.event st.obs Farm_obs.Obs.K_phase ~a:(commit_phase_index phase)
+    ~b:txid.Txid.thread ~c:txid.Txid.local;
   match st.phase_hook with Some f -> f phase txid | None -> ()

@@ -168,6 +168,7 @@ type t = {
   mutable reconfig_active : bool;
   pending_suspects : (int, unit) Hashtbl.t;
   metrics : metrics;
+  obs : Farm_obs.Obs.t;  (** per-machine observability sink *)
   directory : (int, t) Hashtbl.t;
       (** the cluster's "memory bus": one-sided operations reach remote
           replicas through it without touching the remote CPU *)
@@ -190,6 +191,7 @@ val create :
   nv:nvstate ->
   config:Config.t ->
   directory:(int, t) Hashtbl.t ->
+  obs:Farm_obs.Obs.t ->
   t
 
 val now : t -> Time.t
@@ -234,5 +236,10 @@ val take_truncations : t -> dst:int -> Txid.t list
 (** {1 Metrics and hooks} *)
 
 val record_commit : t -> latency:Time.t -> unit
-val record_abort : t -> unit
+
+val record_abort : ?reason:int -> t -> unit
+(** [reason] is the {!Txn.abort_reason} tag carried on the flight-recorder
+    event. *)
+
+val commit_phase_index : commit_phase -> int
 val phase : t -> commit_phase -> Txid.t -> unit

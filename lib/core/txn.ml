@@ -40,11 +40,19 @@ type t = {
   st : State.t;
   thread : int;
   t_started : Time.t;
+  span : Farm_obs.Obs.Span.t;  (* opened at [t_started], in P_execute *)
   mutable reads : read_entry Addr.Map.t;
   mutable writes : write_entry Addr.Map.t;
   mutable allocated : (Addr.t * int) list;  (* tentative slots, for abort *)
   mutable finished : bool;
 }
+
+let reason_index = function
+  | Conflict -> 0
+  | Not_allocated -> 1
+  | Out_of_space -> 2
+  | Failed -> 3
+  | Explicit -> 4
 
 let begin_tx st ~thread =
   Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_tx_begin;
@@ -52,6 +60,7 @@ let begin_tx st ~thread =
     st;
     thread;
     t_started = State.now st;
+    span = Farm_obs.Obs.Span.start st.State.obs;
     reads = Addr.Map.empty;
     writes = Addr.Map.empty;
     allocated = [];

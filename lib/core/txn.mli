@@ -30,11 +30,16 @@ type t = {
   st : State.t;
   thread : int;
   t_started : Time.t;
+  span : Farm_obs.Obs.Span.t;  (** opened at [t_started], in [P_execute] *)
   mutable reads : read_entry Addr.Map.t;
   mutable writes : write_entry Addr.Map.t;
   mutable allocated : (Addr.t * int) list;
   mutable finished : bool;
 }
+
+val reason_index : abort_reason -> int
+(** Stable tag, used for the abort-reason metrics array and the
+    flight-recorder event argument. *)
 
 val begin_tx : State.t -> thread:int -> t
 

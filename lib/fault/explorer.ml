@@ -23,16 +23,26 @@ type opts = {
   duration : Time.t;  (** workload + fault window per schedule *)
   btree : bool;
   batching : bool;  (** doorbell-batched commit pipeline (the default) *)
+  record : bool;  (** capture flight-recorder events (the default) *)
 }
 
 let default_opts =
-  { machines = 6; cells = 16; workers = 2; duration = Time.ms 60; btree = true; batching = true }
+  {
+    machines = 6;
+    cells = 16;
+    workers = 2;
+    duration = Time.ms 60;
+    btree = true;
+    batching = true;
+    record = true;
+  }
 
 type outcome = {
   seed : int;
   committed : int;
   violations : string list;  (** empty = the run passed every check *)
   trace : string list;  (** merged fault / milestone event trace *)
+  recorder : string list;  (** flight-recorder dump (when recording) *)
 }
 
 let ok o = o.violations = []
@@ -115,6 +125,7 @@ let run_one ?(opts = default_opts) seed =
   let trace = ref [] in
   let params = { params with Params.doorbell_batching = opts.batching } in
   let c = Cluster.create ~seed ~params ~machines:opts.machines () in
+  Cluster.set_recording c opts.record;
   Engine.set_tracer c.Cluster.engine (Some (fun ~at msg -> trace := (at, msg) :: !trace));
   (* setup: bank cells in one region, optionally a B-tree in another *)
   let r = Cluster.alloc_region_exn c in
@@ -211,16 +222,28 @@ let run_one ?(opts = default_opts) seed =
       @ List.rev !trace)
     |> List.map (fun (at, msg) -> Fmt.str "%a %s" Time.pp at msg)
   in
-  { seed; committed = History.size hist; violations = List.rev !violations; trace = lines }
+  {
+    seed;
+    committed = History.size hist;
+    violations = List.rev !violations;
+    trace = lines;
+    recorder = (if opts.record then Cluster.flight_dump c else []);
+  }
 
 let pp_outcome ppf o =
   if ok o then Fmt.pf ppf "seed %d: ok (%d committed)" o.seed o.committed
-  else
+  else begin
     Fmt.pf ppf "seed %d: FAILED (%d committed)@.%a@.--- trace ---@.%a" o.seed o.committed
       Fmt.(list ~sep:(any "@.") (fmt "  violation: %s"))
       o.violations
       Fmt.(list ~sep:(any "@.") (fmt "  %s"))
-      o.trace
+      o.trace;
+    if o.recorder <> [] then
+      Fmt.pf ppf "@.--- flight recorder (last %d protocol events) ---@.%a"
+        (List.length o.recorder)
+        Fmt.(list ~sep:(any "@.") (fmt "  %s"))
+        o.recorder
+  end
 
 (* Explore [schedules] runs; per-run seeds derive from [base_seed] so the
    whole exploration is one deterministic function of it. A failing run

@@ -15,6 +15,9 @@ type opts = {
   duration : Time.t;  (** workload + fault window per schedule *)
   btree : bool;
   batching : bool;  (** doorbell-batched commit pipeline (the default) *)
+  record : bool;
+      (** capture flight-recorder events (the default). Recording never
+          perturbs the schedule: outcomes are identical either way. *)
 }
 
 val default_opts : opts
@@ -24,6 +27,9 @@ type outcome = {
   committed : int;
   violations : string list;  (** empty = the run passed every check *)
   trace : string list;  (** merged fault / milestone event trace *)
+  recorder : string list;
+      (** time-sorted flight-recorder dump: the last protocol events each
+          machine observed (empty when [record] was off) *)
 }
 
 val ok : outcome -> bool

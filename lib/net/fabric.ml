@@ -12,6 +12,7 @@ type 'msg machine = {
   id : int;
   nic : Nic.t;
   cpu : Cpu.t;
+  obs : Farm_obs.Obs.t;
   mutable alive : bool;
   mutable partition : int;
   mutable on_message : 'msg handler;
@@ -53,12 +54,20 @@ let link_fault t ~src ~dst = Hashtbl.find_opt t.link_faults (src, dst)
    surfaces as added latency — one retransmission timeout per lost attempt
    — never as an error. Only machine death and partitions fail a reliable
    operation. *)
+let get t id =
+  match if id >= 0 && id < Array.length t.machines then t.machines.(id) else None with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Fabric: unknown machine %d" id)
+
 let sample_link_ud t ~src ~dst =
   match link_fault t ~src ~dst with
   | None -> Some Time.zero
   | Some f ->
       if f.loss > 0. && Rng.float t.rng < f.loss then begin
         Engine.emit t.engine (Printf.sprintf "net: drop %d->%d" src dst);
+        let obs = (get t src).obs in
+        Farm_obs.Obs.incr obs Farm_obs.Obs.C_ud_drop;
+        Farm_obs.Obs.event obs Farm_obs.Obs.K_drop ~a:dst ~b:0 ~c:0;
         None
       end
       else Some f.extra_delay
@@ -74,13 +83,16 @@ let sample_link_rc t ~src ~dst =
       while f.loss > 0. && !tries < 16 && Rng.float t.rng < f.loss do
         incr tries;
         Engine.emit t.engine (Printf.sprintf "net: drop %d->%d (retransmit)" src dst);
+        let obs = (get t src).obs in
+        Farm_obs.Obs.incr obs Farm_obs.Obs.C_rc_retransmit;
+        Farm_obs.Obs.event obs Farm_obs.Obs.K_drop ~a:dst ~b:0 ~c:1;
         d := Time.add !d (Time.add retransmit_timeout f.extra_delay)
       done;
       !d
 
 let no_handler ~src:_ ~reply:_ _ = ()
 
-let add_machine t ~id ~cpu =
+let add_machine ?obs t ~id ~cpu =
   if id < 0 then invalid_arg "Fabric.add_machine: negative id";
   let n = Array.length t.machines in
   if id >= n then begin
@@ -95,11 +107,17 @@ let add_machine t ~id ~cpu =
   (match t.machines.(id) with
   | Some _ -> invalid_arg "Fabric.add_machine: duplicate id"
   | None -> ());
+  let obs =
+    match obs with
+    | Some o -> o
+    | None -> Farm_obs.Obs.create t.engine ~machine:id
+  in
   let m =
     {
       id;
       nic = Nic.create t.engine ~params:t.params;
       cpu;
+      obs;
       alive = true;
       partition = 0;
       on_message = no_handler;
@@ -108,8 +126,9 @@ let add_machine t ~id ~cpu =
   t.machines.(id) <- Some m
 
 (* Re-register a machine after a restart: fresh NIC pipelines and CPU, back
-   on the network. *)
-let reset_machine t ~id ~cpu =
+   on the network. The obs sink survives by default — pre-crash events stay
+   in the flight-recorder ring. *)
+let reset_machine ?obs t ~id ~cpu =
   match if id >= 0 && id < Array.length t.machines then t.machines.(id) else None with
   | None -> invalid_arg "Fabric.reset_machine: unknown machine"
   | Some m ->
@@ -119,15 +138,11 @@ let reset_machine t ~id ~cpu =
             m with
             nic = Nic.create t.engine ~params:t.params;
             cpu;
+            obs = (match obs with Some o -> o | None -> m.obs);
             alive = true;
             partition = 0;
             on_message = no_handler;
           }
-
-let get t id =
-  match if id >= 0 && id < Array.length t.machines then t.machines.(id) else None with
-  | Some m -> m
-  | None -> invalid_arg (Printf.sprintf "Fabric: unknown machine %d" id)
 
 let set_handler t id handler = (get t id).on_message <- handler
 let set_alive t id alive = (get t id).alive <- alive
@@ -135,6 +150,7 @@ let is_alive t id = (get t id).alive
 let set_partition t id p = (get t id).partition <- p
 let nic t id = (get t id).nic
 let cpu t id = (get t id).cpu
+let obs t id = (get t id).obs
 let engine t = t.engine
 let params t = t.params
 
@@ -194,6 +210,8 @@ let read_flight t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result Ivar
    CPU only at [src]. *)
 let one_sided_read t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
   let ms = get t src in
+  Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_read;
+  Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_read ~a:dst ~b:bytes ~c:0;
   Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
   let r = Ivar.read (read_flight t ~src ~dst ~bytes read) in
   (match r with
@@ -239,6 +257,8 @@ let write_flight t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) resul
 
 let one_sided_write t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) result =
   let ms = get t src in
+  Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_write;
+  Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_write ~a:dst ~b:bytes ~c:0;
   Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
   let r = Ivar.read (write_flight t ~src ~dst ~bytes apply) in
   (match r with
@@ -269,12 +289,24 @@ let reap t (ms : 'msg machine) results =
     Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll;
   results
 
+let record_batch (ms : 'msg machine) descs bytes_of =
+  match descs with
+  | [] -> ()
+  | _ ->
+      let n = List.length descs in
+      let total = List.fold_left (fun acc d -> acc + bytes_of d) 0 descs in
+      Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_batch;
+      Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_batch ~a:n ~b:total ~c:0
+
 let one_sided_read_batch t ~src (descs : (int * int * (unit -> 'a)) list) :
     ('a, error) result array =
   let ms = get t src in
+  record_batch ms descs (fun (_, bytes, _) -> bytes);
   let flights =
     List.mapi
       (fun i (dst, bytes, read) ->
+        Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_read;
+        Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_read ~a:dst ~b:bytes ~c:0;
         Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
         read_flight t ~src ~dst ~bytes read)
       descs
@@ -284,9 +316,12 @@ let one_sided_read_batch t ~src (descs : (int * int * (unit -> 'a)) list) :
 let one_sided_write_batch ?on_complete t ~src (descs : (int * int * (unit -> unit)) list) :
     (unit, error) result array =
   let ms = get t src in
+  record_batch ms descs (fun (_, bytes, _) -> bytes);
   let flights =
     List.mapi
       (fun i (dst, bytes, apply) ->
+        Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_write;
+        Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_write ~a:dst ~b:bytes ~c:0;
         Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
         let iv = write_flight t ~src ~dst ~bytes apply in
         (match on_complete with Some f -> Ivar.on_fill iv (fun r -> f i r) | None -> ());
@@ -316,6 +351,13 @@ let deliver t ~src ~dst ~prio ~bytes msg ~reply =
    ([`Ud]) and can actually lose packets (§3). *)
 let send ?(prio = false) ?(transport = `Rc) ?cpu_cost t ~src ~dst ~bytes msg =
   let ms = get t src in
+  (match transport with
+  | `Ud ->
+      Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_ud_send;
+      Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_send ~a:dst ~b:bytes ~c:1
+  | `Rc ->
+      Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rpc_send;
+      Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_send ~a:dst ~b:bytes ~c:0);
   let cost = match cpu_cost with Some c -> c | None -> t.params.Params.cpu_rpc_send in
   if Time.( > ) cost Time.zero then Cpu.exec ms.cpu ~cost;
   match
@@ -336,6 +378,8 @@ let send ?(prio = false) ?(transport = `Rc) ?cpu_cost t ~src ~dst ~bytes msg =
    closure; calling it routes the response back and wakes the caller. *)
 let call ?(prio = false) ?timeout t ~src ~dst ~bytes msg : ('msg, error) result =
   let ms = get t src in
+  Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rpc_call;
+  Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_call ~a:dst ~b:bytes ~c:0;
   Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rpc_send;
   let iv = Ivar.create () in
   let reply ~bytes:resp_bytes resp =

@@ -25,13 +25,15 @@ type 'msg t
 
 val create : Engine.t -> params:Params.t -> rng:Rng.t -> 'msg t
 
-val add_machine : 'msg t -> id:int -> cpu:Cpu.t -> unit
+val add_machine : ?obs:Farm_obs.Obs.t -> 'msg t -> id:int -> cpu:Cpu.t -> unit
 (** Register machine [id] with its CPU resource; a fresh NIC set is
-    created for it. *)
+    created for it. [obs] is the machine's observability sink; a disabled
+    one is created when omitted. *)
 
-val reset_machine : 'msg t -> id:int -> cpu:Cpu.t -> unit
+val reset_machine : ?obs:Farm_obs.Obs.t -> 'msg t -> id:int -> cpu:Cpu.t -> unit
 (** Re-register a machine after a restart: fresh NICs, alive again, no
-    handler installed yet. *)
+    handler installed yet. The existing obs sink is kept unless [obs] is
+    passed, so pre-crash events survive in the flight recorder. *)
 
 val set_handler : 'msg t -> int -> 'msg handler -> unit
 (** Install the receive dispatcher. It runs in "interrupt context" at
@@ -43,6 +45,7 @@ val set_partition : 'msg t -> int -> int -> unit
 val reachable : 'msg t -> int -> int -> bool
 val nic : 'msg t -> int -> Nic.t
 val cpu : 'msg t -> int -> Cpu.t
+val obs : 'msg t -> int -> Farm_obs.Obs.t
 val engine : 'msg t -> Engine.t
 val params : 'msg t -> Params.t
 

@@ -1,0 +1,417 @@
+open Farm_sim
+
+(* The observability spine. See the interface for the three hard rules
+   (O(1) recording, near-zero cost disabled, determinism preserved); the
+   implementation notes here cover how each is met.
+
+   - Events are written into preallocated ring slots whose fields are all
+     mutable ints: no allocation on the hot path, rendering deferred to
+     dump time.
+   - Counters are one flat int array indexed by the counter's declaration
+     position.
+   - Nothing below ever touches an Rng, schedules engine work, or blocks:
+     the only engine interaction is reading the clock. *)
+
+(* {1 Counters} *)
+
+type counter =
+  | C_rdma_read
+  | C_rdma_write
+  | C_rdma_batch
+  | C_rpc_send
+  | C_rpc_call
+  | C_ud_send
+  | C_ud_drop
+  | C_rc_retransmit
+  | C_log_append
+  | C_log_append_fail
+  | C_log_record
+  | C_log_trunc
+  | C_log_trunc_deferred
+  | C_lock_ok
+  | C_lock_fail
+  | C_tx_commit
+  | C_tx_abort
+  | C_lease_renewal
+  | C_lease_grant
+  | C_lease_expiry
+  | C_suspect
+  | C_reconfig
+  | C_rec_vote
+  | C_rec_decide
+
+let all_counters =
+  [
+    C_rdma_read; C_rdma_write; C_rdma_batch; C_rpc_send; C_rpc_call; C_ud_send;
+    C_ud_drop; C_rc_retransmit; C_log_append; C_log_append_fail; C_log_record;
+    C_log_trunc; C_log_trunc_deferred; C_lock_ok; C_lock_fail; C_tx_commit;
+    C_tx_abort; C_lease_renewal; C_lease_grant; C_lease_expiry; C_suspect;
+    C_reconfig; C_rec_vote; C_rec_decide;
+  ]
+
+let n_counters = List.length all_counters
+
+let counter_index = function
+  | C_rdma_read -> 0
+  | C_rdma_write -> 1
+  | C_rdma_batch -> 2
+  | C_rpc_send -> 3
+  | C_rpc_call -> 4
+  | C_ud_send -> 5
+  | C_ud_drop -> 6
+  | C_rc_retransmit -> 7
+  | C_log_append -> 8
+  | C_log_append_fail -> 9
+  | C_log_record -> 10
+  | C_log_trunc -> 11
+  | C_log_trunc_deferred -> 12
+  | C_lock_ok -> 13
+  | C_lock_fail -> 14
+  | C_tx_commit -> 15
+  | C_tx_abort -> 16
+  | C_lease_renewal -> 17
+  | C_lease_grant -> 18
+  | C_lease_expiry -> 19
+  | C_suspect -> 20
+  | C_reconfig -> 21
+  | C_rec_vote -> 22
+  | C_rec_decide -> 23
+
+let counter_name = function
+  | C_rdma_read -> "rdma-read"
+  | C_rdma_write -> "rdma-write"
+  | C_rdma_batch -> "rdma-batch"
+  | C_rpc_send -> "rpc-send"
+  | C_rpc_call -> "rpc-call"
+  | C_ud_send -> "ud-send"
+  | C_ud_drop -> "ud-drop"
+  | C_rc_retransmit -> "rc-retransmit"
+  | C_log_append -> "log-append"
+  | C_log_append_fail -> "log-append-fail"
+  | C_log_record -> "log-record"
+  | C_log_trunc -> "log-trunc"
+  | C_log_trunc_deferred -> "log-trunc-deferred"
+  | C_lock_ok -> "lock-ok"
+  | C_lock_fail -> "lock-fail"
+  | C_tx_commit -> "tx-commit"
+  | C_tx_abort -> "tx-abort"
+  | C_lease_renewal -> "lease-renewal"
+  | C_lease_grant -> "lease-grant"
+  | C_lease_expiry -> "lease-expiry"
+  | C_suspect -> "suspect"
+  | C_reconfig -> "reconfig"
+  | C_rec_vote -> "rec-vote"
+  | C_rec_decide -> "rec-decide"
+
+(* {1 Phases and stages} *)
+
+type phase = P_execute | P_lock | P_validate | P_commit_backup | P_commit_primary | P_truncate
+
+let all_phases = [ P_execute; P_lock; P_validate; P_commit_backup; P_commit_primary; P_truncate ]
+let n_phases = List.length all_phases
+
+let phase_index = function
+  | P_execute -> 0
+  | P_lock -> 1
+  | P_validate -> 2
+  | P_commit_backup -> 3
+  | P_commit_primary -> 4
+  | P_truncate -> 5
+
+let phase_name = function
+  | P_execute -> "execute"
+  | P_lock -> "lock"
+  | P_validate -> "validate"
+  | P_commit_backup -> "commit-backup"
+  | P_commit_primary -> "commit-primary"
+  | P_truncate -> "truncate"
+
+type stage = S_drain | S_region_active | S_decide
+
+let all_stages = [ S_drain; S_region_active; S_decide ]
+let n_stages = List.length all_stages
+let stage_index = function S_drain -> 0 | S_region_active -> 1 | S_decide -> 2
+
+let stage_name = function
+  | S_drain -> "drain"
+  | S_region_active -> "region-active"
+  | S_decide -> "decide"
+
+(* {1 Event kinds} *)
+
+type kind =
+  | K_rdma_read
+  | K_rdma_write
+  | K_rdma_batch
+  | K_send
+  | K_call
+  | K_drop
+  | K_log_append
+  | K_log_append_fail
+  | K_log_record
+  | K_log_trunc
+  | K_phase
+  | K_tx_commit
+  | K_tx_abort
+  | K_lease_renewal
+  | K_lease_grant
+  | K_lease_expiry
+  | K_suspect
+  | K_new_config
+  | K_config_commit
+  | K_rec_drain
+  | K_rec_region_active
+  | K_rec_vote
+  | K_rec_decide
+
+let kind_index = function
+  | K_rdma_read -> 0
+  | K_rdma_write -> 1
+  | K_rdma_batch -> 2
+  | K_send -> 3
+  | K_call -> 4
+  | K_drop -> 5
+  | K_log_append -> 6
+  | K_log_append_fail -> 7
+  | K_log_record -> 8
+  | K_log_trunc -> 9
+  | K_phase -> 10
+  | K_tx_commit -> 11
+  | K_tx_abort -> 12
+  | K_lease_renewal -> 13
+  | K_lease_grant -> 14
+  | K_lease_expiry -> 15
+  | K_suspect -> 16
+  | K_new_config -> 17
+  | K_config_commit -> 18
+  | K_rec_drain -> 19
+  | K_rec_region_active -> 20
+  | K_rec_vote -> 21
+  | K_rec_decide -> 22
+
+let all_kinds =
+  [|
+    K_rdma_read; K_rdma_write; K_rdma_batch; K_send; K_call; K_drop; K_log_append;
+    K_log_append_fail; K_log_record; K_log_trunc; K_phase; K_tx_commit; K_tx_abort;
+    K_lease_renewal; K_lease_grant; K_lease_expiry; K_suspect; K_new_config;
+    K_config_commit; K_rec_drain; K_rec_region_active; K_rec_vote; K_rec_decide;
+  |]
+
+(* Names of the commit-phase hook points carried by [K_phase] events; the
+   indices match State.commit_phase's declaration order. *)
+let commit_phase_tag = function
+  | 0 -> "before-lock"
+  | 1 -> "after-lock"
+  | 2 -> "after-validate"
+  | 3 -> "after-commit-backup"
+  | 4 -> "after-commit-primary"
+  | 5 -> "after-truncate"
+  | n -> Printf.sprintf "phase-%d" n
+
+let log_payload_tag = function
+  | 0 -> "LOCK"
+  | 1 -> "COMMIT-BACKUP"
+  | 2 -> "COMMIT-PRIMARY"
+  | 3 -> "ABORT"
+  | 4 -> "TRUNCATE-MARKER"
+  | n -> Printf.sprintf "payload-%d" n
+
+let render_body k ~a ~b ~c =
+  match k with
+  | K_rdma_read -> Printf.sprintf "rdma-read dst=m%d bytes=%d" a b
+  | K_rdma_write -> Printf.sprintf "rdma-write dst=m%d bytes=%d" a b
+  | K_rdma_batch -> Printf.sprintf "rdma-batch ops=%d bytes=%d" a b
+  | K_send -> Printf.sprintf "send dst=m%d bytes=%d %s" a b (if c = 1 then "ud" else "rc")
+  | K_call -> Printf.sprintf "call dst=m%d bytes=%d" a b
+  | K_drop ->
+      Printf.sprintf "%s dst=m%d" (if c = 1 then "rc-retransmit" else "ud-drop") a
+  | K_log_append -> Printf.sprintf "log-append dst=m%d bytes=%d used=%d" a b c
+  | K_log_append_fail -> Printf.sprintf "log-append-FAIL dst=m%d bytes=%d" a b
+  | K_log_record -> Printf.sprintf "log-record from=m%d %s" a (log_payload_tag b)
+  | K_log_trunc -> Printf.sprintf "log-trunc coord=m%d local=%d" a b
+  | K_phase -> Printf.sprintf "phase %s tx=%d.%d" (commit_phase_tag a) b c
+  | K_tx_commit -> Printf.sprintf "tx-commit latency=%dns" c
+  | K_tx_abort -> Printf.sprintf "tx-abort reason=%d" a
+  | K_lease_renewal -> Printf.sprintf "lease-renewal dst=m%d" a
+  | K_lease_grant -> Printf.sprintf "lease-grant to=m%d" a
+  | K_lease_expiry -> Printf.sprintf "lease-expiry peer=m%d" a
+  | K_suspect -> Printf.sprintf "suspect m%d" a
+  | K_new_config -> Printf.sprintf "new-config cfg=%d members=%d cm=m%d" a b c
+  | K_config_commit -> Printf.sprintf "config-commit cfg=%d" a
+  | K_rec_drain -> Printf.sprintf "rec-drain cfg=%d took=%dns" a b
+  | K_rec_region_active -> Printf.sprintf "rec-region-active rid=%d took=%dns" a b
+  | K_rec_vote -> Printf.sprintf "rec-vote rid=%d vote=%d" a b
+  | K_rec_decide ->
+      Printf.sprintf "rec-decide %s took=%dns" (if a = 1 then "committed" else "aborted") b
+
+(* {1 The sink} *)
+
+(* One preallocated ring slot; every field mutable so recording allocates
+   nothing. [at] is sim-time ns; [kind] is a kind index. *)
+type slot = {
+  mutable s_at : int;
+  mutable s_kind : int;
+  mutable s_a : int;
+  mutable s_b : int;
+  mutable s_c : int;
+}
+
+type span = {
+  sp_obs : t;
+  sp_start : int;  (* ns *)
+  sp_seg : int array;  (* accumulated ns per phase *)
+  sp_visited : bool array;
+  mutable sp_cur : int;  (* current phase index; -1 once finished *)
+  mutable sp_since : int;  (* current segment's start, ns *)
+  mutable sp_total : int;  (* filled at finish *)
+}
+
+and t = {
+  engine : Engine.t;
+  obs_machine : int;
+  mutable obs_enabled : bool;
+  ring : slot array;
+  mutable pos : int;  (* next slot to overwrite *)
+  mutable total : int;  (* events ever recorded *)
+  counters : int array;
+  phases : Stats.Hist.t array;
+  stages : Stats.Hist.t array;
+  mutable span_hook : (committed:bool -> span -> unit) option;
+}
+
+let create ?(capacity = 128) ?(enabled = false) engine ~machine =
+  if capacity < 1 then invalid_arg "Obs.create: capacity must be positive";
+  {
+    engine;
+    obs_machine = machine;
+    obs_enabled = enabled;
+    ring = Array.init capacity (fun _ -> { s_at = 0; s_kind = 0; s_a = 0; s_b = 0; s_c = 0 });
+    pos = 0;
+    total = 0;
+    counters = Array.make n_counters 0;
+    phases = Array.init n_phases (fun _ -> Stats.Hist.create ());
+    stages = Array.init n_stages (fun _ -> Stats.Hist.create ());
+    span_hook = None;
+  }
+
+let machine t = t.obs_machine
+let set_enabled t on = t.obs_enabled <- on
+let enabled t = t.obs_enabled
+
+let incr t c = t.counters.(counter_index c) <- t.counters.(counter_index c) + 1
+let add t c n = t.counters.(counter_index c) <- t.counters.(counter_index c) + n
+let counter t c = t.counters.(counter_index c)
+
+let counter_totals t =
+  List.filter_map
+    (fun c ->
+      let v = counter t c in
+      if v = 0 then None else Some (counter_name c, v))
+    all_counters
+
+let event t kind ~a ~b ~c =
+  if t.obs_enabled then begin
+    let s = t.ring.(t.pos) in
+    s.s_at <- Time.to_ns (Engine.now t.engine);
+    s.s_kind <- kind_index kind;
+    s.s_a <- a;
+    s.s_b <- b;
+    s.s_c <- c;
+    t.pos <- (t.pos + 1) mod Array.length t.ring;
+    t.total <- t.total + 1
+  end
+
+let total_events t = t.total
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = min t.total cap in
+  List.init n (fun i ->
+      let s = t.ring.((t.pos - n + i + (2 * cap)) mod cap) in
+      (s.s_at, render_body all_kinds.(s.s_kind) ~a:s.s_a ~b:s.s_b ~c:s.s_c))
+
+(* {1 Spans} *)
+
+let phase_hist t p = t.phases.(phase_index p)
+let record_phase t p ns = if ns > 0 then Stats.Hist.record t.phases.(phase_index p) ns
+let set_span_hook t h = t.span_hook <- h
+let all_phases_arr = Array.of_list all_phases
+
+module Span = struct
+  type nonrec t = span
+
+  let start obs =
+    let now = Time.to_ns (Engine.now obs.engine) in
+    let visited = Array.make n_phases false in
+    visited.(phase_index P_execute) <- true;
+    {
+      sp_obs = obs;
+      sp_start = now;
+      sp_seg = Array.make n_phases 0;
+      sp_visited = visited;
+      sp_cur = phase_index P_execute;
+      sp_since = now;
+      sp_total = 0;
+    }
+
+  let close_current sp now =
+    sp.sp_seg.(sp.sp_cur) <- sp.sp_seg.(sp.sp_cur) + (now - sp.sp_since);
+    sp.sp_since <- now
+
+  let enter sp phase =
+    if sp.sp_cur >= 0 then begin
+      let now = Time.to_ns (Engine.now sp.sp_obs.engine) in
+      close_current sp now;
+      let i = phase_index phase in
+      sp.sp_cur <- i;
+      sp.sp_visited.(i) <- true
+    end
+
+  let finish sp ~committed =
+    if sp.sp_cur >= 0 then begin
+      let now = Time.to_ns (Engine.now sp.sp_obs.engine) in
+      close_current sp now;
+      sp.sp_cur <- -1;
+      sp.sp_total <- now - sp.sp_start;
+      if committed then
+        for i = 0 to n_phases - 1 do
+          if sp.sp_visited.(i) then record_phase sp.sp_obs all_phases_arr.(i) sp.sp_seg.(i)
+        done;
+      match sp.sp_obs.span_hook with Some f -> f ~committed sp | None -> ()
+    end
+
+  let segments sp =
+    List.filteri (fun i _ -> sp.sp_visited.(i)) (List.init n_phases Fun.id)
+    |> List.map (fun i -> (all_phases_arr.(i), sp.sp_seg.(i)))
+
+  let total_ns sp = sp.sp_total
+end
+
+(* {1 Recovery stages} *)
+
+let stage_hist t s = t.stages.(stage_index s)
+
+let record_stage t s d =
+  let ns = Time.to_ns d in
+  if ns >= 0 then Stats.Hist.record t.stages.(stage_index s) ns
+
+(* {1 Reporting} *)
+
+let pp_counters ppf t =
+  match counter_totals t with
+  | [] -> Fmt.string ppf "(no activity)"
+  | totals ->
+      Fmt.pf ppf "%a" Fmt.(list ~sep:sp (fun ppf (n, v) -> Fmt.pf ppf "%s=%d" n v)) totals
+
+let pp_hist_table ppf hists =
+  let nonempty = List.filter (fun (_, h) -> Stats.Hist.count h > 0) hists in
+  if nonempty <> [] then begin
+    Fmt.pf ppf "%-16s %10s %10s %10s %10s@." "phase" "count" "p50(us)" "p99(us)" "mean(us)";
+    List.iter
+      (fun (name, h) ->
+        Fmt.pf ppf "%-16s %10d %10.2f %10.2f %10.2f@." name (Stats.Hist.count h)
+          (float_of_int (Stats.Hist.percentile h 50.) /. 1e3)
+          (float_of_int (Stats.Hist.percentile h 99.) /. 1e3)
+          (Stats.Hist.mean h /. 1e3))
+      nonempty
+  end

@@ -1,0 +1,186 @@
+open Farm_sim
+
+(** The observability spine: per-machine protocol counters, commit-phase
+    spans, recovery-stage timings, and a bounded flight-recorder ring of
+    typed protocol events.
+
+    One [Obs.t] lives on each machine (created by {!Cluster}, threaded
+    through {!State} and the fabric) and every protocol layer emits through
+    it. The design obeys three hard rules:
+
+    - {b O(1), allocation-light recording.} Events are a constant
+      constructor plus three integer arguments written into a preallocated
+      ring slot; counters are plain array increments; spans mutate a small
+      per-transaction record. Nothing is formatted until a dump is
+      requested.
+    - {b Near-zero cost when disabled.} The event ring is gated on one
+      boolean; a disabled sink reduces every {!event} call to a load and a
+      branch. Counters, phase histograms and spans are always on (they are
+      a handful of integer writes and feed the bench reports).
+    - {b Determinism is never perturbed.} Recording only reads
+      {!Engine.now} and mutates obs-local state — it never draws from an
+      {!Rng}, schedules engine work, or blocks. Histories under seed replay
+      are byte-identical with recording on or off. *)
+
+type t
+
+(** {1 Creation} *)
+
+val create : ?capacity:int -> ?enabled:bool -> Engine.t -> machine:int -> t
+(** A per-machine sink. [capacity] bounds the flight-recorder ring
+    (default 128 events); [enabled] (default [false]) gates event
+    recording only — counters, phases and stages are always live. *)
+
+val machine : t -> int
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+(** {1 Counters} — always on, one integer cell each. *)
+
+type counter =
+  | C_rdma_read  (** one-sided reads issued (single or batched) *)
+  | C_rdma_write  (** one-sided writes issued (single or batched) *)
+  | C_rdma_batch  (** doorbell-batched verb groups issued *)
+  | C_rpc_send  (** fire-and-forget RC messages sent *)
+  | C_rpc_call  (** blocking RPCs issued *)
+  | C_ud_send  (** unreliable-datagram messages sent (leases) *)
+  | C_ud_drop  (** UD packets lost on a faulty link *)
+  | C_rc_retransmit  (** RC retransmissions on a faulty link *)
+  | C_log_append  (** log records written (acked) *)
+  | C_log_append_fail  (** log writes whose NIC gave up *)
+  | C_log_record  (** incoming log records processed *)
+  | C_log_trunc  (** truncations applied at this receiver *)
+  | C_log_trunc_deferred  (** truncations deferred (records pending) *)
+  | C_lock_ok  (** LOCK records granted all their locks *)
+  | C_lock_fail  (** LOCK records refused *)
+  | C_tx_commit  (** transactions committed here (coordinator) *)
+  | C_tx_abort  (** transactions aborted here (coordinator) *)
+  | C_lease_renewal  (** lease renewal requests sent *)
+  | C_lease_grant  (** lease messages handled as a grantor *)
+  | C_lease_expiry  (** lease expiries observed *)
+  | C_suspect  (** machines newly suspected here *)
+  | C_reconfig  (** NEW-CONFIG applications (configuration changes) *)
+  | C_rec_vote  (** recovery votes received as coordinator *)
+  | C_rec_decide  (** recovering transactions decided here *)
+
+val counter_name : counter -> string
+val incr : t -> counter -> unit
+val add : t -> counter -> int -> unit
+val counter : t -> counter -> int
+
+val counter_totals : t -> (string * int) list
+(** All nonzero counters, in declaration order. *)
+
+(** {1 Commit-phase spans}
+
+    One span per transaction, started by [Txn.begin_tx] and driven by the
+    commit pipeline: {!Span.enter} closes the current segment at
+    [Engine.now] and opens the next, so the segments partition the
+    transaction's lifetime exactly — they sum, to the nanosecond, to the
+    end-to-end latency reported at {!Span.finish}. Committed spans fold
+    their segments into the per-machine phase histograms (skipping phases
+    never entered or of zero duration). *)
+
+type phase =
+  | P_execute
+  | P_lock
+  | P_validate
+  | P_commit_backup
+  | P_commit_primary
+  | P_truncate
+
+val phase_name : phase -> string
+val all_phases : phase list
+
+module Span : sig
+  type obs := t
+  type t
+
+  val start : obs -> t
+  (** Open a span in [P_execute] at the current sim time. *)
+
+  val enter : t -> phase -> unit
+  (** Close the current segment and open [phase]. No-op after [finish]. *)
+
+  val finish : t -> committed:bool -> unit
+  (** Close the span at the current sim time. Committed spans fold their
+      segments into the phase histograms and fire the span hook.
+      Idempotent. *)
+
+  val segments : t -> (phase * int) list
+  (** Entered segments with their accumulated nanoseconds. *)
+
+  val total_ns : t -> int
+  (** End-to-end nanoseconds ([finish] time - [start] time); 0 before
+      [finish]. *)
+end
+
+val set_span_hook : t -> (committed:bool -> Span.t -> unit) option -> unit
+(** Test hook fired at every [Span.finish]. *)
+
+val phase_hist : t -> phase -> Stats.Hist.t
+(** Per-phase latency (ns) of committed transactions coordinated here. *)
+
+val record_phase : t -> phase -> int -> unit
+(** Record a phase duration directly (the background TRUNCATE segment,
+    which completes after the span has finished). *)
+
+(** {1 Recovery-stage timings} *)
+
+type stage =
+  | S_drain  (** config-commit to log-drain completion (§5.3 step 2) *)
+  | S_region_active  (** config-commit to region re-activation (step 4) *)
+  | S_decide  (** recovery-coordination creation to decision (step 7) *)
+
+val stage_name : stage -> string
+val all_stages : stage list
+val stage_hist : t -> stage -> Stats.Hist.t
+val record_stage : t -> stage -> Time.t -> unit
+
+(** {1 The flight recorder} — a bounded ring of typed protocol events,
+    recorded only while {!enabled}. Each event is a kind plus three
+    small integer arguments whose meaning depends on the kind (documented
+    per constructor); rendering happens only at {!events} time. *)
+
+type kind =
+  | K_rdma_read  (** a=dst, b=bytes *)
+  | K_rdma_write  (** a=dst, b=bytes *)
+  | K_rdma_batch  (** a=ops, b=total bytes *)
+  | K_send  (** a=dst, b=bytes, c=0 RC / 1 UD *)
+  | K_call  (** a=dst, b=bytes *)
+  | K_drop  (** a=dst, c=0 UD loss / 1 RC retransmission *)
+  | K_log_append  (** a=dst, b=record bytes, c=ring bytes used after *)
+  | K_log_append_fail  (** a=dst, b=record bytes *)
+  | K_log_record  (** a=sender, b=payload tag (0 LOCK, 1 COMMIT-BACKUP, 2
+                      COMMIT-PRIMARY, 3 ABORT, 4 TRUNCATE-MARKER) *)
+  | K_log_trunc  (** a=coordinator machine, b=tx local id *)
+  | K_phase  (** a=commit-phase index, b=tx thread, c=tx local id *)
+  | K_tx_commit  (** c=latency ns *)
+  | K_tx_abort  (** a=abort-reason tag *)
+  | K_lease_renewal  (** a=grantor *)
+  | K_lease_grant  (** a=requester *)
+  | K_lease_expiry  (** a=expired peer *)
+  | K_suspect  (** a=suspect *)
+  | K_new_config  (** a=config id, b=member count, c=cm *)
+  | K_config_commit  (** a=config id *)
+  | K_rec_drain  (** a=config id, b=duration ns *)
+  | K_rec_region_active  (** a=region, b=duration ns *)
+  | K_rec_vote  (** a=region, b=vote tag *)
+  | K_rec_decide  (** a=1 committed / 0 aborted, b=duration ns *)
+
+val event : t -> kind -> a:int -> b:int -> c:int -> unit
+(** Record an event into the ring; a load and a branch when disabled. *)
+
+val events : t -> (int * string) list
+(** The ring's contents, oldest first, as (sim-time ns, rendered line). *)
+
+val total_events : t -> int
+(** Events recorded since creation, including overwritten ones. *)
+
+(** {1 Reporting} *)
+
+val pp_counters : Format.formatter -> t -> unit
+(** Nonzero counters as [name=value], space-separated. *)
+
+val pp_hist_table : Format.formatter -> (string * Stats.Hist.t) list -> unit
+(** A count/p50/p99/mean table (microseconds) of nonempty histograms. *)

@@ -45,8 +45,18 @@ let queue_delay t =
 
 let busy_total t = t.busy_total
 
+(* Utilization over a window via snapshot-and-subtract: dividing lifetime
+   [busy_total] by an arbitrary window would over-report for any window not
+   starting at time zero, so the caller snapshots at the window's start and
+   only the busy time accumulated since then is counted. *)
+
+type snapshot = { snap_at : Time.t; snap_busy : Time.t }
+
+let snapshot t = { snap_at = Engine.now t.engine; snap_busy = t.busy_total }
+
 let utilization t ~since ~until =
-  let window = Time.to_s_float (Time.sub until since) in
+  let window = Time.to_s_float (Time.sub until since.snap_at) in
   if window <= 0. then 0.
   else
-    Time.to_s_float t.busy_total /. (window *. float_of_int (threads t))
+    Time.to_s_float (Time.sub t.busy_total since.snap_busy)
+    /. (window *. float_of_int (threads t))

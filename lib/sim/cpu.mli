@@ -29,4 +29,13 @@ val queue_delay : t -> Time.t
 val busy_total : t -> Time.t
 (** Cumulative CPU time consumed across all threads. *)
 
-val utilization : t -> since:Time.t -> until:Time.t -> float
+type snapshot
+(** Busy-time snapshot marking the start of a measurement window. *)
+
+val snapshot : t -> snapshot
+
+val utilization : t -> since:snapshot -> until:Time.t -> float
+(** Fraction of thread-capacity consumed between the snapshot and [until]:
+    only busy time accumulated after [since] counts, so windows that start
+    mid-run report correctly. Work is charged in full when claimed, so a
+    burst claimed just before [until] can report above 1. *)

@@ -1,0 +1,182 @@
+open Farm_sim
+open Farm_core
+open Farm_obs
+open Farm_fault
+
+(* The observability spine (lib/obs): windowed CPU utilization, exact span
+   accounting for committed transactions, determinism under recording
+   on/off, the bounded flight-recorder ring, and counter plumbing through
+   the commit pipeline. *)
+
+let test name fn = Alcotest.test_case name `Quick fn
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Utilization over a window must only charge busy time accumulated after
+   the window's snapshot: 100us of work before the snapshot, 10us inside a
+   100us window, is 10% — not 110%. *)
+let cpu_utilization_window () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~threads:1 in
+  Proc.spawn e (fun () ->
+      Cpu.exec cpu ~cost:(Time.us 100);
+      let snap = Cpu.snapshot cpu in
+      let t0 = Engine.now e in
+      Cpu.exec cpu ~cost:(Time.us 10);
+      Proc.sleep (Time.us 90);
+      let u = Cpu.utilization cpu ~since:snap ~until:(Engine.now e) in
+      Alcotest.(check (float 1e-9)) "window charges only new busy time" 0.1 u;
+      ignore t0);
+  Engine.run e
+
+(* A committed transaction's span segments partition its lifetime exactly:
+   they sum, to the nanosecond, to the end-to-end latency (finish time -
+   begin_tx time), and the commit pipeline entered every write phase. *)
+let span_accounting () =
+  let c = Cluster.create ~seed:7 ~machines:3 () in
+  let r = Cluster.alloc_region_exn c in
+  let captured = ref None in
+  Cluster.run_on c ~machine:0 (fun st ->
+      Obs.set_span_hook st.State.obs
+        (Some
+           (fun ~committed span ->
+             if committed then captured := Some (span, State.now st)));
+      let tx = Txn.begin_tx st ~thread:0 in
+      let t0 = tx.Txn.t_started in
+      let a = Txn.alloc tx ~size:8 ~region:r.Wire.rid () in
+      Txn.write tx a (Bytes.make 8 'x');
+      (match Commit.commit tx with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "commit aborted: %a" Txn.pp_abort e);
+      Obs.set_span_hook st.State.obs None;
+      match !captured with
+      | None -> Alcotest.fail "span hook did not fire"
+      | Some (span, at_finish) ->
+          let segs = Obs.Span.segments span in
+          let sum = List.fold_left (fun acc (_, ns) -> acc + ns) 0 segs in
+          let total = Obs.Span.total_ns span in
+          check_bool "span is nonzero" true (total > 0);
+          check_int "segments sum to the total, to the ns" total sum;
+          check_int "total equals observed end-to-end latency"
+            (Time.to_ns (Time.sub at_finish t0))
+            total;
+          List.iter
+            (fun p ->
+              check_bool
+                (Fmt.str "entered %s" (Obs.phase_name p))
+                true
+                (List.mem_assoc p segs))
+            [ Obs.P_execute; Obs.P_lock; Obs.P_commit_backup; Obs.P_commit_primary ])
+
+(* ...and the per-phase histograms saw that transaction. *)
+let phase_hists_populated () =
+  let c = Cluster.create ~seed:11 ~machines:3 () in
+  let r = Cluster.alloc_region_exn c in
+  Cluster.run_on c ~machine:0 (fun st ->
+      match
+        Api.run st ~thread:0 (fun tx ->
+            let a = Txn.alloc tx ~size:8 ~region:r.Wire.rid () in
+            Txn.write tx a (Bytes.make 8 'y'))
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "commit aborted: %a" Txn.pp_abort e);
+  let hists = Cluster.merged_phase_hists c in
+  check_bool "lock phase histogram nonempty" true
+    (match List.assoc_opt "lock" hists with
+    | Some h -> Stats.Hist.count h >= 1
+    | None -> false);
+  check_bool "commit-primary phase histogram nonempty" true
+    (match List.assoc_opt "commit-primary" hists with
+    | Some h -> Stats.Hist.count h >= 1
+    | None -> false)
+
+(* Tracing on vs off must not perturb the simulation: the same fuzz seed
+   yields byte-identical event traces and identical commit counts. *)
+let recording_is_inert () =
+  let opts m =
+    { Explorer.default_opts with machines = 5; workers = 1; duration = Time.ms 30; record = m }
+  in
+  let seed = 3 in
+  let off = Explorer.run_one ~opts:(opts false) seed in
+  let on = Explorer.run_one ~opts:(opts true) seed in
+  Alcotest.(check (list string))
+    "traces byte-identical with recording on/off" off.Explorer.trace on.Explorer.trace;
+  check_int "committed identical" off.Explorer.committed on.Explorer.committed;
+  Alcotest.(check (list string))
+    "violations identical" off.Explorer.violations on.Explorer.violations;
+  check_bool "recording off captures nothing" true (off.Explorer.recorder = []);
+  check_bool "recording on captures protocol events" true (on.Explorer.recorder <> [])
+
+(* A failing outcome renders its flight-recorder dump. *)
+let failure_dumps_recorder () =
+  let opts = { Explorer.default_opts with machines = 5; workers = 1; duration = Time.ms 30 } in
+  let o = Explorer.run_one ~opts 3 in
+  let forced = { o with Explorer.violations = [ "forced: injected for the test" ] } in
+  let rendered = Fmt.str "%a" Explorer.pp_outcome forced in
+  check_bool "dump mentions the flight recorder" true
+    (contains rendered "flight recorder");
+  check_bool "dump carries event lines" true
+    (List.length forced.Explorer.recorder > 0)
+
+(* The ring: disabled sinks record nothing; enabled sinks are bounded to
+   [capacity] events, overwriting oldest-first. *)
+let ring_bounds () =
+  let e = Engine.create () in
+  let o = Obs.create ~capacity:8 e ~machine:0 in
+  for _ = 1 to 5 do
+    Obs.event o Obs.K_suspect ~a:1 ~b:0 ~c:0
+  done;
+  check_int "disabled sink records nothing" 0 (Obs.total_events o);
+  Alcotest.(check (list string)) "empty dump" [] (List.map snd (Obs.events o));
+  Obs.set_enabled o true;
+  for i = 1 to 20 do
+    Obs.event o Obs.K_rdma_read ~a:i ~b:64 ~c:0
+  done;
+  check_int "all recordings counted" 20 (Obs.total_events o);
+  check_int "ring bounded to capacity" 8 (List.length (Obs.events o));
+  (* oldest-first: the surviving events are #13..#20, whose dst runs 13..20 *)
+  let lines = List.map snd (Obs.events o) in
+  check_bool "oldest surviving event is #13" true (contains (List.hd lines) "dst=m13")
+
+(* The counter spine end to end: a committed write transaction bumps the
+   coordinator's commit counter and the primaries' log/lock counters. *)
+let counters_plumbed () =
+  let c = Cluster.create ~seed:5 ~machines:3 () in
+  let r = Cluster.alloc_region_exn c in
+  Cluster.run_on c ~machine:0 (fun st ->
+      match
+        Api.run st ~thread:0 (fun tx ->
+            let a = Txn.alloc tx ~size:8 ~region:r.Wire.rid () in
+            Txn.write tx a (Bytes.make 8 'z'))
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "commit aborted: %a" Txn.pp_abort e);
+  (* let lease renewal timers fire at least once *)
+  Cluster.run_for c ~d:(Time.ms 30);
+  let coord = (Cluster.machine c 0).State.obs in
+  check_bool "coordinator counted the commit" true (Obs.counter coord Obs.C_tx_commit >= 1);
+  check_bool "coordinator appended log records" true (Obs.counter coord Obs.C_log_append >= 1);
+  let merged = Cluster.merged_counters c in
+  let get name = Option.value ~default:0 (List.assoc_opt name merged) in
+  check_bool "someone granted locks" true (get "lock-ok" >= 1);
+  check_bool "log records were processed" true (get "log-record" >= 1);
+  check_bool "lease traffic flowed" true (get "lease-renewal" >= 1)
+
+let suites =
+  [
+    ( "obs",
+      [
+        test "cpu utilization is windowed" cpu_utilization_window;
+        test "span segments sum to end-to-end latency" span_accounting;
+        test "phase histograms populated" phase_hists_populated;
+        test "recording on/off does not perturb a fuzz seed" recording_is_inert;
+        test "failing outcome dumps the flight recorder" failure_dumps_recorder;
+        test "flight-recorder ring is gated and bounded" ring_bounds;
+        test "counters plumbed through the stack" counters_plumbed;
+      ] );
+  ]
