@@ -49,7 +49,7 @@ let run_replay ~opts ~seed ~trace_flag =
   List.iter (Fmt.pr "%s@.") o.Explorer.trace;
   Fmt.pr "%a@." Explorer.pp_outcome { o with Explorer.trace = []; Explorer.recorder = [] };
   if trace_flag && o.Explorer.recorder <> [] then begin
-    Fmt.pr "--- flight recorder (last %d protocol events per machine) ---@."
+    Fmt.pr "--- flight recorder (%d protocol events, merged across machines) ---@."
       (List.length o.Explorer.recorder);
     List.iter (Fmt.pr "%s@.") o.Explorer.recorder
   end;

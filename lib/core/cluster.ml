@@ -397,17 +397,15 @@ let set_recording t on =
 
 (* Cluster-wide counter totals, in counter declaration order. *)
 let merged_counters t =
-  let order = ref [] and tbl = Hashtbl.create 32 in
-  Array.iter
-    (fun st ->
-      List.iter
-        (fun (name, v) ->
-          if not (Hashtbl.mem tbl name) then order := name :: !order;
-          let cur = match Hashtbl.find_opt tbl name with Some c -> c | None -> 0 in
-          Hashtbl.replace tbl name (cur + v))
-        (Farm_obs.Obs.counter_totals st.State.obs))
-    t.machines;
-  List.rev_map (fun n -> (n, Hashtbl.find tbl n)) !order
+  List.filter_map
+    (fun c ->
+      let v =
+        Array.fold_left
+          (fun acc st -> acc + Farm_obs.Obs.counter st.State.obs c)
+          0 t.machines
+      in
+      if v = 0 then None else Some (Farm_obs.Obs.counter_name c, v))
+    Farm_obs.Obs.all_counters
 
 (* Per-phase commit-latency histograms merged across machines; string-keyed
    so benches and CLIs need no dependency on the obs library. *)

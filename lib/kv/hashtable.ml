@@ -142,7 +142,12 @@ let lookup tx t key =
   lookup_from tx t t.buckets.(bucket_of t key) key
 
 (* Insert or update. Follows the overflow chain; allocates a chained
-   bucket co-located with the head bucket when everything is full. *)
+   bucket co-located with the head bucket when everything is full.
+
+   The whole chain is searched for the key before a free slot is taken:
+   deletes can free slots in earlier buckets while the key still lives in a
+   chained one, and grabbing such a slot would shadow the old entry with a
+   duplicate that a later delete resurrects. *)
 let insert tx t key value =
   let key = norm_key t key in
   let value =
@@ -151,20 +156,26 @@ let insert tx t key value =
     v
   in
   let esz = entry_size t in
-  let rec go addr =
+  let rec go addr free =
     let data = Bytes.copy (Txn.read tx addr ~len:(bucket_data_size t)) in
     match find_in_bucket t data key with
     | Some i ->
         set_entry t data ~esz i ~key ~value;
         Txn.write tx addr data
     | None -> (
-        match free_slot t data with
-        | Some i ->
-            set_entry t data ~esz i ~key ~value;
-            Txn.write tx addr data
+        let free =
+          match free with
+          | Some _ -> free
+          | None -> Option.map (fun i -> (addr, i)) (free_slot t data)
+        in
+        match overflow_of t data with
+        | Some next -> go next free
         | None -> (
-            match overflow_of t data with
-            | Some next -> go next
+            match free with
+            | Some (faddr, i) ->
+                let fdata = Bytes.copy (Txn.read tx faddr ~len:(bucket_data_size t)) in
+                set_entry t fdata ~esz i ~key ~value;
+                Txn.write tx faddr fdata
             | None ->
                 let size = bucket_data_size t in
                 let next = Txn.alloc tx ~size ~near:addr () in
@@ -174,7 +185,7 @@ let insert tx t key value =
                 Codec.set_addr data (t.slots * esz) (Some next);
                 Txn.write tx addr data))
   in
-  go t.buckets.(bucket_of t key)
+  go t.buckets.(bucket_of t key) None
 
 let delete tx t key =
   let key = norm_key t key in

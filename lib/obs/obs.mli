@@ -63,6 +63,9 @@ type counter =
   | C_rec_vote  (** recovery votes received as coordinator *)
   | C_rec_decide  (** recovering transactions decided here *)
 
+val all_counters : counter list
+(** Every counter, in declaration order. *)
+
 val counter_name : counter -> string
 val incr : t -> counter -> unit
 val add : t -> counter -> int -> unit

@@ -174,5 +174,69 @@ let hashtable_matches_map =
               tx_got = want && lf_got = want)
             (List.init 41 Fun.id)))
 
+(* Regression: re-inserting a key that overflowed into a chained bucket must
+   update the chained entry, not grab a slot freed by a delete in an earlier
+   bucket — the duplicate would survive a later delete and resurrect the old
+   value. Shrunk from a [hashtable_matches_map] counterexample. *)
+let hashtable_no_stale_duplicate () =
+  let c = mk_cluster ~machines:3 () in
+  let r1 = Cluster.alloc_region_exn c in
+  let t =
+    Cluster.run_on c ~machine:0 (fun st ->
+        Hashtable.create st ~thread:0 ~regions:[| r1.Wire.rid |] ~buckets:8 ~ksize:8
+          ~vsize:16 ~slots:2 ())
+  in
+  let ops =
+    [ HIns (19, 79591); HIns (35, 154822); HIns (3, 83017); HIns (25, 893031); HDel 28;
+      HFind 17; HDel 35; HIns (34, 347583); HFind 27; HIns (4, 21561); HDel 16; HDel 39;
+      HIns (7, 956613); HIns (3, 956010); HFind 26; HIns (17, 475804); HIns (32, 610046);
+      HDel 7; HIns (13, 532858); HIns (1, 907440); HDel 14; HFind 39; HIns (25, 104613);
+      HDel 3; HDel 29; HDel 26; HDel 39; HFind 26; HIns (37, 855915); HDel 1; HDel 14 ]
+  in
+  let model = ref M.empty in
+  List.iteri
+    (fun i op ->
+      Cluster.run_on c ~machine:(i mod Cluster.n_machines c) (fun st ->
+          Api.run_retry st ~thread:0 (fun tx ->
+              match op with
+              | HIns (k, v) ->
+                  Hashtable.insert tx t (key8 k) (value16 v);
+                  model := M.add k v !model
+              | HDel k ->
+                  Alcotest.(check bool)
+                    (Fmt.str "op %d: delete %d" i k)
+                    (M.mem k !model)
+                    (Hashtable.delete tx t (key8 k));
+                  model := M.remove k !model
+              | HFind k ->
+                  Alcotest.(check (option bytes))
+                    (Fmt.str "op %d: lookup %d" i k)
+                    (Option.map value16 (M.find_opt k !model))
+                    (Hashtable.lookup tx t (key8 k)))
+          |> function
+          | Ok () -> ()
+          | Error r -> Alcotest.failf "op %d aborted: %a" i Txn.pp_abort r))
+    ops;
+  Cluster.run_on c ~machine:1 (fun st ->
+      List.iter
+        (fun k ->
+          let want = Option.map value16 (M.find_opt k !model) in
+          (match Api.run_retry st ~thread:0 (fun tx -> Hashtable.lookup tx t (key8 k)) with
+          | Ok got -> Alcotest.(check (option bytes)) (Fmt.str "sweep tx %d" k) want got
+          | Error r -> Alcotest.failf "sweep aborted: %a" Txn.pp_abort r);
+          Alcotest.(check (option bytes))
+            (Fmt.str "sweep lockfree %d" k)
+            want
+            (Hashtable.lookup_lockfree st t (key8 k)))
+        (List.init 41 Fun.id))
+
 let suites =
-  [ ("kv-model", [ qtest btree_matches_map; qtest hashtable_matches_map ]) ]
+  [
+    ( "kv-model",
+      [
+        qtest btree_matches_map;
+        qtest hashtable_matches_map;
+        Alcotest.test_case "hashtable overflow re-insert has no stale duplicate" `Quick
+          hashtable_no_stale_duplicate;
+      ] );
+  ]
