@@ -46,8 +46,12 @@ let cm_rebuild () =
       (match commit_at with Some t -> Fmt.str "%a" Time.pp t | None -> "-")
       (match rec80 with Some t -> Fmt.str "%a" Time.pp t | None -> "(not in window)")
   in
-  report "baseline (rebuild)" (run ~incremental:false);
-  report "incremental CM state" (run ~incremental:true)
+  (* the two settings are independent clusters: shard them *)
+  match Bench_util.shard_map (fun incremental -> run ~incremental) [ false; true ] with
+  | [ baseline; incr ] ->
+      report "baseline (rebuild)" baseline;
+      report "incremental CM state" incr
+  | _ -> assert false
 
 (* {1 Ablation 2: the validation threshold tr} *)
 
@@ -62,7 +66,7 @@ let validation_threshold () =
   let reads = 8 in
   Fmt.pr "per-commit: %d validated reads from one primary + 1 write@.@." reads;
   Fmt.pr "%-14s %12s %14s %14s@." "tr" "tx/us" "median(us)" "99th(us)";
-  List.iter
+  Bench_util.shard_print
     (fun tr ->
       let params = { Params.default with Params.validate_rpc_threshold = tr } in
       let c = Cluster.create ~params ~machines:4 () in
@@ -102,7 +106,7 @@ let validation_threshold () =
             | Ok () -> true
             | Error _ -> false)
       in
-      Fmt.pr "%-14s %12.3f %14.1f %14.1f@."
+      Fmt.str "%-14s %12.3f %14.1f %14.1f@."
         (if tr = 0 then "0 (always RPC)"
          else if tr >= reads then Printf.sprintf "%d (all RDMA)" tr
          else string_of_int tr)
@@ -118,7 +122,7 @@ let replication_factor () =
     "the commit phase costs Pw*(f+3) one-sided writes; FaRM runs f+1 copies \
      vs 2f+1 for Paxos-replicated designs like Spanner";
   Fmt.pr "%-8s %12s %14s %16s@." "f" "tx/us" "median(us)" "commit 99th(us)";
-  List.iter
+  Bench_util.shard_print
     (fun replication ->
       let params = { Params.default with Params.replication = replication } in
       let c = Cluster.create ~params ~machines:6 () in
@@ -132,7 +136,7 @@ let replication_factor () =
       Array.iter
         (fun (st : State.t) -> Stats.Hist.merge ~into:commit_h st.State.metrics.State.commit_latency)
         c.Cluster.machines;
-      Fmt.pr "%-8d %12.3f %14.1f %16.1f@." (replication - 1)
+      Fmt.str "%-8d %12.3f %14.1f %16.1f@." (replication - 1)
         (Driver.throughput_per_us stats ~duration)
         (float_of_int (Stats.Hist.percentile stats.Driver.latency 50.) /. 1e3)
         (float_of_int (Stats.Hist.percentile commit_h 99.) /. 1e3))
@@ -146,7 +150,7 @@ let lease_hierarchy () =
      price of up to doubled failure detection; CM lease traffic drops from \
      O(n) to O(n / group size)";
   Fmt.pr "%-10s %22s %22s@." "machines" "CM lease msgs (flat)" "CM lease msgs (groups of 4)";
-  List.iter
+  Bench_util.shard_print
     (fun machines ->
       let run params =
         let c = Cluster.create ~params ~machines () in
@@ -155,7 +159,7 @@ let lease_hierarchy () =
       in
       let flat = run Params.default in
       let hier = run { Params.default with Params.lease_group_size = 4 } in
-      Fmt.pr "%-10d %22d %22d@." machines flat hier)
+      Fmt.str "%-10d %22d %22d@." machines flat hier)
     [ 8; 16; 32 ];
   (* detection latency comparison for a member failure *)
   let detect params =
@@ -169,10 +173,15 @@ let lease_hierarchy () =
     | Some t -> Time.to_ms_float (Time.sub t at)
     | None -> nan
   in
-  Fmt.pr "@.member-failure detection latency (lease 10 ms): flat %.1f ms vs \
-     hierarchical %.1f ms@."
-    (detect Params.default)
-    (detect { Params.default with Params.lease_group_size = 4 })
+  match
+    Bench_util.shard_map detect
+      [ Params.default; { Params.default with Params.lease_group_size = 4 } ]
+  with
+  | [ flat; hier ] ->
+      Fmt.pr "@.member-failure detection latency (lease 10 ms): flat %.1f ms vs \
+         hierarchical %.1f ms@."
+        flat hier
+  | _ -> assert false
 
 let run () =
   cm_rebuild ();

@@ -6,6 +6,30 @@ let header fig paper =
   Fmt.pr "@.=== %s ===@." fig;
   Fmt.pr "paper: %s@.@." paper
 
+(* {1 Sharded sweeps}
+
+   Multi-config sweeps (load points, ablation settings, cluster sizes)
+   build a fresh cluster per config, so configs are independent worlds and
+   can run on worker domains. Each config renders its own output block
+   off-screen; blocks print in config order from the calling domain, so a
+   sharded sweep's output is byte-identical to the sequential one. *)
+
+(* Worker-domain count for sharded sweeps. Set once at startup by
+   bench/main.ml's --jobs, before any sweep spawns a domain; read-only
+   thereafter. *)
+let jobs = ref (Domain_pool.default_jobs ())
+
+(* Run [f] over [configs] on the domain pool; results come back in config
+   order, and an exception from a config re-raises in config order, as the
+   sequential loop's would have. *)
+let shard_map f configs =
+  Domain_pool.map ~jobs:!jobs f (Array.of_list configs)
+  |> Array.to_list
+  |> List.map (function Ok v -> v | Error e -> raise e)
+
+(* Shard a sweep whose per-config result is a rendered output block. *)
+let shard_print f configs = List.iter print_string (shard_map f configs)
+
 let bar ?(scale = 1.0) v =
   let n = int_of_float (float_of_int v *. scale) in
   String.make (min 60 (max 0 n)) '#'

@@ -8,20 +8,25 @@ open Farm_workloads
    to reproduce: a flat latency floor at low load and a sharp knee as the
    machines' CPUs saturate. *)
 
+(* Every load point builds its own cluster, so the sweep shards across
+   worker domains; rows render off-screen and print in point order. *)
 let sweep ~label ~paper ~mk_cluster ~mk_op ~points ~duration ~latency_of =
   Bench_util.header label paper;
   Fmt.pr "%-10s %14s %12s %12s@." "workers/m" "ops/us" "median(us)" "99th(us)";
-  List.iter
+  Bench_util.shard_print
     (fun workers ->
       let cluster, op, finish = mk_cluster () in
       let stats = Driver.run cluster ~workers ~warmup:(Time.ms 10) ~duration ~op:(mk_op op) in
       let h = latency_of stats op in
       let tput = float_of_int (Stats.Counter.get stats.Driver.ops) /. Time.to_us_float duration in
-      Fmt.pr "%-10d %14.3f %12.1f %12.1f  %s@." workers tput
-        (float_of_int (Stats.Hist.percentile h 50.) /. 1e3)
-        (float_of_int (Stats.Hist.percentile h 99.) /. 1e3)
-        (Bench_util.bar ~scale:1.6 (int_of_float (tput *. 10.)));
-      finish cluster)
+      let row =
+        Fmt.str "%-10d %14.3f %12.1f %12.1f  %s@." workers tput
+          (float_of_int (Stats.Hist.percentile h 50.) /. 1e3)
+          (float_of_int (Stats.Hist.percentile h 99.) /. 1e3)
+          (Bench_util.bar ~scale:1.6 (int_of_float (tput *. 10.)))
+      in
+      finish cluster;
+      row)
     points
 
 (* Figure 7: TATP. *)
@@ -56,7 +61,7 @@ let tpcc ?(machines = 8) ?(duration = Time.ms 80) () =
     "4.5M new-order/s at 90 machines; median 808 us, 99th 1.9 ms at peak; \
      latency can be halved for ~10% throughput";
   Fmt.pr "%-10s %16s %12s %12s@." "workers/m" "new-order/us" "median(us)" "99th(us)";
-  List.iter
+  Bench_util.shard_print
     (fun workers ->
       let c, t, _ = mk_cluster () in
       let before = Stats.Counter.get t.Tpcc.new_orders in
@@ -65,7 +70,7 @@ let tpcc ?(machines = 8) ?(duration = Time.ms 80) () =
       ignore t0;
       let count = Stats.Counter.get t.Tpcc.new_orders - before in
       let tput = float_of_int count /. Time.to_us_float duration in
-      Fmt.pr "%-10d %16.4f %12.1f %12.1f  %s@." workers tput
+      Fmt.str "%-10d %16.4f %12.1f %12.1f  %s@." workers tput
         (float_of_int (Stats.Hist.percentile t.Tpcc.no_latency 50.) /. 1e3)
         (float_of_int (Stats.Hist.percentile t.Tpcc.no_latency 99.) /. 1e3)
         (Bench_util.bar ~scale:1.0 (int_of_float (tput *. 1000.))))

@@ -3,7 +3,11 @@
 
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe -- fig9    runs one experiment
-     dune exec bench/main.exe -- list    lists experiment ids            *)
+     dune exec bench/main.exe -- list    lists experiment ids
+     dune exec bench/main.exe -- --jobs 8 ablations
+                                         shards multi-config sweeps over
+                                         8 worker domains (output is
+                                         byte-identical to --jobs 1)     *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -31,6 +35,22 @@ let experiments : (string * string * (unit -> unit)) list =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --jobs N: worker domains for sharded sweeps; must be consumed before
+     any experiment spawns a domain *)
+  let rec strip_jobs = function
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> Bench_util.jobs := j
+        | _ ->
+            Fmt.epr "main: --jobs expects a positive integer, got %S@." n;
+            exit 2);
+        strip_jobs rest
+    | [ "--jobs" ] ->
+        Fmt.epr "main: --jobs expects a value@.";
+        exit 2
+    | args -> args
+  in
+  let args = strip_jobs args in
   match args with
   | [ "list" ] ->
       List.iter (fun (id, what, _) -> Fmt.pr "%-10s %s@." id what) experiments

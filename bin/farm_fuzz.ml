@@ -1,6 +1,6 @@
 (* farm-fuzz: deterministic fault-schedule fuzzing of the FaRM simulation.
 
-     dune exec bin/farm_fuzz.exe -- --schedules 200 --seed 1
+     dune exec bin/farm_fuzz.exe -- --schedules 200 --seed 1 --jobs 8
      dune exec bin/farm_fuzz.exe -- --replay 4611686018427387904
 
    Each schedule runs a conserving bank + B-tree workload on a fresh
@@ -9,7 +9,10 @@
    heals, quiesces, and checks the committed history for strict
    serializability plus a battery of state invariants. Everything derives
    from integer seeds: a failing schedule prints its seed, and --replay
-   reruns it with a byte-identical event trace. *)
+   reruns it with a byte-identical event trace. --jobs farms schedules out
+   to worker domains; the report (progress lines, failure dumps, summary)
+   is byte-identical whatever the job count, because outcomes are merged in
+   seed order and printed only from the coordinating domain. *)
 
 open Farm_sim
 open Farm_fault
@@ -26,9 +29,9 @@ let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching =
     record = true;
   }
 
-let run_explore ~opts ~seed ~schedules ~verbose =
+let run_explore ~opts ~seed ~schedules ~jobs ~verbose =
   let report =
-    Explorer.run ~opts
+    Explorer.sweep ~opts ~jobs
       ~on_outcome:(fun ~index o ->
         if not (Explorer.ok o) then Fmt.pr "schedule %d: %a@." index Explorer.pp_outcome o
         else if verbose then Fmt.pr "schedule %d: %a@." index Explorer.pp_outcome o
@@ -55,8 +58,8 @@ let run_replay ~opts ~seed ~trace_flag =
   end;
   if Explorer.ok o then 0 else 1
 
-let main seed schedules replay machines cells workers duration_ms no_btree no_batching verbose
-    trace_flag =
+let main seed schedules replay machines cells workers duration_ms no_btree no_batching jobs
+    verbose trace_flag =
   if machines < 3 then begin
     Fmt.epr "farm_fuzz: --machines must be at least 3 (every region needs f+1 = 3 replicas)@.";
     2
@@ -65,11 +68,15 @@ let main seed schedules replay machines cells workers duration_ms no_btree no_ba
     Fmt.epr "farm_fuzz: --cells must be at least 1@.";
     2
   end
+  else if jobs < 1 then begin
+    Fmt.epr "farm_fuzz: --jobs must be at least 1@.";
+    2
+  end
   else begin
     let opts = opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching in
     match replay with
     | Some s -> run_replay ~opts ~seed:s ~trace_flag
-    | None -> run_explore ~opts ~seed ~schedules ~verbose
+    | None -> run_explore ~opts ~seed ~schedules ~jobs ~verbose
   end
 
 let cmd =
@@ -97,6 +104,15 @@ let cmd =
       & info [ "no-batching" ]
           ~doc:"Run the unbatched (pre-doorbell-batching) commit pipeline.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for the schedule sweep (default: this machine's recommended \
+             domain count). The report is byte-identical for any value.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule outcome.") in
   let trace_flag =
     Arg.(
@@ -109,7 +125,7 @@ let cmd =
   let term =
     Term.(
       const main $ seed $ schedules $ replay $ machines $ cells $ workers $ duration_ms
-      $ no_btree $ no_batching $ verbose $ trace_flag)
+      $ no_btree $ no_batching $ jobs $ verbose $ trace_flag)
   in
   Cmd.v (Cmd.info "farm_fuzz" ~doc:"Deterministic fault-schedule fuzzer for the FaRM simulation") term
 

@@ -120,8 +120,10 @@ let spawn_workers (c : Cluster.t) ~opts ~stop ~hist ~addrs ~tree =
     c.Cluster.machines
 
 (* Run one schedule. Every check failure becomes a violation string; the
-   run passes iff none accumulate. *)
-let run_one ?(opts = default_opts) seed =
+   run passes iff none accumulate. [probe] is an extra caller-supplied
+   invariant probe run against the healed cluster (tests use it to inject
+   violations and exercise the failing-outcome path). *)
+let run_one ?(opts = default_opts) ?probe seed =
   let trace = ref [] in
   let params = { params with Params.doorbell_batching = opts.batching } in
   let c = Cluster.create ~seed ~params ~machines:opts.machines () in
@@ -180,6 +182,9 @@ let run_one ?(opts = default_opts) seed =
   | History.Serializable -> ()
   | v -> violate "history: %a" History.pp_verdict v);
   List.iter (fun v -> violate "%a" Invariant.pp v) (Invariant.check c);
+  (match probe with
+  | Some p -> List.iter (fun s -> violate "%s" s) (p ~seed c)
+  | None -> ());
   (* semantic probes need a live member to run transactions from *)
   let member =
     match Cluster.current_config c with
@@ -247,16 +252,35 @@ let pp_outcome ppf o =
 
 (* Explore [schedules] runs; per-run seeds derive from [base_seed] so the
    whole exploration is one deterministic function of it. A failing run
-   prints its own seed for [run_one] replay. *)
-let run ?(opts = default_opts) ?on_outcome ~base_seed ~schedules () =
+   prints its own seed for [run_one] replay.
+
+   [jobs] farms the seeds out to worker domains ({!Domain_pool}). Each
+   schedule is a closed world — fresh cluster, fresh rngs, fresh obs sinks,
+   all derived from its seed — so parallel workers share nothing; outcomes
+   are merged back in seed order by the pool's in-order [on_result] stream,
+   which makes the report (totals, failure list, every rendered trace and
+   flight-recorder dump, and everything [on_outcome] prints) byte-identical
+   regardless of job count. A worker exception is re-raised in seed order,
+   exactly where the sequential loop would have raised it. *)
+let sweep ?(opts = default_opts) ?probe ?on_outcome ?(jobs = 1) ~base_seed ~schedules () =
   let derive = Rng.create base_seed in
+  let seeds = Array.init schedules (fun _ -> Rng.bits derive) in
   let failures = ref [] in
   let total = ref 0 in
-  for i = 1 to schedules do
-    let seed = Rng.bits derive in
-    let o = run_one ~opts seed in
-    total := !total + o.committed;
-    if not (ok o) then failures := o :: !failures;
-    match on_outcome with Some f -> f ~index:i o | None -> ()
-  done;
+  let results =
+    Domain_pool.map ~jobs
+      ~on_result:(fun i r ->
+        match r with
+        | Error _ -> ()
+        | Ok o ->
+            total := !total + o.committed;
+            if not (ok o) then failures := o :: !failures;
+            (match on_outcome with Some f -> f ~index:(i + 1) o | None -> ()))
+      (fun seed -> run_one ~opts ?probe seed)
+      seeds
+  in
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
   { base_seed; schedules; total_committed = !total; failures = List.rev !failures }
+
+let run ?opts ?on_outcome ~base_seed ~schedules () =
+  sweep ?opts ?on_outcome ~jobs:1 ~base_seed ~schedules ()

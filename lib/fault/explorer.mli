@@ -42,9 +42,30 @@ type report = {
   failures : outcome list;
 }
 
-val run_one : ?opts:opts -> int -> outcome
+val run_one :
+  ?opts:opts -> ?probe:(seed:int -> Farm_core.Cluster.t -> string list) -> int -> outcome
 (** Run one schedule from its seed. Deterministic: equal seeds yield equal
-    outcomes, including byte-identical traces. *)
+    outcomes, including byte-identical traces. [probe] is an extra
+    invariant probe run against the healed cluster after the built-in
+    checks; every string it returns becomes a violation (tests use it to
+    inject failures and exercise the failing-outcome path). *)
+
+val sweep :
+  ?opts:opts ->
+  ?probe:(seed:int -> Farm_core.Cluster.t -> string list) ->
+  ?on_outcome:(index:int -> outcome -> unit) ->
+  ?jobs:int ->
+  base_seed:int ->
+  schedules:int ->
+  unit ->
+  report
+(** Explore [schedules] runs with per-run seeds derived from [base_seed],
+    farmed out to [jobs] worker domains (default 1 = sequential, in the
+    calling domain). Each schedule is an isolated world derived from its
+    seed, and outcomes are merged in seed order, so the report — including
+    [on_outcome] delivery order and every rendered failure trace and
+    flight-recorder dump — is byte-identical for any [jobs]. [on_outcome]
+    always runs in the calling domain. *)
 
 val run :
   ?opts:opts ->
@@ -53,4 +74,4 @@ val run :
   schedules:int ->
   unit ->
   report
-(** Explore [schedules] runs with per-run seeds derived from [base_seed]. *)
+(** [sweep ~jobs:1]: the sequential sweep, kept as the bitwise reference. *)

@@ -1,0 +1,66 @@
+(* See the interface for the contract. Implementation notes:
+
+   - Tasks are claimed from an [Atomic.t] cursor in [chunk]-sized runs, so
+     assignment is dynamic (a slow schedule does not stall a whole static
+     shard) while results stay index-addressed.
+   - Workers publish each result into its slot under one mutex and
+     broadcast; the calling domain is the coordinator, sleeping on the
+     condition until the next in-order slot fills, then streaming it to
+     [on_result]. All cross-domain reads of [results] happen under the
+     mutex, which is what makes the publication well-synchronised under
+     the OCaml memory model.
+   - A task exception is captured into its slot as [Error e]; the worker
+     moves on to its next claim. [Fun.protect] joins every domain even
+     when the caller's [on_result] raises. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map (type a b) ?jobs ?(chunk = 1) ?on_result (f : a -> b) (tasks : a array) :
+    (b, exn) result array =
+  if chunk < 1 then invalid_arg "Domain_pool.map: chunk must be positive";
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let results : (b, exn) result option array = Array.make n None in
+  let run i = match f tasks.(i) with v -> Ok v | exception e -> Error e in
+  let emit = match on_result with Some g -> g | None -> fun _ _ -> () in
+  if jobs = 1 || n <= 1 then
+    (* Sequential reference path: same claims, same order, no domains. *)
+    for i = 0 to n - 1 do
+      let r = run i in
+      results.(i) <- Some r;
+      emit i r
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let mu = Mutex.create () in
+    let filled = Condition.create () in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo >= n then continue := false
+        else
+          for i = lo to min n (lo + chunk) - 1 do
+            let r = run i in
+            Mutex.lock mu;
+            results.(i) <- Some r;
+            Condition.broadcast filled;
+            Mutex.unlock mu
+          done
+      done
+    in
+    let domains = Array.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    Fun.protect
+      ~finally:(fun () -> Array.iter Domain.join domains)
+      (fun () ->
+        for i = 0 to n - 1 do
+          Mutex.lock mu;
+          while Option.is_none results.(i) do
+            Condition.wait filled mu
+          done;
+          let r = Option.get results.(i) in
+          Mutex.unlock mu;
+          emit i r
+        done)
+  end;
+  Array.map Option.get results

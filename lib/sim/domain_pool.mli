@@ -1,0 +1,41 @@
+(** A bounded pool of worker domains over an indexed task array.
+
+    The pool exists to parallelise *independent* deterministic simulations
+    (one cluster per task, nothing shared): tasks are claimed in chunks
+    from an atomic cursor, run on [jobs] worker domains, and their results
+    are surfaced to the calling domain strictly in task order, so anything
+    the caller renders from them is byte-identical regardless of job
+    count. Exceptions raised by a task are captured per task — one failing
+    schedule never tears down the rest of a sweep — and can be re-raised
+    by the caller in task order for parity with a sequential loop.
+
+    Safety contract for tasks: a task must not touch mutable state shared
+    with any other task or with the caller (the simulation library is
+    audited for this — see DESIGN.md "Domain-parallel harness"). The pool
+    itself synchronises result publication, so the caller may freely read
+    returned values. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: a sensible job count for this
+    machine. *)
+
+val map :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?on_result:(int -> ('b, exn) result -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+(** [map ~jobs f tasks] evaluates [f tasks.(i)] for every [i] on a pool of
+    [jobs] worker domains (default {!default_jobs}; clamped to at least 1)
+    and returns the results in task order. [jobs = 1] runs sequentially in
+    the calling domain — no domain is spawned, making it the bitwise
+    reference for determinism tests.
+
+    [chunk] (default 1) is how many consecutive tasks a worker claims per
+    cursor fetch; raise it when tasks are tiny relative to the claim cost.
+
+    [on_result] is invoked from the *calling* domain, strictly in task
+    order, streaming as the frontier of completed tasks advances — index
+    [i] is delivered only after indices [0..i-1]. Use it for progress
+    output that must not interleave or reorder. *)

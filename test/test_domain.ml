@@ -1,0 +1,169 @@
+open Farm_sim
+open Farm_fault
+
+(* Domain-safety suite: the properties that make `farm_fuzz --jobs` sound.
+
+   - {!Domain_pool} itself: in-order results, per-task exception capture,
+     chunked claims, in-order [on_result] streaming.
+   - Running the SAME seed concurrently in two domains yields byte-identical
+     traces and flight-recorder dumps — the one test shape that exposes
+     hidden cross-cluster globals (a shared sink, a toplevel rng, a lazy
+     cache), which sequential runs can never catch.
+   - [Explorer.sweep] renders a byte-identical report at jobs=1 and jobs=4,
+     including the failing-outcome path: an injected invariant violation
+     found by a worker domain surfaces with its trace and recorder dump
+     intact, in the same position, with the same bytes. *)
+
+let test name fn = Alcotest.test_case name `Quick fn
+
+(* {1 Domain_pool} *)
+
+(* uneven per-task work so completion order actually scrambles *)
+let busy i =
+  let n = 1_000 * (1 + (i * 31 mod 7)) in
+  let acc = ref 0 in
+  for k = 1 to n do
+    acc := (!acc + k) land 0xFFFF
+  done;
+  !acc
+
+let pool_results_in_order () =
+  let tasks = Array.init 100 Fun.id in
+  let f i = ignore (busy i); i * i in
+  let seq = Domain_pool.map ~jobs:1 f tasks in
+  let par = Domain_pool.map ~jobs:4 f tasks in
+  Array.iteri
+    (fun i r ->
+      match (r, par.(i)) with
+      | Ok a, Ok b ->
+          Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) a;
+          Alcotest.(check int) (Printf.sprintf "slot %d par" i) (i * i) b
+      | _ -> Alcotest.failf "slot %d: unexpected Error" i)
+    seq
+
+let pool_captures_exceptions () =
+  let tasks = Array.init 30 Fun.id in
+  let f i = if i mod 7 = 0 then failwith (Printf.sprintf "task %d" i) else i in
+  let results = Domain_pool.map ~jobs:4 f tasks in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v when i mod 7 <> 0 -> Alcotest.(check int) "value" i v
+      | Error (Failure msg) when i mod 7 = 0 ->
+          Alcotest.(check string) "message" (Printf.sprintf "task %d" i) msg
+      | Ok _ -> Alcotest.failf "task %d: expected Error" i
+      | Error e -> Alcotest.failf "task %d: unexpected %s" i (Printexc.to_string e))
+    results
+
+let pool_streams_in_order () =
+  let tasks = Array.init 64 Fun.id in
+  let seen = ref [] in
+  ignore
+    (Domain_pool.map ~jobs:4 ~chunk:3
+       ~on_result:(fun i _ -> seen := i :: !seen)
+       busy tasks);
+  Alcotest.(check (list int)) "indices streamed 0..n-1" (List.init 64 Fun.id) (List.rev !seen)
+
+let pool_chunked_covers_all () =
+  let tasks = Array.init 41 Fun.id in
+  List.iter
+    (fun chunk ->
+      let results = Domain_pool.map ~jobs:3 ~chunk (fun i -> i + 1) tasks in
+      Array.iteri
+        (fun i -> function
+          | Ok v -> Alcotest.(check int) (Printf.sprintf "chunk %d slot %d" chunk i) (i + 1) v
+          | Error _ -> Alcotest.fail "unexpected Error")
+        results)
+    [ 1; 8; 64 ]
+
+(* {1 Cross-domain determinism} *)
+
+let opts =
+  { Explorer.default_opts with machines = 5; workers = 1; duration = Time.ms 20 }
+
+(* The same seed, concurrently in two fresh domains, plus once sequentially:
+   all three runs must agree byte-for-byte. Any cross-cluster shared mutable
+   state — an obs sink, rng, or cache reachable from two clusters at once —
+   shows up here as a trace or recorder diff. *)
+let same_seed_two_domains () =
+  let seed = 7 in
+  let d1 = Domain.spawn (fun () -> Explorer.run_one ~opts seed) in
+  let d2 = Domain.spawn (fun () -> Explorer.run_one ~opts seed) in
+  let a = Domain.join d1 in
+  let b = Domain.join d2 in
+  let c = Explorer.run_one ~opts seed in
+  Alcotest.(check (list string)) "traces agree across domains" a.Explorer.trace b.Explorer.trace;
+  Alcotest.(check (list string)) "trace agrees with sequential" a.Explorer.trace c.Explorer.trace;
+  Alcotest.(check (list string))
+    "recorder dumps agree across domains" a.Explorer.recorder b.Explorer.recorder;
+  Alcotest.(check (list string))
+    "recorder agrees with sequential" a.Explorer.recorder c.Explorer.recorder;
+  Alcotest.(check int) "committed agree" a.Explorer.committed b.Explorer.committed;
+  Alcotest.(check (list string)) "violations agree" a.Explorer.violations b.Explorer.violations
+
+(* Render a sweep exactly as farm_fuzz does — progress lines, failure dumps
+   (trace + flight recorder), summary — so report comparison is bytewise. *)
+let render_sweep ?probe ~jobs ~base_seed ~schedules () =
+  let buf = Buffer.create 4096 in
+  let report =
+    Explorer.sweep ~opts ?probe
+      ~on_outcome:(fun ~index o ->
+        Buffer.add_string buf (Fmt.str "schedule %d: %a@." index Explorer.pp_outcome o))
+      ~jobs ~base_seed ~schedules ()
+  in
+  Buffer.add_string buf
+    (Fmt.str "%d schedules, %d committed, %d failures@." report.Explorer.schedules
+       report.Explorer.total_committed
+       (List.length report.Explorer.failures));
+  (report, Buffer.contents buf)
+
+let sweep_jobs_invariant () =
+  let r1, out1 = render_sweep ~jobs:1 ~base_seed:3 ~schedules:8 () in
+  let r4, out4 = render_sweep ~jobs:4 ~base_seed:3 ~schedules:8 () in
+  Alcotest.(check string) "rendered report byte-identical" out1 out4;
+  Alcotest.(check int) "totals agree" r1.Explorer.total_committed r4.Explorer.total_committed;
+  Alcotest.(check int)
+    "failure counts agree"
+    (List.length r1.Explorer.failures)
+    (List.length r4.Explorer.failures)
+
+(* The seeds Explorer.sweep will derive from [base_seed], reproduced here so
+   the test can target one of them for injection. *)
+let derived_seeds ~base_seed n =
+  let d = Rng.create base_seed in
+  Array.init n (fun _ -> Rng.bits d)
+
+let failing_outcome_from_worker_domain () =
+  let base_seed = 11 and schedules = 6 in
+  let target = (derived_seeds ~base_seed schedules).(2) in
+  let probe ~seed _cluster = if seed = target then [ "injected: probe violation" ] else [] in
+  let r4, out4 = render_sweep ~probe ~jobs:4 ~base_seed ~schedules () in
+  (match r4.Explorer.failures with
+  | [ o ] ->
+      Alcotest.(check int) "failing seed is the injected one" target o.Explorer.seed;
+      Alcotest.(check bool)
+        "injected violation surfaced" true
+        (List.mem "injected: probe violation" o.Explorer.violations);
+      Alcotest.(check bool) "trace survived the domain hop" true (o.Explorer.trace <> []);
+      Alcotest.(check bool) "recorder dump survived" true (o.Explorer.recorder <> [])
+  | l -> Alcotest.failf "expected exactly one failure, got %d" (List.length l));
+  (* and the parallel failure report matches the sequential one bytewise *)
+  let _, out1 = render_sweep ~probe ~jobs:1 ~base_seed ~schedules () in
+  Alcotest.(check string) "failure dump byte-identical across jobs" out1 out4
+
+let suites =
+  [
+    ( "domain.pool",
+      [
+        test "results in task order" pool_results_in_order;
+        test "exceptions captured per task" pool_captures_exceptions;
+        test "on_result streams in order" pool_streams_in_order;
+        test "chunked claims cover all tasks" pool_chunked_covers_all;
+      ] );
+    ( "domain.safety",
+      [
+        test "same seed in two domains is byte-identical" same_seed_two_domains;
+        test "sweep report invariant under jobs" sweep_jobs_invariant;
+        test "failure found on a worker domain intact" failing_outcome_from_worker_domain;
+      ] );
+  ]

@@ -223,6 +223,59 @@ let ycsb_profiles_run () =
         (Stats.Counter.get stats.Driver.ops > 20))
     [ Ycsb.A; Ycsb.B; Ycsb.C; Ycsb.D; Ycsb.E; Ycsb.F ]
 
+(* Property: zipf never leaves [0, n), for any n and any rng stream. *)
+let ycsb_zipf_bounds =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"zipf in [0, n)" ~count:500
+       QCheck.(pair (int_range 1 5000) small_nat)
+       (fun (n, seed) ->
+         let rng = Rng.create seed in
+         let ok = ref true in
+         for _ = 1 to 50 do
+           let k = Ycsb.zipf rng n in
+           if k < 0 || k >= n then ok := false
+         done;
+         !ok))
+
+(* Bounds regression: n = 1 must always yield key 0 (the recursion bottoms
+   out at span <= 1 and the min with n-1 clamps to 0), never -1 or 1. *)
+let ycsb_zipf_n1 () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 500 do
+    Alcotest.(check int) "n=1 draws 0" 0 (Ycsb.zipf rng 1)
+  done
+
+(* Hot-key mass decreases from the head of the key space to the tail: the
+   first octant carries the 40% hot mass, and every octant outweighs the
+   last (the trapezoid ramp-down of offset + uniform). Deterministic in the
+   fixed seed. *)
+let ycsb_zipf_mass_decreasing () =
+  let rng = Rng.create 17 in
+  let n = 4096 in
+  let oct = Array.make 8 0 in
+  for _ = 1 to 100_000 do
+    let k = Ycsb.zipf rng n in
+    oct.(k * 8 / n) <- oct.(k * 8 / n) + 1
+  done;
+  let pp = String.concat " " (Array.to_list (Array.map string_of_int oct)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "first octant dominates every other (%s)" pp)
+    true
+    (Array.for_all (fun c -> oct.(0) > 2 * c) (Array.sub oct 1 7));
+  Array.iteri
+    (fun i c ->
+      if i < 7 then
+        Alcotest.(check bool)
+          (Printf.sprintf "octant %d (%d) > tail octant (%d)" i c oct.(7))
+          true (c > oct.(7)))
+    oct;
+  let first_half = oct.(0) + oct.(1) + oct.(2) + oct.(3) in
+  let second_half = oct.(4) + oct.(5) + oct.(6) + oct.(7) in
+  Alcotest.(check bool)
+    (Printf.sprintf "first half %d > 2x second half %d" first_half second_half)
+    true
+    (first_half > 2 * second_half)
+
 let ycsb_zipf_skewed () =
   let rng = Rng.create 3 in
   let counts = Array.make 1000 0 in
@@ -276,6 +329,12 @@ let suites =
       ] );
     ("workloads.kv", [ test "kvlookup" kvlookup_works ]);
     ( "workloads.ycsb",
-      [ slow "all profiles run" ycsb_profiles_run; test "zipf skew" ycsb_zipf_skewed ] );
+      [
+        slow "all profiles run" ycsb_profiles_run;
+        test "zipf skew" ycsb_zipf_skewed;
+        ycsb_zipf_bounds;
+        test "zipf n=1 regression" ycsb_zipf_n1;
+        test "zipf mass decreasing" ycsb_zipf_mass_decreasing;
+      ] );
     ("workloads.baseline", [ test "single machine" baseline_single_machine ]);
   ]
