@@ -22,15 +22,36 @@ let spread = 8
 let cells_per_region = 32768
 let replication = 5
 
+(* Latency digest of one histogram, all in microseconds. *)
+type digest = {
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+  mean : float;
+}
+
+let digest_of (h : Stats.Hist.t) =
+  let pct p = float_of_int (Stats.Hist.percentile h p) /. 1e3 in
+  {
+    count = Stats.Hist.count h;
+    p50 = pct 50.;
+    p90 = pct 90.;
+    p99 = pct 99.;
+    p999 = pct 99.9;
+    max = float_of_int (Stats.Hist.max_value h) /. 1e3;
+    mean = Stats.Hist.mean h /. 1e3;
+  }
+
 type mode_result = {
   label : string;
   commits_per_us : float;
-  p50_us : float;
-  p99_us : float;
+  latency : digest;
   committed : int;
   failed : int;
-  phases : (string * (int * float * float * float)) list;
-      (* phase -> (count, p50 us, p99 us, mean us), committed tx only *)
+  phases : (string * digest) list;  (* committed tx only *)
 }
 
 let run_mode ~batching ~machines ~workers ~duration =
@@ -78,41 +99,35 @@ let run_mode ~batching ~machines ~workers ~duration =
   in
   let stats = Driver.run c ~workers ~warmup:(Time.ms 5) ~duration ~op in
   let phases =
-    List.map
-      (fun (name, h) ->
-        ( name,
-          ( Stats.Hist.count h,
-            float_of_int (Stats.Hist.percentile h 50.) /. 1e3,
-            float_of_int (Stats.Hist.percentile h 99.) /. 1e3,
-            Stats.Hist.mean h /. 1e3 ) ))
-      (Cluster.merged_phase_hists c)
+    List.map (fun (name, h) -> (name, digest_of h)) (Cluster.merged_phase_hists c)
   in
   {
     label = (if batching then "batched" else "unbatched");
     commits_per_us = Driver.throughput_per_us stats ~duration;
-    p50_us = float_of_int (Stats.Hist.percentile stats.Driver.latency 50.) /. 1e3;
-    p99_us = float_of_int (Stats.Hist.percentile stats.Driver.latency 99.) /. 1e3;
+    latency = digest_of stats.Driver.latency;
     committed = Stats.Counter.get stats.Driver.ops;
     failed = Stats.Counter.get stats.Driver.failures;
     phases;
   }
+
+let digest_fields d =
+  Printf.sprintf
+    "\"count\": %d, \"p50_us\": %.2f, \"p90_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": \
+     %.2f, \"max_us\": %.2f, \"mean_us\": %.2f"
+    d.count d.p50 d.p90 d.p99 d.p999 d.max d.mean
 
 let json_of ~machines ~workers ~duration batched unbatched =
   let mode m =
     let phase_fields =
       String.concat ", "
         (List.map
-           (fun (name, (count, p50, p99, mean)) ->
-             Printf.sprintf
-               "\"%s\": { \"count\": %d, \"p50_us\": %.2f, \"p99_us\": %.2f, \"mean_us\": \
-                %.2f }"
-               name count p50 p99 mean)
+           (fun (name, d) -> Printf.sprintf "\"%s\": { %s }" name (digest_fields d))
            m.phases)
     in
     Printf.sprintf
-      "    \"%s\": { \"commits_per_us\": %.4f, \"p50_us\": %.2f, \"p99_us\": %.2f, \
-       \"committed\": %d, \"failed\": %d, \"phases\": { %s } }"
-      m.label m.commits_per_us m.p50_us m.p99_us m.committed m.failed phase_fields
+      "    \"%s\": { \"commits_per_us\": %.4f, %s, \"committed\": %d, \"failed\": %d, \
+       \"phases\": { %s } }"
+      m.label m.commits_per_us (digest_fields m.latency) m.committed m.failed phase_fields
   in
   String.concat "\n"
     [
@@ -140,23 +155,25 @@ let run ?(machines = 12) ?(workers = 256) ?(duration = Time.ms 30) () =
      rings the NIC once instead of once per participant";
   let batched = run_mode ~batching:true ~machines ~workers ~duration in
   let unbatched = run_mode ~batching:false ~machines ~workers ~duration in
-  Fmt.pr "%-12s %14s %12s %12s %10s %10s@." "mode" "commits/us" "median(us)" "99th(us)"
-    "committed" "failed";
+  Fmt.pr "%-12s %14s %10s %10s %10s %10s %10s %10s@." "mode" "commits/us" "p50(us)"
+    "p90(us)" "p99(us)" "p999(us)" "max(us)" "committed";
   List.iter
     (fun m ->
-      Fmt.pr "%-12s %14.3f %12.1f %12.1f %10d %10d@." m.label m.commits_per_us m.p50_us
-        m.p99_us m.committed m.failed)
+      Fmt.pr "%-12s %14.3f %10.1f %10.1f %10.1f %10.1f %10.1f %10d@." m.label
+        m.commits_per_us m.latency.p50 m.latency.p90 m.latency.p99 m.latency.p999
+        m.latency.max m.committed)
     [ batched; unbatched ];
   Fmt.pr "@.speedup (batched/unbatched): %.2fx commits/us@."
     (batched.commits_per_us /. unbatched.commits_per_us);
   Fmt.pr "@.commit-latency phase breakdown (committed tx, merged over machines):@.";
-  Fmt.pr "%-12s %-16s %10s %10s %10s %10s@." "mode" "phase" "count" "p50(us)" "p99(us)"
-    "mean(us)";
+  Fmt.pr "%-12s %-16s %10s %10s %10s %10s %10s %10s %10s@." "mode" "phase" "count"
+    "p50(us)" "p90(us)" "p99(us)" "p999(us)" "max(us)" "mean(us)";
   List.iter
     (fun m ->
       List.iter
-        (fun (name, (count, p50, p99, mean)) ->
-          Fmt.pr "%-12s %-16s %10d %10.1f %10.1f %10.1f@." m.label name count p50 p99 mean)
+        (fun (name, d) ->
+          Fmt.pr "%-12s %-16s %10d %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f@." m.label
+            name d.count d.p50 d.p90 d.p99 d.p999 d.max d.mean)
         m.phases)
     [ batched; unbatched ];
   let json = json_of ~machines ~workers ~duration batched unbatched in

@@ -26,6 +26,10 @@ type spec = {
   seed : int;
   data_rec_limit : Time.t;  (* how long to wait for full data recovery *)
   quiet : bool;
+  json : string option;
+      (* write the sampled cluster timeline (1 ms commits/aborts/one-sided
+         ops/log occupancy/CPU series) plus the kill instant and the
+         recovery-to-90% analysis to this file *)
 }
 
 let default_spec =
@@ -43,6 +47,7 @@ let default_spec =
     seed = 42;
     data_rec_limit = Time.s 2;
     quiet = false;
+    json = None;
   }
 
 type outcome = {
@@ -53,6 +58,73 @@ type outcome = {
   stats : Driver.stats;
   cluster : Cluster.t;
 }
+
+(* {1 Timeline artifact}
+
+   The sampled cluster timeline around the failure, written as JSON for the
+   figure artifacts (BENCH_fig9_timeline.json etc). Everything is computed
+   from integers sampled at engine instants, so a given seed produces a
+   byte-identical file on every run and for any --jobs value. *)
+
+(* The cluster-wide "commits" series: per-interval sums across machines,
+   time-sorted. Timestamps are absolute sim ns, and every machine's sampler
+   ticks at the same instants, so summing per timestamp is exact. *)
+let merged_commits c =
+  let tbl = Hashtbl.create 512 in
+  Array.iter
+    (fun (st : State.t) ->
+      let tl = Farm_obs.Obs.timeline st.State.obs in
+      let idx = ref (-1) in
+      List.iteri
+        (fun i n -> if n = "commits" then idx := i)
+        (Farm_obs.Timeline.series_names tl);
+      if !idx >= 0 then
+        List.iter
+          (fun (t, vals) ->
+            let prev = match Hashtbl.find_opt tbl t with Some v -> v | None -> 0 in
+            Hashtbl.replace tbl t (prev + vals.(!idx)))
+          (Farm_obs.Timeline.rows tl))
+    c.Cluster.machines;
+  List.sort compare (Hashtbl.fold (fun t v acc -> (t, v) :: acc) tbl [])
+
+(* Mean pre-kill commit rate over the 20 ms before the kill, and the first
+   sampling interval after the kill that regains 90% of it. All-integer
+   arithmetic: [v >= 0.9 * pre_sum / pre_bins] as [v * 10 * pre_bins >=
+   pre_sum * 9]. *)
+let recovery_analysis rows ~kill_ns =
+  let pre = List.filter (fun (t, _) -> t <= kill_ns && t > kill_ns - 20_000_000) rows in
+  let pre_sum = List.fold_left (fun a (_, v) -> a + v) 0 pre in
+  let pre_bins = List.length pre in
+  let rec90 =
+    if pre_sum = 0 then None
+    else List.find_opt (fun (t, v) -> t > kill_ns && v * 10 * pre_bins >= pre_sum * 9) rows
+  in
+  (pre_sum, pre_bins, Option.map (fun (t, _) -> t - kill_ns) rec90)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_timeline_json file spec c ~kill_abs =
+  let rows = merged_commits c in
+  let kill_ns = Time.to_ns kill_abs in
+  let pre_sum, pre_bins, rec90 = recovery_analysis rows ~kill_ns in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\"bench\":\"failure_timeline\",\"label\":\"%s\",\"kill_ns\":%d,\"pre_failure_commits\":{\"window_bins\":%d,\"total\":%d},\"recovery_90_ns\":%s,\"timeline\":%s}\n"
+    (json_escape spec.label) kill_ns pre_bins pre_sum
+    (match rec90 with Some t -> string_of_int t | None -> "null")
+    (String.trim (Cluster.timeline_dump c));
+  close_out oc;
+  rec90
 
 let first_milestone c tag ~after =
   let rec find = function
@@ -77,6 +149,11 @@ let run spec : outcome =
         Tpcc.op t
   in
   let start = Cluster.now c in
+  (* the sampler's horizon caps its self-rescheduling, so a drained engine
+     still quiesces and the data-recovery wait loop below terminates *)
+  if spec.json <> None then
+    Cluster.start_sampling c
+      ~until:(Time.add (Time.add start spec.measure_for) spec.data_rec_limit);
   let kill_abs = Time.add start spec.kill_at in
   let victims = ref [] in
   Engine.schedule c.Cluster.engine ~at:kill_abs (fun () ->
@@ -172,4 +249,17 @@ let run spec : outcome =
       ~label:"throughput around the failure" ();
     Bench_util.print_latency "tx latency" stats.Driver.latency
   end;
+  (match spec.json with
+  | Some file ->
+      let rec90 = write_timeline_json file spec c ~kill_abs in
+      if not spec.quiet then begin
+        (match rec90 with
+        | Some dt ->
+            Fmt.pr "@.sampled timeline: commits/interval back to 90%% of pre-failure %a \
+                    after the kill@."
+              Time.pp (Time.ns dt)
+        | None -> Fmt.pr "@.sampled timeline: 90%% of pre-failure rate not regained@.");
+        Fmt.pr "wrote %s@." file
+      end
+  | None -> ());
   o

@@ -17,6 +17,7 @@ let fig9 () =
             paced data recovery takes far longer and does not dent throughput";
          workload = Failure_bench.Wl_tatp 2_000;
          victim = Failure_bench.Kill_primary_of_first_region;
+         json = Some "BENCH_fig9_timeline.json";
        })
 
 let fig10 () =
@@ -35,6 +36,7 @@ let fig10 () =
          workers = 4;
          measure_for = Time.ms 400;
          victim = Failure_bench.Kill_primary_of_first_region;
+         json = Some "BENCH_fig10_timeline.json";
        })
 
 let fig11 () =
@@ -49,6 +51,7 @@ let fig11 () =
          workload = Failure_bench.Wl_tatp 2_000;
          victim = Failure_bench.Kill_cm;
          measure_for = Time.ms 400;
+         json = Some "BENCH_fig11_timeline.json";
        })
 
 let fig13 () =
@@ -67,6 +70,7 @@ let fig13 () =
          victim = Failure_bench.Kill_domain 0;
          measure_for = Time.ms 400;
          data_rec_limit = Time.s 4;
+         json = Some "BENCH_fig13_timeline.json";
        })
 
 (* Figures 14/15: aggressive data recovery — bigger blocks, concurrent
@@ -91,6 +95,7 @@ let fig14 () =
       params = aggressive Failure_bench.default_spec.Failure_bench.params;
       workload = Failure_bench.Wl_tatp 2_000;
       measure_for = Time.ms 300;
+      json = Some "BENCH_fig14_timeline.json";
     }
   in
   let o = Failure_bench.run spec in
@@ -100,7 +105,7 @@ let fig14 () =
   (* contrast with the paced default *)
   let paced =
     Failure_bench.run
-      { spec with Failure_bench.label = ""; quiet = true;
+      { spec with Failure_bench.label = ""; quiet = true; json = None;
         params = Failure_bench.default_spec.Failure_bench.params }
   in
   match (o.Failure_bench.data_rec_done, paced.Failure_bench.data_rec_done) with
@@ -131,6 +136,7 @@ let fig15 () =
              { Tpcc.warehouses = 4; districts = 4; customers = 12; items = 60 };
          workers = 4;
          measure_for = Time.ms 400;
+         json = Some "BENCH_fig15_timeline.json";
        })
 
 (* Figure 12: distribution of TATP recovery times across seeds. *)

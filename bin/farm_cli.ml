@@ -21,6 +21,7 @@ type common = {
   kill_cm_ms : int option;
   power_cycle_ms : int option;  (* whole-cluster power failure *)
   stats : bool;  (* print per-machine counters and phase histograms *)
+  perfetto : string option;  (* write a causal trace of the run here *)
 }
 
 let common_term =
@@ -62,12 +63,34 @@ let common_term =
             "After the run, print the per-machine protocol counters and the merged \
              commit-phase / recovery-stage latency tables.")
   in
-  let mk machines seed workers duration_ms lease_ms kill_ms kill_cm_ms power_cycle_ms stats =
-    { machines; seed; workers; duration_ms; lease_ms; kill_ms; kill_cm_ms; power_cycle_ms; stats }
+  let perfetto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Capture a causal trace of the whole run and write it to $(docv) as Chrome \
+             trace-event JSON (open at ui.perfetto.dev). Tracing never perturbs the \
+             simulation.")
+  in
+  let mk machines seed workers duration_ms lease_ms kill_ms kill_cm_ms power_cycle_ms stats
+      perfetto =
+    {
+      machines;
+      seed;
+      workers;
+      duration_ms;
+      lease_ms;
+      kill_ms;
+      kill_cm_ms;
+      power_cycle_ms;
+      stats;
+      perfetto;
+    }
   in
   Term.(
     const mk $ machines $ seed $ workers $ duration_ms $ lease_ms $ kill_ms $ kill_cm_ms
-    $ power_cycle_ms $ stats)
+    $ power_cycle_ms $ stats $ perfetto)
 
 let params_of c =
   { Params.default with Params.lease_duration = Time.ms c.lease_ms }
@@ -122,6 +145,9 @@ let report cluster c (stats : Driver.stats) =
   end;
   if c.stats then begin
     Fmt.pr "@.%a" Cluster.pp_stats cluster;
+    Fmt.pr "@.abort breakdown: %a@."
+      Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
+      (Cluster.abort_breakdown cluster);
     Fmt.pr "@.nic traffic:@.";
     Array.iter
       (fun (st : State.t) ->
@@ -129,10 +155,18 @@ let report cluster c (stats : Driver.stats) =
         Fmt.pr "  m%-3d %8d ops %12d bytes@." st.State.id (Farm_net.Nic.ops nic)
           (Farm_net.Nic.bytes_total nic))
       cluster.Cluster.machines
-  end
+  end;
+  match c.perfetto with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Cluster.trace_dump cluster);
+      close_out oc;
+      Fmt.pr "@.perfetto trace written to %s (open at ui.perfetto.dev)@." file
 
 let run_workload c ~setup =
   let cluster = Cluster.create ~seed:c.seed ~params:(params_of c) ~machines:c.machines () in
+  if c.perfetto <> None then Cluster.set_tracing cluster true;
   let op = setup cluster in
   schedule_kills cluster c;
   let stats =
@@ -186,6 +220,7 @@ let bank_cmd =
   let accounts = Arg.(value & opt int 64 & info [ "accounts" ] ~doc:"Account count.") in
   let run c accounts =
     let cluster = Cluster.create ~seed:c.seed ~params:(params_of c) ~machines:c.machines () in
+    if c.perfetto <> None then Cluster.set_tracing cluster true;
     let region = Cluster.alloc_region_exn cluster in
     let cells =
       Cluster.run_on cluster ~machine:0 (fun st ->

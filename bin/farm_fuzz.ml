@@ -18,7 +18,7 @@ open Farm_sim
 open Farm_fault
 open Cmdliner
 
-let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching =
+let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching ~perfetto =
   {
     Explorer.machines;
     cells;
@@ -27,6 +27,7 @@ let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching =
     btree = not no_btree;
     batching = not no_batching;
     record = true;
+    perfetto;
   }
 
 let run_explore ~opts ~seed ~schedules ~jobs ~verbose =
@@ -47,19 +48,31 @@ let run_explore ~opts ~seed ~schedules ~jobs ~verbose =
     report.Explorer.failures;
   if report.Explorer.failures = [] then 0 else 1
 
-let run_replay ~opts ~seed ~trace_flag =
+let run_replay ~opts ~seed ~trace_flag ~perfetto_file =
   let o = Explorer.run_one ~opts seed in
   List.iter (Fmt.pr "%s@.") o.Explorer.trace;
   Fmt.pr "%a@." Explorer.pp_outcome { o with Explorer.trace = []; Explorer.recorder = [] };
-  if trace_flag && o.Explorer.recorder <> [] then begin
-    Fmt.pr "--- flight recorder (%d protocol events, merged across machines) ---@."
-      (List.length o.Explorer.recorder);
-    List.iter (Fmt.pr "%s@.") o.Explorer.recorder
+  if trace_flag then begin
+    Fmt.pr "--- abort breakdown ---@.%a@."
+      Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
+      o.Explorer.abort_causes;
+    if o.Explorer.recorder <> [] then begin
+      Fmt.pr "--- flight recorder (%d protocol events, merged across machines) ---@."
+        (List.length o.Explorer.recorder);
+      List.iter (Fmt.pr "%s@.") o.Explorer.recorder
+    end
   end;
+  (match (perfetto_file, o.Explorer.perfetto_json) with
+  | Some file, Some json ->
+      let oc = open_out file in
+      output_string oc json;
+      close_out oc;
+      Fmt.pr "perfetto trace written to %s (open at ui.perfetto.dev)@." file
+  | _ -> ());
   if Explorer.ok o then 0 else 1
 
 let main seed schedules replay machines cells workers duration_ms no_btree no_batching jobs
-    verbose trace_flag =
+    verbose trace_flag perfetto_file =
   if machines < 3 then begin
     Fmt.epr "farm_fuzz: --machines must be at least 3 (every region needs f+1 = 3 replicas)@.";
     2
@@ -73,10 +86,18 @@ let main seed schedules replay machines cells workers duration_ms no_btree no_ba
     2
   end
   else begin
-    let opts = opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching in
+    let opts =
+      opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching
+        ~perfetto:(perfetto_file <> None)
+    in
     match replay with
-    | Some s -> run_replay ~opts ~seed:s ~trace_flag
-    | None -> run_explore ~opts ~seed ~schedules ~jobs ~verbose
+    | Some s -> run_replay ~opts ~seed:s ~trace_flag ~perfetto_file
+    | None ->
+        if perfetto_file <> None then begin
+          Fmt.epr "farm_fuzz: --perfetto requires --replay (one schedule, one trace)@.";
+          2
+        end
+        else run_explore ~opts ~seed ~schedules ~jobs ~verbose
   end
 
 let cmd =
@@ -120,12 +141,22 @@ let cmd =
       & info [ "trace" ]
           ~doc:
             "With --replay: also dump the flight recorder (the last protocol events each \
-             machine observed), even when the run passes.")
+             machine observed) and the abort-cause breakdown, even when the run passes.")
+  in
+  let perfetto_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "With --replay: capture a causal trace of the schedule and write it to $(docv) \
+             as Chrome trace-event JSON (open at ui.perfetto.dev). Tracing never perturbs \
+             the replay: the schedule's history is byte-identical with or without it.")
   in
   let term =
     Term.(
       const main $ seed $ schedules $ replay $ machines $ cells $ workers $ duration_ms
-      $ no_btree $ no_batching $ jobs $ verbose $ trace_flag)
+      $ no_btree $ no_batching $ jobs $ verbose $ trace_flag $ perfetto_file)
   in
   Cmd.v (Cmd.info "farm_fuzz" ~doc:"Deterministic fault-schedule fuzzer for the FaRM simulation") term
 

@@ -451,6 +451,77 @@ let flight_dump t =
       Printf.sprintf "[%12.3fus] m%d %s" (float_of_int at /. 1_000.) m line)
     lines
 
+(* {2 Causal tracing and timeline sampling} *)
+
+let set_tracing t on =
+  Array.iter
+    (fun st -> Farm_obs.Tracer.set_enabled (Farm_obs.Obs.tracer st.State.obs) on)
+    t.machines
+
+(* All machines' span buffers merged into one Chrome trace-event JSON
+   document. Tracers live in the obs sinks, which survive restarts, so the
+   dump covers the whole run including pre-crash spans. *)
+let trace_dump t =
+  Farm_obs.Tracer.export_json
+    (Array.to_list
+       (Array.map (fun st -> Farm_obs.Obs.tracer st.State.obs) t.machines))
+
+(* Register the standard gauge set on a machine's sampler and start it.
+   Gauges read through [t.machines.(i)] — not a captured [State.t] — so a
+   machine restarted mid-run keeps feeding its (surviving) sampler from the
+   fresh state; cumulative deltas clamp at 0 across the counter reset. *)
+let start_sampling ?(interval = Time.ms 1) t ~until =
+  let iv = Time.to_ns interval in
+  Array.iteri
+    (fun i st ->
+      let tl = Farm_obs.Obs.timeline st.State.obs in
+      if not (Farm_obs.Timeline.running tl) then begin
+        if Farm_obs.Timeline.series_names tl = [] then begin
+          let live () = t.machines.(i) in
+          Farm_obs.Timeline.add_series tl ~name:"commits" ~kind:Farm_obs.Timeline.Cumulative
+            (fun () -> Stats.Counter.get (live ()).State.metrics.committed);
+          Farm_obs.Timeline.add_series tl ~name:"aborts" ~kind:Farm_obs.Timeline.Cumulative
+            (fun () -> Stats.Counter.get (live ()).State.metrics.aborted);
+          Farm_obs.Timeline.add_series tl ~name:"one_sided_ops"
+            ~kind:Farm_obs.Timeline.Cumulative (fun () ->
+              let obs = (live ()).State.obs in
+              Farm_obs.Obs.counter obs Farm_obs.Obs.C_rdma_read
+              + Farm_obs.Obs.counter obs Farm_obs.Obs.C_rdma_write);
+          Farm_obs.Timeline.add_series tl ~name:"log_ring_bytes"
+            ~kind:Farm_obs.Timeline.Level (fun () ->
+              Hashtbl.fold
+                (fun _ log acc -> acc + Ringlog.used log)
+                (live ()).State.nv.logs_in 0);
+          Farm_obs.Timeline.add_series tl ~name:"cpu_busy_ns"
+            ~kind:Farm_obs.Timeline.Cumulative (fun () ->
+              Time.to_ns (Cpu.busy_total (live ()).State.cpu))
+        end;
+        Farm_obs.Timeline.start tl ~interval:iv ~until:(Time.to_ns until)
+      end)
+    t.machines
+
+let timeline_dump t =
+  Farm_obs.Timeline.export_json
+    (Array.to_list
+       (Array.map (fun st -> Farm_obs.Obs.timeline st.State.obs) t.machines))
+
+(* The abort-cause breakdown: merged cause counters plus the residue of
+   total aborts no cause accounts for. *)
+let abort_breakdown t =
+  let merged c =
+    Array.fold_left (fun acc st -> acc + Farm_obs.Obs.counter st.State.obs c) 0 t.machines
+  in
+  let total = merged Farm_obs.Obs.C_tx_abort in
+  let lock = merged Farm_obs.Obs.C_abort_lock_refused in
+  let validate = merged Farm_obs.Obs.C_abort_validate_failed in
+  let timeout = merged Farm_obs.Obs.C_abort_timeout in
+  [
+    ("lock-refused", lock);
+    ("validate-failed", validate);
+    ("timeout", timeout);
+    ("other", max 0 (total - lock - validate - timeout));
+  ]
+
 let pp_stats ppf t =
   Array.iter
     (fun st -> Fmt.pf ppf "m%d: %a@." st.State.id Farm_obs.Obs.pp_counters st.State.obs)

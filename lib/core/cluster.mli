@@ -139,5 +139,32 @@ val flight_dump : t -> string list
     rendered dump ([[%time] m<id> <event>] lines); empty when recording
     was never enabled. *)
 
+val set_tracing : t -> bool -> unit
+(** Enable/disable causal tracing ({!Farm_obs.Tracer}) on every machine.
+    Like recording, tracing never perturbs the simulation: histories under
+    seed replay are byte-identical with tracing on or off. *)
+
+val trace_dump : t -> string
+(** Every machine's span buffer merged into one Chrome trace-event JSON
+    document (openable at ui.perfetto.dev): machines as processes, protocol
+    roles as threads, cross-machine flow arrows for log records and RPCs.
+    Byte-deterministic for a given seed. *)
+
+val start_sampling : ?interval:Time.t -> t -> until:Time.t -> unit
+(** Start the timeline sampler on every machine with the standard gauge
+    set — commits, aborts, one_sided_ops (cumulative deltas per interval),
+    log_ring_bytes (level), cpu_busy_ns (cumulative) — sampling every
+    [interval] (default 1 ms sim time) until the [until] horizon, after
+    which the samplers stop and the engine can drain. Idempotent per
+    machine while running. *)
+
+val timeline_dump : t -> string
+(** The sampled series of every machine merged (summed per timestamp bin)
+    into one JSON document. Byte-deterministic for a given seed. *)
+
+val abort_breakdown : t -> (string * int) list
+(** Cluster-wide abort causes: [lock-refused], [validate-failed],
+    [timeout], and the residue [other], summing to total aborts. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** Per-machine counters plus the merged phase/stage tables. *)

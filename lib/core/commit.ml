@@ -97,8 +97,13 @@ let validate st ~txid (reads : (Addr.t * int) list) =
     let rpc_jobs =
       List.map
         (fun (p, items) () ->
+          let flow =
+            Farm_obs.Tracer.flow_id ~machine:txid.Txid.machine
+              ~thread:txid.Txid.thread ~local:txid.Txid.local ~tag:6 ~dst:p
+          in
           match
-            Comms.call st ~dst:p ~timeout:(Time.ms 20) (Wire.Validate_req { txid; items })
+            Comms.call st ~dst:p ~timeout:(Time.ms 20) ~flow
+              (Wire.Validate_req { txid; items })
           with
           | Ok (Wire.Validate_reply { ok = reply_ok; _ }) -> if not reply_ok then ok := false
           | Ok _ | Error _ -> ok := false)
@@ -160,6 +165,10 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
   if tx.Txn.finished then invalid_arg "Commit.commit: transaction already finished";
   tx.Txn.finished <- true;
   let commit_start = State.now st in
+  (* protocol-level abort cause, set where the abort decision is made
+     (lock refusal / validation failure); unset means finish derives it
+     from the reason (Failed -> timeout) *)
+  let abort_cause = ref None in
   let finish result =
     (match result with
     | Ok () ->
@@ -169,7 +178,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
         Farm_obs.Obs.Span.finish tx.Txn.span ~committed:true
     | Error e ->
         Farm_obs.Obs.Span.finish tx.Txn.span ~committed:false;
-        State.record_abort ~reason:(Txn.reason_index e) st);
+        State.record_abort ~reason:(Txn.reason_index e) ?cause:!abort_cause st);
     result
   in
   let reads_only =
@@ -185,14 +194,19 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
     if List.length reads_only <= 1 then finish (Ok ())
     else begin
       let txid = State.fresh_txid st ~thread:tx.Txn.thread in
+      Farm_obs.Obs.Span.set_tx tx.Txn.span ~txm:txid.Txid.machine
+        ~txt:txid.Txid.thread ~txl:txid.Txid.local;
       Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_validate;
       let ok = validate st ~txid reads_only in
       State.forget_outstanding st txid;
+      if not ok then abort_cause := Some State.Cause_validate;
       finish (if ok then Ok () else Error Txn.Conflict)
     end
   end
   else begin
     let txid = State.fresh_txid st ~thread:tx.Txn.thread in
+    Farm_obs.Obs.Span.set_tx tx.Txn.span ~txm:txid.Txid.machine ~txt:txid.Txid.thread
+      ~txl:txid.Txid.local;
     let items =
       Addr.Map.bindings tx.Txn.writes
       |> List.map (fun (addr, (w : Txn.write_entry)) ->
@@ -319,7 +333,8 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       in
       (* Abort: write ABORT records to the primaries, which release the
          locks and locally truncate the transaction. *)
-      let abort_tx reason =
+      let abort_tx ~cause reason =
+        abort_cause := Some cause;
         ignore (append_group primary_list (fun _ _ -> Wire.Abort txid));
         State.forget_outstanding st txid;
         Txn.return_allocations tx;
@@ -339,7 +354,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       match race_outcome lt lw.State.lw_done with
       | Recovered o -> recovered_result o
       | Normal () ->
-          if not lw.State.lw_ok then abort_tx Txn.Conflict
+          if not lw.State.lw_ok then abort_tx ~cause:State.Cause_lock Txn.Conflict
           else begin
             State.phase st State.After_lock txid;
             Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_validate;
@@ -347,7 +362,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                groups below tr, one RPC per group above it. *)
             let validated = reads_only = [] || validate st ~txid reads_only in
             if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
-            else if not validated then abort_tx Txn.Conflict
+            else if not validated then abort_tx ~cause:State.Cause_validate Txn.Conflict
             else begin
               State.phase st State.After_validate txid;
               Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_commit_backup;
@@ -410,7 +425,16 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                             State.phase st State.After_truncate txid;
                             Farm_obs.Obs.record_phase st.State.obs
                               Farm_obs.Obs.P_truncate
-                              (Time.to_ns (Time.sub (State.now st) report_at)));
+                              (Time.to_ns (Time.sub (State.now st) report_at));
+                            (* the span has already finished; its TRUNCATE
+                               slice is emitted here, like its histogram
+                               segment *)
+                            Farm_obs.Tracer.slice_tx
+                              (Farm_obs.Obs.tracer st.State.obs)
+                              ~tid:tx.Txn.thread ~step:Farm_obs.Tracer.T_truncate
+                              ~start:(Time.to_ns report_at) ~arg:0
+                              ~txm:txid.Txid.machine ~txt:txid.Txid.thread
+                              ~txl:txid.Txid.local);
                     finish (Ok ())
               end
             end

@@ -5,14 +5,14 @@ open Farm_net
 
 let member st dst = Config.is_member st.State.config dst
 
-let send ?(prio = false) ?transport ?cpu_cost st ~dst msg =
+let send ?(prio = false) ?transport ?cpu_cost ?flow st ~dst msg =
   if member st dst || dst = st.State.id then
-    Fabric.send ~prio ?transport ?cpu_cost st.State.fabric ~src:st.State.id ~dst
+    Fabric.send ~prio ?transport ?cpu_cost ?flow st.State.fabric ~src:st.State.id ~dst
       ~bytes:(Wire.message_bytes msg) msg
 
-let call ?(prio = false) ?timeout st ~dst msg : (Wire.message, Fabric.error) result =
+let call ?(prio = false) ?timeout ?flow st ~dst msg : (Wire.message, Fabric.error) result =
   if member st dst || dst = st.State.id then
-    Fabric.call ~prio ?timeout st.State.fabric ~src:st.State.id ~dst
+    Fabric.call ~prio ?timeout ?flow st.State.fabric ~src:st.State.id ~dst
       ~bytes:(Wire.message_bytes msg) msg
   else Error `Unreachable
 

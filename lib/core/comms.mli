@@ -8,13 +8,16 @@ val send :
   ?prio:bool ->
   ?transport:[ `Rc | `Ud ] ->
   ?cpu_cost:Time.t ->
+  ?flow:int ->
   State.t ->
   dst:int ->
   Wire.message ->
   unit
+(** [flow] is the message's trace-context correlation id (see
+    {!Fabric.send}); in-memory only, never on the wire. *)
 
 val call :
-  ?prio:bool -> ?timeout:Time.t -> State.t -> dst:int -> Wire.message ->
+  ?prio:bool -> ?timeout:Time.t -> ?flow:int -> State.t -> dst:int -> Wire.message ->
   (Wire.message, Fabric.error) result
 
 val reply_to : (bytes:int -> Wire.message -> unit) -> Wire.message -> unit

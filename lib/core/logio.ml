@@ -15,6 +15,20 @@ let trunc_allowance = 24
 let base_bytes payload =
   Wire.record_bytes { Wire.payload; truncations = []; low_bound = 0; cfg = 0 }
 
+(* Trace slice for one acked log write, on the issuing worker's track,
+   carrying the outgoing flow that its remote processing will close. *)
+let trace_append st ~thread ~dst ~t0 payload =
+  let tracer = Farm_obs.Obs.tracer st.State.obs in
+  if Farm_obs.Tracer.enabled tracer then
+    match Wire.payload_txid payload with
+    | None ->
+        Farm_obs.Tracer.slice tracer ~tid:thread ~step:Farm_obs.Tracer.T_log_append
+          ~start:t0 ~arg:dst
+    | Some (id : Txid.t) ->
+        Farm_obs.Tracer.slice_flow tracer ~tid:thread ~step:Farm_obs.Tracer.T_log_append
+          ~start:t0 ~arg:dst ~txm:id.Txid.machine ~txt:id.Txid.thread
+          ~txl:id.Txid.local ~flow_in:0 ~flow_out:(Wire.record_flow payload ~dst)
+
 (* Append a record, draining this machine's pending truncations for [dst]
    into its piggyback fields. Consumes reservation for the full record and
    releases the slack of each piggybacked truncation allowance. *)
@@ -32,6 +46,7 @@ let append st ~dst ~thread payload : (int, Farm_net.Fabric.error) result =
   let size = Wire.record_bytes record in
   Ringlog.consume_reservation log size;
   Ringlog.unreserve log (8 * List.length truncations);
+  let t0 = Time.to_ns (Engine.now st.State.engine) in
   match
     Farm_net.Fabric.one_sided_write st.State.fabric ~src:st.State.id ~dst ~bytes:size (fun () ->
         Ringlog.dma_append log record ~size)
@@ -40,6 +55,7 @@ let append st ~dst ~thread payload : (int, Farm_net.Fabric.error) result =
       Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_append;
       Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_log_append ~a:dst ~b:size
         ~c:(Ringlog.used log);
+      trace_append st ~thread ~dst ~t0 payload;
       (* The caller's own share of the consumed space: piggybacked
          truncation entries are paid for by the truncated transactions'
          allowances. *)
@@ -84,9 +100,20 @@ let append_batch ?on_complete st ~thread (descs : (int * Wire.record) list) :
            (dst, record, log, size))
          descs)
   in
+  let t0 = Time.to_ns (Engine.now st.State.engine) in
+  (* Per-op trace slices are emitted from the completion hook so each one
+     ends at its own hardware-ack instant, not at the batch-wide reap. *)
+  let on_complete i r =
+    (match r with
+    | Ok () ->
+        let dst, record, _, _ = prepared.(i) in
+        trace_append st ~thread ~dst ~t0 record.Wire.payload
+    | Error _ -> ());
+    match on_complete with Some f -> f i r | None -> ()
+  in
   let results =
     if st.State.params.Params.doorbell_batching then
-      Farm_net.Fabric.one_sided_write_batch ?on_complete st.State.fabric ~src:st.State.id
+      Farm_net.Fabric.one_sided_write_batch ~on_complete st.State.fabric ~src:st.State.id
         (Array.to_list
            (Array.map
               (fun (dst, record, log, size) ->
@@ -103,7 +130,7 @@ let append_batch ?on_complete st ~thread (descs : (int * Wire.record) list) :
                     ~bytes:size (fun () -> Ringlog.dma_append log record ~size)
                 in
                 results.(i) <- r;
-                match on_complete with Some f -> f i r | None -> ())
+                on_complete i r)
               prepared));
       results
     end

@@ -139,6 +139,7 @@ let process_lock st log ~sender (e : Ringlog.entry) (p : Wire.lock_payload) =
     List.iter State.await_active reps;
     st.State.inflight_blocked <- st.State.inflight_blocked - 1
   end;
+  let t_lock = Time.to_ns (Engine.now st.State.engine) in
   Cpu.exec st.State.cpu ~cost:(items_cost st.State.params.Params.cpu_lock_per_obj p.Wire.writes);
   (* attempt to lock every object at its expected version *)
   let rec lock_all acquired = function
@@ -163,7 +164,20 @@ let process_lock st log ~sender (e : Ringlog.entry) (p : Wire.lock_payload) =
     if not ok then List.iter (fun (rep, w) -> Objmem.unlock rep w) acquired
     else Txid.Tbl.replace st.State.locks_held p.Wire.txid p.Wire.writes;
     Ringlog.retain log e;
-    Comms.send st ~dst:sender
+    let id = p.Wire.txid in
+    Farm_obs.Tracer.slice_tx
+      (Farm_obs.Obs.tracer st.State.obs)
+      ~tid:(Farm_obs.Tracer.tid_log ~sender)
+      ~step:(if ok then Farm_obs.Tracer.T_lock_grant else Farm_obs.Tracer.T_lock_refuse)
+      ~start:t_lock ~arg:(List.length p.Wire.writes) ~txm:id.Txid.machine
+      ~txt:id.Txid.thread ~txl:id.Txid.local;
+    (* tag 5 = lock-reply; distinct from record tags 0-4 so the reply's
+       flow id never collides with the LOCK record's *)
+    let flow =
+      Farm_obs.Tracer.flow_id ~machine:id.Txid.machine ~thread:id.Txid.thread
+        ~local:id.Txid.local ~tag:5 ~dst:sender
+    in
+    Comms.send st ~flow ~dst:sender
       (Wire.Lock_reply { txid = p.Wire.txid; ok; cfg = record.Wire.cfg })
   end
 
@@ -214,16 +228,30 @@ let process_abort st log (e : Ringlog.entry) txid =
 
 (* Entry point: called (as a fresh process under the machine's context) for
    every entry DMA'd into one of this machine's logs. *)
-let payload_tag = function
-  | Wire.Lock _ -> 0
-  | Wire.Commit_backup _ -> 1
-  | Wire.Commit_primary _ -> 2
-  | Wire.Abort _ -> 3
-  | Wire.Truncate_marker -> 4
+let payload_tag = Wire.payload_tag
+
+(* Trace slice covering this record's whole processing on the "log from
+   m<sender>" track, closing the flow its append opened. *)
+let trace_process st ~sender ~t0 payload =
+  let tracer = Farm_obs.Obs.tracer st.State.obs in
+  if Farm_obs.Tracer.enabled tracer then
+    let tid = Farm_obs.Tracer.tid_log ~sender in
+    let tag = Wire.payload_tag payload in
+    match Wire.payload_txid payload with
+    | None ->
+        Farm_obs.Tracer.slice tracer ~tid ~step:Farm_obs.Tracer.T_log_process ~start:t0
+          ~arg:tag
+    | Some (id : Txid.t) ->
+        Farm_obs.Tracer.slice_flow tracer ~tid ~step:Farm_obs.Tracer.T_log_process
+          ~start:t0 ~arg:tag ~txm:id.Txid.machine ~txt:id.Txid.thread
+          ~txl:id.Txid.local
+          ~flow_in:(Wire.record_flow payload ~dst:st.State.id)
+          ~flow_out:0
 
 let process_entry st log (e : Ringlog.entry) =
   let record = e.Ringlog.record in
   let sender = Ringlog.sender log in
+  let t0 = Time.to_ns (Engine.now st.State.engine) in
   Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_log_poll;
   Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_log_record;
   Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_log_record ~a:sender
@@ -254,7 +282,8 @@ let process_entry st log (e : Ringlog.entry) =
         | Abort txid -> process_abort st log e txid
         | Truncate_marker -> Ringlog.discard log st.State.engine e
       end;
-      retry_deferred_truncation st log txid)
+      retry_deferred_truncation st log txid);
+  trace_process st ~sender ~t0 record.Wire.payload
 
 (* Install the processing trigger on an incoming log. *)
 let attach st log =

@@ -436,10 +436,36 @@ let record_commit st ~latency =
   Farm_obs.Obs.event st.obs Farm_obs.Obs.K_tx_commit ~a:0 ~b:0
     ~c:(Time.to_ns latency)
 
-let record_abort ?(reason = 0) st =
+type abort_cause = Cause_lock | Cause_validate | Cause_timeout | Cause_other
+
+let abort_cause_index = function
+  | Cause_lock -> 0
+  | Cause_validate -> 1
+  | Cause_timeout -> 2
+  | Cause_other -> 3
+
+let abort_cause_name = function
+  | Cause_lock -> "lock-refused"
+  | Cause_validate -> "validate-failed"
+  | Cause_timeout -> "timeout"
+  | Cause_other -> "other"
+
+let record_abort ?(reason = 0) ?cause st =
   Stats.Counter.incr st.metrics.aborted;
   Farm_obs.Obs.incr st.obs Farm_obs.Obs.C_tx_abort;
-  Farm_obs.Obs.event st.obs Farm_obs.Obs.K_tx_abort ~a:reason ~b:0 ~c:0
+  let cause =
+    match cause with
+    | Some c -> c
+    (* reason tag 3 is Txn.Failed — participant death / NIC give-up *)
+    | None -> if reason = 3 then Cause_timeout else Cause_other
+  in
+  (match cause with
+  | Cause_lock -> Farm_obs.Obs.incr st.obs Farm_obs.Obs.C_abort_lock_refused
+  | Cause_validate -> Farm_obs.Obs.incr st.obs Farm_obs.Obs.C_abort_validate_failed
+  | Cause_timeout -> Farm_obs.Obs.incr st.obs Farm_obs.Obs.C_abort_timeout
+  | Cause_other -> ());
+  Farm_obs.Obs.event st.obs Farm_obs.Obs.K_tx_abort ~a:reason
+    ~b:(abort_cause_index cause) ~c:0
 
 let commit_phase_index = function
   | Before_lock -> 0

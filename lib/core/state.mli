@@ -237,9 +237,20 @@ val take_truncations : t -> dst:int -> Txid.t list
 
 val record_commit : t -> latency:Time.t -> unit
 
-val record_abort : ?reason:int -> t -> unit
+(** Why an abort happened, at the protocol level: a refused LOCK record, a
+    failed VALIDATE read, a timeout (participant death / NIC give-up), or
+    anything else (application aborts, allocation failures). Feeds the
+    [C_abort_*] breakdown counters. *)
+type abort_cause = Cause_lock | Cause_validate | Cause_timeout | Cause_other
+
+val abort_cause_index : abort_cause -> int
+val abort_cause_name : abort_cause -> string
+
+val record_abort : ?reason:int -> ?cause:abort_cause -> t -> unit
 (** [reason] is the {!Txn.abort_reason} tag carried on the flight-recorder
-    event. *)
+    event; [cause] the protocol-level breakdown bucket (derived from
+    [reason] when omitted: [Failed] maps to [Cause_timeout], everything
+    else to [Cause_other]). *)
 
 val commit_phase_index : commit_phase -> int
 val phase : t -> commit_phase -> Txid.t -> unit

@@ -60,7 +60,7 @@ let begin_tx st ~thread =
     st;
     thread;
     t_started = State.now st;
-    span = Farm_obs.Obs.Span.start st.State.obs;
+    span = Farm_obs.Obs.Span.start ~tid:thread st.State.obs;
     reads = Addr.Map.empty;
     writes = Addr.Map.empty;
     allocated = [];

@@ -163,6 +163,32 @@ let lock_payload_bytes p =
   16 + (4 * List.length p.regions_written)
   + List.fold_left (fun acc w -> acc + write_item_bytes w) 0 p.writes
 
+(* Trace support: a payload's record tag — the wire identity used by the
+   flight recorder and by {!Farm_obs.Tracer.flow_id} — and the transaction
+   id it carries. A record's sender and its remote processor derive the
+   same flow id from these, so the causal arrows need no extra wire
+   fields. *)
+let payload_tag = function
+  | Lock _ -> 0
+  | Commit_backup _ -> 1
+  | Commit_primary _ -> 2
+  | Abort _ -> 3
+  | Truncate_marker -> 4
+
+let payload_txid = function
+  | Lock p | Commit_backup p -> Some p.txid
+  | Commit_primary id | Abort id -> Some id
+  | Truncate_marker -> None
+
+(* The flow id linking one record's append at [Txid.machine] to its
+   processing at [dst]; 0 (= no flow) for marker records. *)
+let record_flow payload ~dst =
+  match payload_txid payload with
+  | None -> 0
+  | Some (id : Txid.t) ->
+      Farm_obs.Tracer.flow_id ~machine:id.Txid.machine ~thread:id.Txid.thread
+        ~local:id.Txid.local ~tag:(payload_tag payload) ~dst
+
 let record_bytes r =
   let base =
     match r.payload with

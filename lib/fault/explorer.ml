@@ -24,6 +24,7 @@ type opts = {
   btree : bool;
   batching : bool;  (** doorbell-batched commit pipeline (the default) *)
   record : bool;  (** capture flight-recorder events (the default) *)
+  perfetto : bool;  (** also capture a causal trace (off by default) *)
 }
 
 let default_opts =
@@ -35,6 +36,7 @@ let default_opts =
     btree = true;
     batching = true;
     record = true;
+    perfetto = false;
   }
 
 type outcome = {
@@ -43,6 +45,8 @@ type outcome = {
   violations : string list;  (** empty = the run passed every check *)
   trace : string list;  (** merged fault / milestone event trace *)
   recorder : string list;  (** flight-recorder dump (when recording) *)
+  perfetto_json : string option;  (** rendered causal trace (when [perfetto]) *)
+  abort_causes : (string * int) list;  (** cluster-wide abort breakdown *)
 }
 
 let ok o = o.violations = []
@@ -128,6 +132,7 @@ let run_one ?(opts = default_opts) ?probe seed =
   let params = { params with Params.doorbell_batching = opts.batching } in
   let c = Cluster.create ~seed ~params ~machines:opts.machines () in
   Cluster.set_recording c opts.record;
+  Cluster.set_tracing c opts.perfetto;
   Engine.set_tracer c.Cluster.engine (Some (fun ~at msg -> trace := (at, msg) :: !trace));
   (* setup: bank cells in one region, optionally a B-tree in another *)
   let r = Cluster.alloc_region_exn c in
@@ -233,6 +238,10 @@ let run_one ?(opts = default_opts) ?probe seed =
     violations = List.rev !violations;
     trace = lines;
     recorder = (if opts.record then Cluster.flight_dump c else []);
+    (* rendered inside run_one so [sweep ~jobs] merges finished strings and
+       the artifact stays byte-identical for any job count *)
+    perfetto_json = (if opts.perfetto then Some (Cluster.trace_dump c) else None);
+    abort_causes = Cluster.abort_breakdown c;
   }
 
 let pp_outcome ppf o =

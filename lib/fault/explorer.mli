@@ -18,6 +18,10 @@ type opts = {
   record : bool;
       (** capture flight-recorder events (the default). Recording never
           perturbs the schedule: outcomes are identical either way. *)
+  perfetto : bool;
+      (** also capture a causal trace ({!Farm_core.Cluster.trace_dump}),
+          rendered into [perfetto_json]. Off by default (span buffers cost
+          memory per machine); tracing never perturbs the schedule. *)
 }
 
 val default_opts : opts
@@ -30,6 +34,12 @@ type outcome = {
   recorder : string list;
       (** time-sorted flight-recorder dump: the last protocol events each
           machine observed (empty when [record] was off) *)
+  perfetto_json : string option;
+      (** the run's merged Chrome trace-event JSON ([None] when [perfetto]
+          was off); byte-identical across replays of the same seed *)
+  abort_causes : (string * int) list;
+      (** cluster-wide abort breakdown ({!Farm_core.Cluster.abort_breakdown}):
+          lock-refused / validate-failed / timeout / other *)
 }
 
 val ok : outcome -> bool

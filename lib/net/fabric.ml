@@ -330,7 +330,7 @@ let one_sided_write_batch ?on_complete t ~src (descs : (int * int * (unit -> uni
   in
   reap t ms (Array.of_list (List.map Ivar.read flights))
 
-let deliver t ~src ~dst ~prio ~bytes msg ~reply =
+let deliver t ~src ~dst ~prio ~bytes ~flow msg ~reply =
   let route at =
     Engine.schedule t.engine ~at (fun () ->
         if reachable t src dst then begin
@@ -339,7 +339,14 @@ let deliver t ~src ~dst ~prio ~bytes msg ~reply =
             if prio then Nic.occupy_priority md.nic ~bytes else Nic.occupy md.nic ~bytes
           in
           Engine.schedule t.engine ~at:t_dst (fun () ->
-              if md.alive then md.on_message ~src ~reply msg)
+              if md.alive then begin
+                if flow <> 0 then
+                  Farm_obs.Tracer.instant
+                    (Farm_obs.Obs.tracer md.obs)
+                    ~tid:Farm_obs.Tracer.tid_net ~mark:Farm_obs.Tracer.M_msg_recv
+                    ~arg:flow;
+                md.on_message ~src ~reply msg
+              end)
         end)
   in
   route
@@ -349,7 +356,7 @@ let deliver t ~src ~dst ~prio ~bytes msg ~reply =
    work. Most messaging rides RDMA writes over reliable-connected QPs
    ([`Rc], the default); only the lease protocol uses unreliable datagrams
    ([`Ud]) and can actually lose packets (§3). *)
-let send ?(prio = false) ?(transport = `Rc) ?cpu_cost t ~src ~dst ~bytes msg =
+let send ?(prio = false) ?(transport = `Rc) ?cpu_cost ?(flow = 0) t ~src ~dst ~bytes msg =
   let ms = get t src in
   (match transport with
   | `Ud ->
@@ -358,6 +365,9 @@ let send ?(prio = false) ?(transport = `Rc) ?cpu_cost t ~src ~dst ~bytes msg =
   | `Rc ->
       Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rpc_send;
       Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_send ~a:dst ~b:bytes ~c:0);
+  if flow <> 0 then
+    Farm_obs.Tracer.instant (Farm_obs.Obs.tracer ms.obs) ~tid:Farm_obs.Tracer.tid_net
+      ~mark:Farm_obs.Tracer.M_msg_send ~arg:flow;
   let cost = match cpu_cost with Some c -> c | None -> t.params.Params.cpu_rpc_send in
   if Time.( > ) cost Time.zero then Cpu.exec ms.cpu ~cost;
   match
@@ -371,15 +381,18 @@ let send ?(prio = false) ?(transport = `Rc) ?cpu_cost t ~src ~dst ~bytes msg =
         if prio then Nic.occupy_priority ms.nic ~bytes else Nic.occupy ms.nic ~bytes
       in
       let no_reply ~bytes:_ _ = () in
-      (deliver t ~src ~dst ~prio ~bytes msg ~reply:no_reply)
+      (deliver t ~src ~dst ~prio ~bytes ~flow msg ~reply:no_reply)
         (Time.add t_tx (Time.add (latency t) d))
 
 (* Blocking request/response. The receiver handler is given a [reply]
    closure; calling it routes the response back and wakes the caller. *)
-let call ?(prio = false) ?timeout t ~src ~dst ~bytes msg : ('msg, error) result =
+let call ?(prio = false) ?timeout ?(flow = 0) t ~src ~dst ~bytes msg : ('msg, error) result =
   let ms = get t src in
   Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rpc_call;
   Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_call ~a:dst ~b:bytes ~c:0;
+  if flow <> 0 then
+    Farm_obs.Tracer.instant (Farm_obs.Obs.tracer ms.obs) ~tid:Farm_obs.Tracer.tid_net
+      ~mark:Farm_obs.Tracer.M_msg_send ~arg:flow;
   Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rpc_send;
   let iv = Ivar.create () in
   let reply ~bytes:resp_bytes resp =
@@ -404,7 +417,8 @@ let call ?(prio = false) ?timeout t ~src ~dst ~bytes msg : ('msg, error) result 
   if not (reachable t src dst) then fail_later t iv
   else begin
     let d = sample_link_rc t ~src ~dst in
-    (deliver t ~src ~dst ~prio ~bytes msg ~reply) (Time.add t_tx (Time.add (latency t) d))
+    (deliver t ~src ~dst ~prio ~bytes ~flow msg ~reply)
+      (Time.add t_tx (Time.add (latency t) d))
   end;
   (match timeout with
   | Some d ->

@@ -114,6 +114,7 @@ val send :
   ?prio:bool ->
   ?transport:[ `Rc | `Ud ] ->
   ?cpu_cost:Time.t ->
+  ?flow:int ->
   'msg t ->
   src:int ->
   dst:int ->
@@ -124,8 +125,20 @@ val send :
     behind bulk traffic; [transport] selects the loss model under link
     faults — [`Rc] (default) retransmits, [`Ud] drops for real; [cpu_cost]
     overrides the default sender-side CPU charge (the lease manager uses
-    all three). *)
+    all three). [flow] (a {!Farm_obs.Tracer.flow_id}; default 0 = none)
+    is the message's trace context: while tracing, the send and its
+    remote delivery are marked as correlated instant events. It never
+    touches the wire format. *)
 
-val call : ?prio:bool -> ?timeout:Time.t -> 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> ('msg, error) result
+val call :
+  ?prio:bool ->
+  ?timeout:Time.t ->
+  ?flow:int ->
+  'msg t ->
+  src:int ->
+  dst:int ->
+  bytes:int ->
+  'msg ->
+  ('msg, error) result
 (** Blocking request/response; the receiver's handler gets a [reply]
-    closure correlated with this call. *)
+    closure correlated with this call. [flow] as in {!send}. *)

@@ -39,6 +39,9 @@ type counter =
   | C_reconfig
   | C_rec_vote
   | C_rec_decide
+  | C_abort_lock_refused
+  | C_abort_validate_failed
+  | C_abort_timeout
 
 let all_counters =
   [
@@ -46,7 +49,8 @@ let all_counters =
     C_ud_drop; C_rc_retransmit; C_log_append; C_log_append_fail; C_log_record;
     C_log_trunc; C_log_trunc_deferred; C_lock_ok; C_lock_fail; C_tx_commit;
     C_tx_abort; C_lease_renewal; C_lease_grant; C_lease_expiry; C_suspect;
-    C_reconfig; C_rec_vote; C_rec_decide;
+    C_reconfig; C_rec_vote; C_rec_decide; C_abort_lock_refused;
+    C_abort_validate_failed; C_abort_timeout;
   ]
 
 let n_counters = List.length all_counters
@@ -76,6 +80,9 @@ let counter_index = function
   | C_reconfig -> 21
   | C_rec_vote -> 22
   | C_rec_decide -> 23
+  | C_abort_lock_refused -> 24
+  | C_abort_validate_failed -> 25
+  | C_abort_timeout -> 26
 
 let counter_name = function
   | C_rdma_read -> "rdma-read"
@@ -102,6 +109,9 @@ let counter_name = function
   | C_reconfig -> "reconfig"
   | C_rec_vote -> "rec-vote"
   | C_rec_decide -> "rec-decide"
+  | C_abort_lock_refused -> "abort-lock-refused"
+  | C_abort_validate_failed -> "abort-validate-failed"
+  | C_abort_timeout -> "abort-timeout"
 
 (* {1 Phases and stages} *)
 
@@ -231,7 +241,13 @@ let render_body k ~a ~b ~c =
   | K_log_trunc -> Printf.sprintf "log-trunc coord=m%d local=%d" a b
   | K_phase -> Printf.sprintf "phase %s tx=%d.%d" (commit_phase_tag a) b c
   | K_tx_commit -> Printf.sprintf "tx-commit latency=%dns" c
-  | K_tx_abort -> Printf.sprintf "tx-abort reason=%d" a
+  | K_tx_abort ->
+      Printf.sprintf "tx-abort reason=%d cause=%s" a
+        (match b with
+        | 0 -> "lock-refused"
+        | 1 -> "validate-failed"
+        | 2 -> "timeout"
+        | _ -> "other")
   | K_lease_renewal -> Printf.sprintf "lease-renewal dst=m%d" a
   | K_lease_grant -> Printf.sprintf "lease-grant to=m%d" a
   | K_lease_expiry -> Printf.sprintf "lease-expiry peer=m%d" a
@@ -259,11 +275,15 @@ type slot = {
 type span = {
   sp_obs : t;
   sp_start : int;  (* ns *)
+  sp_tid : int;  (* worker-thread track for trace slices *)
   sp_seg : int array;  (* accumulated ns per phase *)
   sp_visited : bool array;
   mutable sp_cur : int;  (* current phase index; -1 once finished *)
   mutable sp_since : int;  (* current segment's start, ns *)
   mutable sp_total : int;  (* filled at finish *)
+  mutable sp_txm : int;  (* trace context (coordinator, thread, local id); *)
+  mutable sp_txt : int;  (* sp_txm = -1 until set_tx *)
+  mutable sp_txl : int;
 }
 
 and t = {
@@ -277,6 +297,8 @@ and t = {
   phases : Stats.Hist.t array;
   stages : Stats.Hist.t array;
   mutable span_hook : (committed:bool -> span -> unit) option;
+  obs_tracer : Tracer.t;
+  obs_timeline : Timeline.t;
 }
 
 let create ?(capacity = 128) ?(enabled = false) engine ~machine =
@@ -292,11 +314,15 @@ let create ?(capacity = 128) ?(enabled = false) engine ~machine =
     phases = Array.init n_phases (fun _ -> Stats.Hist.create ());
     stages = Array.init n_stages (fun _ -> Stats.Hist.create ());
     span_hook = None;
+    obs_tracer = Tracer.create engine ~machine;
+    obs_timeline = Timeline.create engine ~machine;
   }
 
 let machine t = t.obs_machine
 let set_enabled t on = t.obs_enabled <- on
 let enabled t = t.obs_enabled
+let tracer t = t.obs_tracer
+let timeline t = t.obs_timeline
 
 let incr t c = t.counters.(counter_index c) <- t.counters.(counter_index c) + 1
 let add t c n = t.counters.(counter_index c) <- t.counters.(counter_index c) + n
@@ -309,6 +335,28 @@ let counter_totals t =
       if v = 0 then None else Some (counter_name c, v))
     all_counters
 
+(* Forward the flight-recorder kinds that double as trace instants to the
+   tracer, so lease/suspicion/reconfig/fault emit sites need no tracer
+   plumbing of their own. Called only while the tracer is enabled. *)
+let forward_instant t kind ~a ~b ~c =
+  let _ = b in
+  match kind with
+  | K_drop ->
+      Tracer.instant t.obs_tracer ~tid:Tracer.tid_net
+        ~mark:(if c = 1 then Tracer.M_retransmit else Tracer.M_drop)
+        ~arg:a
+  | K_lease_expiry ->
+      Tracer.instant t.obs_tracer ~tid:Tracer.tid_lease ~mark:Tracer.M_lease_expiry ~arg:a
+  | K_suspect ->
+      Tracer.instant t.obs_tracer ~tid:Tracer.tid_lease ~mark:Tracer.M_suspect ~arg:a
+  | K_config_commit ->
+      Tracer.instant t.obs_tracer ~tid:Tracer.tid_recovery ~mark:Tracer.M_config_commit
+        ~arg:a
+  | K_log_trunc ->
+      Tracer.instant t.obs_tracer ~tid:(Tracer.tid_log ~sender:a) ~mark:Tracer.M_truncate
+        ~arg:a
+  | _ -> ()
+
 let event t kind ~a ~b ~c =
   if t.obs_enabled then begin
     let s = t.ring.(t.pos) in
@@ -319,7 +367,8 @@ let event t kind ~a ~b ~c =
     s.s_c <- c;
     t.pos <- (t.pos + 1) mod Array.length t.ring;
     t.total <- t.total + 1
-  end
+  end;
+  if Tracer.enabled t.obs_tracer then forward_instant t kind ~a ~b ~c
 
 let total_events t = t.total
 
@@ -337,25 +386,47 @@ let record_phase t p ns = if ns > 0 then Stats.Hist.record t.phases.(phase_index
 let set_span_hook t h = t.span_hook <- h
 let all_phases_arr = Array.of_list all_phases
 
+(* Commit-protocol phases map one-to-one onto the tracer's first steps. *)
+let step_of_phase_arr =
+  [|
+    Tracer.T_execute; Tracer.T_lock; Tracer.T_validate; Tracer.T_commit_backup;
+    Tracer.T_commit_primary; Tracer.T_truncate;
+  |]
+
 module Span = struct
   type nonrec t = span
 
-  let start obs =
+  let start ?(tid = 0) obs =
     let now = Time.to_ns (Engine.now obs.engine) in
     let visited = Array.make n_phases false in
     visited.(phase_index P_execute) <- true;
     {
       sp_obs = obs;
       sp_start = now;
+      sp_tid = tid;
       sp_seg = Array.make n_phases 0;
       sp_visited = visited;
       sp_cur = phase_index P_execute;
       sp_since = now;
       sp_total = 0;
+      sp_txm = -1;
+      sp_txt = 0;
+      sp_txl = 0;
     }
 
+  let set_tx sp ~txm ~txt ~txl =
+    sp.sp_txm <- txm;
+    sp.sp_txt <- txt;
+    sp.sp_txl <- txl
+
   let close_current sp now =
-    sp.sp_seg.(sp.sp_cur) <- sp.sp_seg.(sp.sp_cur) + (now - sp.sp_since);
+    let seg = now - sp.sp_since in
+    sp.sp_seg.(sp.sp_cur) <- sp.sp_seg.(sp.sp_cur) + seg;
+    (* every nonempty segment is also a trace slice on the worker's track *)
+    if seg > 0 then
+      Tracer.slice_tx sp.sp_obs.obs_tracer ~tid:sp.sp_tid
+        ~step:step_of_phase_arr.(sp.sp_cur) ~start:sp.sp_since ~arg:0
+        ~txm:sp.sp_txm ~txt:sp.sp_txt ~txl:sp.sp_txl;
     sp.sp_since <- now
 
   let enter sp phase =
@@ -391,9 +462,21 @@ end
 
 let stage_hist t s = t.stages.(stage_index s)
 
+let step_of_stage = function
+  | S_drain -> Tracer.T_rec_drain
+  | S_region_active -> Tracer.T_rec_region_active
+  | S_decide -> Tracer.T_rec_decide
+
 let record_stage t s d =
   let ns = Time.to_ns d in
-  if ns >= 0 then Stats.Hist.record t.stages.(stage_index s) ns
+  if ns >= 0 then begin
+    Stats.Hist.record t.stages.(stage_index s) ns;
+    (* the stage just ended: its slice spans [now - d, now] on the
+       recovery track, so recovery emit sites need no tracer plumbing *)
+    let now = Time.to_ns (Engine.now t.engine) in
+    Tracer.slice t.obs_tracer ~tid:Tracer.tid_recovery ~step:(step_of_stage s)
+      ~start:(now - ns) ~arg:0
+  end
 
 (* {1 Reporting} *)
 
@@ -406,12 +489,14 @@ let pp_counters ppf t =
 let pp_hist_table ppf hists =
   let nonempty = List.filter (fun (_, h) -> Stats.Hist.count h > 0) hists in
   if nonempty <> [] then begin
-    Fmt.pf ppf "%-16s %10s %10s %10s %10s@." "phase" "count" "p50(us)" "p99(us)" "mean(us)";
+    Fmt.pf ppf "%-16s %9s %10s %10s %10s %10s %10s %10s@." "phase" "count" "p50(us)"
+      "p90(us)" "p99(us)" "p999(us)" "max(us)" "mean(us)";
     List.iter
       (fun (name, h) ->
-        Fmt.pf ppf "%-16s %10d %10.2f %10.2f %10.2f@." name (Stats.Hist.count h)
-          (float_of_int (Stats.Hist.percentile h 50.) /. 1e3)
-          (float_of_int (Stats.Hist.percentile h 99.) /. 1e3)
+        let p q = float_of_int (Stats.Hist.percentile h q) /. 1e3 in
+        Fmt.pf ppf "%-16s %9d %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f@." name
+          (Stats.Hist.count h) (p 50.) (p 90.) (p 99.) (p 99.9)
+          (float_of_int (Stats.Hist.max_value h) /. 1e3)
           (Stats.Hist.mean h /. 1e3))
       nonempty
   end

@@ -32,8 +32,20 @@ val create : ?capacity:int -> ?enabled:bool -> Engine.t -> machine:int -> t
     recording only — counters, phases and stages are always live. *)
 
 val machine : t -> int
+
 val set_enabled : t -> bool -> unit
+(** Gates the flight-recorder ring only; the tracer and timeline have
+    their own switches (see below). *)
+
 val enabled : t -> bool
+
+val tracer : t -> Tracer.t
+(** This machine's causal tracer (see {!Tracer}); off until
+    [Tracer.set_enabled]. *)
+
+val timeline : t -> Timeline.t
+(** This machine's timeline sampler (see {!Timeline}); idle until
+    series are registered and [Timeline.start] is called. *)
 
 (** {1 Counters} — always on, one integer cell each. *)
 
@@ -62,6 +74,9 @@ type counter =
   | C_reconfig  (** NEW-CONFIG applications (configuration changes) *)
   | C_rec_vote  (** recovery votes received as coordinator *)
   | C_rec_decide  (** recovering transactions decided here *)
+  | C_abort_lock_refused  (** aborts caused by a refused LOCK record *)
+  | C_abort_validate_failed  (** aborts caused by a failed VALIDATE read *)
+  | C_abort_timeout  (** aborts caused by timeouts / machine failure *)
 
 val all_counters : counter list
 (** Every counter, in declaration order. *)
@@ -99,11 +114,19 @@ module Span : sig
   type obs := t
   type t
 
-  val start : obs -> t
-  (** Open a span in [P_execute] at the current sim time. *)
+  val start : ?tid:int -> obs -> t
+  (** Open a span in [P_execute] at the current sim time. [tid] (default
+      0) is the worker-thread track its trace slices land on. *)
+
+  val set_tx : t -> txm:int -> txt:int -> txl:int -> unit
+  (** Attach the transaction's trace context — (coordinator machine,
+      thread, local id), i.e. its {!Txid} — once the commit pipeline has
+      assigned it; subsequent trace slices carry it. *)
 
   val enter : t -> phase -> unit
-  (** Close the current segment and open [phase]. No-op after [finish]. *)
+  (** Close the current segment and open [phase] — also emitting the
+      closed segment as a trace slice when the tracer is on. No-op after
+      [finish]. *)
 
   val finish : t -> committed:bool -> unit
   (** Close the span at the current sim time. Committed spans fold their
@@ -138,7 +161,10 @@ type stage =
 val stage_name : stage -> string
 val all_stages : stage list
 val stage_hist : t -> stage -> Stats.Hist.t
+
 val record_stage : t -> stage -> Time.t -> unit
+(** Record a stage that just completed, taking the given duration; when
+    the tracer is on, also emits it as a slice on the recovery track. *)
 
 (** {1 The flight recorder} — a bounded ring of typed protocol events,
     recorded only while {!enabled}. Each event is a kind plus three
@@ -159,7 +185,8 @@ type kind =
   | K_log_trunc  (** a=coordinator machine, b=tx local id *)
   | K_phase  (** a=commit-phase index, b=tx thread, c=tx local id *)
   | K_tx_commit  (** c=latency ns *)
-  | K_tx_abort  (** a=abort-reason tag *)
+  | K_tx_abort  (** a=abort-reason tag, b=cause (0 lock-refused, 1
+                    validate-failed, 2 timeout, 3 other) *)
   | K_lease_renewal  (** a=grantor *)
   | K_lease_grant  (** a=requester *)
   | K_lease_expiry  (** a=expired peer *)
@@ -172,7 +199,11 @@ type kind =
   | K_rec_decide  (** a=1 committed / 0 aborted, b=duration ns *)
 
 val event : t -> kind -> a:int -> b:int -> c:int -> unit
-(** Record an event into the ring; a load and a branch when disabled. *)
+(** Record an event into the ring; a load and a branch when disabled.
+    Kinds that double as trace instants (drops, retransmissions, lease
+    expiries, suspicions, config commits, truncations) are also
+    forwarded to the tracer while it is enabled — each gate is
+    independent. *)
 
 val events : t -> (int * string) list
 (** The ring's contents, oldest first, as (sim-time ns, rendered line). *)
@@ -186,4 +217,5 @@ val pp_counters : Format.formatter -> t -> unit
 (** Nonzero counters as [name=value], space-separated. *)
 
 val pp_hist_table : Format.formatter -> (string * Stats.Hist.t) list -> unit
-(** A count/p50/p99/mean table (microseconds) of nonempty histograms. *)
+(** A count/p50/p90/p99/p999/max/mean table (microseconds) of nonempty
+    histograms. *)

@@ -167,6 +167,351 @@ let counters_plumbed () =
   check_bool "log records were processed" true (get "log-record" >= 1);
   check_bool "lease traffic flowed" true (get "lease-renewal" >= 1)
 
+(* {1 The causal tracer and the timeline sampler} *)
+
+let count_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let c = ref 0 in
+  for i = 0 to n - m do
+    if String.sub s i m = sub then incr c
+  done;
+  !c
+
+(* {2 A minimal hand-rolled JSON parser} — the container carries no JSON
+   library, and parsing our own exports back is exactly the schema check
+   a Perfetto/consumer round-trip needs. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect ch =
+    if peek () = ch then advance ()
+    else raise (Bad_json (Fmt.str "expected %c at byte %d" ch !pos))
+  in
+  let parse_lit lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents b
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'u' ->
+              advance ();
+              for _ = 1 to 4 do advance () done;
+              Buffer.add_char b '?'
+          | c ->
+              advance ();
+              Buffer.add_char b
+                (match c with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c));
+          go ()
+      | '\255' -> raise (Bad_json "unterminated string")
+      | c -> advance (); Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num = function '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false in
+    while is_num (peek ()) do advance () done;
+    if !pos = start then raise (Bad_json (Fmt.str "value expected at byte %d" start));
+    J_num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); J_obj [])
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            if peek () = ',' then (advance (); members ()) else expect '}'
+          in
+          members ();
+          J_obj (List.rev !fields)
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); J_arr [])
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            if peek () = ',' then (advance (); elements ()) else expect ']'
+          in
+          elements ();
+          J_arr (List.rev !items)
+        end
+    | '"' -> J_str (parse_string ())
+    | 't' -> parse_lit "true" (J_bool true)
+    | 'f' -> parse_lit "false" (J_bool false)
+    | 'n' -> parse_lit "null" J_null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing bytes after document");
+  v
+
+let mem k = function J_obj l -> List.assoc_opt k l | _ -> None
+let jstr = function Some (J_str s) -> s | _ -> Alcotest.fail "expected a JSON string"
+let jnum = function Some (J_num f) -> f | _ -> Alcotest.fail "expected a JSON number"
+
+(* {2 Shared fixture}: a small traced + sampled cluster, committing from a
+   non-primary machine so LOCK and COMMIT-BACKUP records cross the
+   fabric. *)
+let run_traced_cluster seed =
+  let c = Cluster.create ~seed ~machines:3 () in
+  Cluster.set_tracing c true;
+  Cluster.start_sampling c ~until:(Time.ms 50);
+  let r = Cluster.alloc_region_exn c in
+  let coord = (r.Wire.primary + 1) mod 3 in
+  let cell =
+    Cluster.run_on c ~machine:coord (fun st ->
+        match
+          Api.run_retry st ~thread:0 (fun tx ->
+              let a = Txn.alloc tx ~size:8 ~region:r.Wire.rid () in
+              Txn.write tx a (Bytes.make 8 '\000');
+              a)
+        with
+        | Ok a -> a
+        | Error e -> Alcotest.failf "setup: %a" Txn.pp_abort e)
+  in
+  for i = 1 to 5 do
+    Cluster.run_on c ~machine:coord (fun st ->
+        match
+          Api.run_retry st ~thread:0 (fun tx ->
+              ignore (Txn.read tx cell ~len:8);
+              Txn.write tx cell (Bytes.make 8 (Char.chr (64 + i))))
+        with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "tx %d: %a" i Txn.pp_abort e)
+  done;
+  (* run past the sampling horizon so the tick stops and the engine can
+     drain *)
+  Cluster.run_for c ~d:(Time.ms 60);
+  c
+
+(* Sampler delta math against hand-counted ops: a Cumulative series rows
+   the per-interval delta of a monotonic counter, a Level series rows the
+   instantaneous value, both at exact tick instants, stopping at the
+   horizon. *)
+let sampler_delta_math () =
+  let e = Engine.create () in
+  let tl = Timeline.create e ~machine:0 in
+  let work = ref 0 and level = ref 0 in
+  Timeline.add_series tl ~name:"ops" ~kind:Timeline.Cumulative (fun () -> !work);
+  Timeline.add_series tl ~name:"depth" ~kind:Timeline.Level (fun () -> !level);
+  let bumps = [| 3; 0; 7; 2; 5 |] in
+  Array.iteri
+    (fun i n ->
+      Engine.schedule e
+        ~at:(Time.ns ((i * 1000) + 500))
+        (fun () ->
+          work := !work + n;
+          level := n))
+    bumps;
+  Timeline.start tl ~interval:(Time.ns 1000) ~until:(Time.ns 5000);
+  Engine.run e;
+  check_bool "sampler stopped at the horizon" true (not (Timeline.running tl));
+  check_int "engine drained (no perpetual tick)" 0 (Engine.pending e);
+  let rows = Timeline.rows tl in
+  check_int "one row per interval" (Array.length bumps) (List.length rows);
+  List.iteri
+    (fun i (t, vals) ->
+      check_int (Fmt.str "tick %d instant" i) ((i + 1) * 1000) t;
+      check_int (Fmt.str "interval %d delta" i) bumps.(i) vals.(0);
+      check_int (Fmt.str "interval %d level" i) bumps.(i) vals.(1))
+    rows
+
+(* The cluster sampler's commit deltas, summed over every machine and
+   interval, equal the commit counters exactly. *)
+let sampler_matches_counters () =
+  let c = run_traced_cluster 33 in
+  check_bool "the fixture committed" true (Cluster.total_committed c >= 6);
+  let total = ref 0 in
+  Array.iter
+    (fun (st : State.t) ->
+      let tl = Obs.timeline st.State.obs in
+      let idx = ref (-1) in
+      List.iteri (fun i n -> if n = "commits" then idx := i) (Timeline.series_names tl);
+      check_bool "commits series registered" true (!idx >= 0);
+      List.iter (fun (_, vals) -> total := !total + vals.(!idx)) (Timeline.rows tl))
+    c.Cluster.machines;
+  check_int "sampled deltas sum to the counter total" (Cluster.total_committed c) !total
+
+(* Same seed, two runs: both export artifacts are byte-identical. *)
+let dumps_deterministic () =
+  let c1 = run_traced_cluster 33 in
+  let c2 = run_traced_cluster 33 in
+  check_bool "trace dumps byte-identical" true
+    (String.equal (Cluster.trace_dump c1) (Cluster.trace_dump c2));
+  check_bool "timeline dumps byte-identical" true
+    (String.equal (Cluster.timeline_dump c1) (Cluster.timeline_dump c2))
+
+(* Tracing on vs off must not perturb a fuzz schedule, and tracing on is
+   itself deterministic: same seed, byte-identical JSON. *)
+let trace_export_deterministic () =
+  let opts p =
+    {
+      Explorer.default_opts with
+      machines = 5;
+      workers = 1;
+      duration = Time.ms 20;
+      perfetto = p;
+    }
+  in
+  let seed = 9 in
+  let a = Explorer.run_one ~opts:(opts true) seed in
+  let b = Explorer.run_one ~opts:(opts true) seed in
+  let off = Explorer.run_one ~opts:(opts false) seed in
+  (match (a.Explorer.perfetto_json, b.Explorer.perfetto_json) with
+  | Some ja, Some jb -> check_bool "same seed, byte-identical trace JSON" true (String.equal ja jb)
+  | _ -> Alcotest.fail "perfetto json missing");
+  check_bool "tracing off renders no json" true (off.Explorer.perfetto_json = None);
+  Alcotest.(check (list string))
+    "histories identical with tracing on/off" off.Explorer.trace a.Explorer.trace;
+  check_int "committed identical" off.Explorer.committed a.Explorer.committed;
+  (* the abort breakdown rides on every outcome *)
+  List.iter
+    (fun k ->
+      check_bool (Fmt.str "%s cause reported" k) true
+        (match List.assoc_opt k a.Explorer.abort_causes with Some v -> v >= 0 | None -> false))
+    [ "lock-refused"; "validate-failed"; "timeout"; "other" ]
+
+(* The span buffer is gated and bounded: a disabled tracer records
+   nothing; an enabled one keeps the newest [capacity] slots. *)
+let tracer_ring_bounded () =
+  let e = Engine.create () in
+  let tr = Tracer.create ~capacity:4 e ~machine:0 in
+  Tracer.slice tr ~tid:0 ~step:Tracer.T_execute ~start:0 ~arg:0;
+  check_int "disabled tracer records nothing" 0 (Tracer.total tr);
+  Tracer.set_enabled tr true;
+  for i = 1 to 10 do
+    Tracer.slice tr ~tid:0 ~step:Tracer.T_execute ~start:(i * 10) ~arg:i
+  done;
+  check_int "all recordings counted" 10 (Tracer.total tr);
+  let json = Tracer.export_json [ tr ] in
+  check_int "export holds exactly capacity slices" 4 (count_sub json "\"ph\":\"X\"");
+  (* newest survive: slice #10 started at ts 100 ns = 0.100 us *)
+  check_int "newest slice survived" 1 (count_sub json "\"ts\":0.100,")
+
+(* Parse the trace export back and schema-check it: every event carries
+   the required fields, flow starts pair with finishes, and LOCK /
+   COMMIT-BACKUP arrows cross machines. *)
+let trace_schema_sane () =
+  let c = run_traced_cluster 21 in
+  let root = parse_json (Cluster.trace_dump c) in
+  let events =
+    match mem "traceEvents" root with
+    | Some (J_arr l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  check_bool "trace has events" true (List.length events > 0);
+  let slices = Hashtbl.create 64 in
+  let starts = Hashtbl.create 64 in
+  let ends = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      let ph = jstr (mem "ph" ev) in
+      let ts = jnum (mem "ts" ev) in
+      let pid = int_of_float (jnum (mem "pid" ev)) in
+      let tid = int_of_float (jnum (mem "tid" ev)) in
+      check_bool "known phase" true (List.mem ph [ "X"; "M"; "i"; "s"; "f" ]);
+      check_bool "timestamp nonnegative" true (ts >= 0.0);
+      check_bool "named" true (String.length (jstr (mem "name" ev)) > 0);
+      match ph with
+      | "X" ->
+          check_bool "slice duration nonnegative" true (jnum (mem "dur" ev) >= 0.0);
+          (* several slices can share a start instant on one thread; keep
+             them all *)
+          Hashtbl.add slices (pid, tid, ts) (jstr (mem "name" ev))
+      | "s" -> Hashtbl.replace starts (int_of_float (jnum (mem "id" ev))) (pid, tid, ts)
+      | "f" -> Hashtbl.replace ends (int_of_float (jnum (mem "id" ev))) (pid, tid, ts)
+      | _ -> ())
+    events;
+  check_bool "trace carries flows" true (Hashtbl.length starts > 0);
+  check_bool "every flow start has a finish" true
+    (Hashtbl.fold (fun id _ acc -> acc && Hashtbl.mem ends id) starts true);
+  let cross step =
+    Hashtbl.fold
+      (fun id (spid, stid, sts) acc ->
+        acc
+        ||
+        match Hashtbl.find_opt ends id with
+        | Some (fpid, ftid, fts) ->
+            fpid <> spid
+            && List.mem ("log-append " ^ step) (Hashtbl.find_all slices (spid, stid, sts))
+            && List.mem ("log-process " ^ step) (Hashtbl.find_all slices (fpid, ftid, fts))
+        | None -> false)
+      starts false
+  in
+  check_bool "cross-machine LOCK arrow" true (cross "LOCK");
+  check_bool "cross-machine COMMIT-BACKUP arrow" true (cross "COMMIT-BACKUP")
+
+(* ...and the timeline export: aligned columns, t_ns leading, and the
+   merged commits column summing to the cluster's commit total. *)
+let timeline_schema_sane () =
+  let c = run_traced_cluster 21 in
+  let root = parse_json (Cluster.timeline_dump c) in
+  check_bool "interval is positive" true (jnum (mem "interval_ns" root) > 0.0);
+  let series =
+    match mem "series" root with
+    | Some (J_arr l) -> List.map (function J_str s -> s | _ -> Alcotest.fail "series") l
+    | _ -> Alcotest.fail "no series array"
+  in
+  check_bool "t_ns leads the columns" true (List.hd series = "t_ns");
+  check_bool "commits column present" true (List.mem "commits" series);
+  let width = List.length series in
+  let commits_col = ref 0 in
+  List.iteri (fun i n -> if n = "commits" then commits_col := i) series;
+  let rows =
+    match mem "rows" root with Some (J_arr l) -> l | _ -> Alcotest.fail "no rows array"
+  in
+  check_bool "timeline has rows" true (rows <> []);
+  let sum = ref 0 in
+  List.iter
+    (function
+      | J_arr cells ->
+          check_int "row width matches series" width (List.length cells);
+          sum := !sum + int_of_float (List.nth cells !commits_col |> fun v -> jnum (Some v))
+      | _ -> Alcotest.fail "row is not an array")
+    rows;
+  check_int "merged commits column sums to the counter total"
+    (Cluster.total_committed c) !sum
+
 let suites =
   [
     ( "obs",
@@ -178,5 +523,15 @@ let suites =
         test "failing outcome dumps the flight recorder" failure_dumps_recorder;
         test "flight-recorder ring is gated and bounded" ring_bounds;
         test "counters plumbed through the stack" counters_plumbed;
+      ] );
+    ( "obs.trace",
+      [
+        test "sampler delta math vs hand-counted ops" sampler_delta_math;
+        test "sampler deltas match the commit counters" sampler_matches_counters;
+        test "trace and timeline dumps are deterministic" dumps_deterministic;
+        test "tracing on/off: same history, byte-identical JSON" trace_export_deterministic;
+        test "tracer span buffer is gated and bounded" tracer_ring_bounded;
+        test "trace export parses and cross-machine arrows pair" trace_schema_sane;
+        test "timeline export parses and columns align" timeline_schema_sane;
       ] );
   ]
