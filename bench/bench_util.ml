@@ -19,6 +19,12 @@ let header fig paper =
    thereafter. *)
 let jobs = ref (Domain_pool.default_jobs ())
 
+(* Global flags for the engine-scaling bench (set by bench/main.ml): run
+   the short CI sizes only, and/or compare against a checked-in baseline
+   JSON instead of writing a fresh one. *)
+let smoke = ref false
+let check_baseline : string option ref = ref None
+
 (* Run [f] over [configs] on the domain pool; results come back in config
    order, and an exception from a config re-raises in config order, as the
    sequential loop's would have. *)

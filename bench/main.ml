@@ -27,6 +27,11 @@ let experiments : (string * string * (unit -> unit)) list =
     ("scaling", "FaRM vs single-machine engine (§6.3)", fun () -> Scaling.run ());
     ("ycsb", "YCSB core workloads (from [16])", fun () -> Ycsb_bench.run ());
     ("ablations", "design-choice ablations (CM rebuild, tr, f)", Ablations.run);
+    ( "engine_scaling",
+      "paper-scale TATP engine benchmark (3..90 machines, bytes/op)",
+      fun () ->
+        Engine_scaling.run ~smoke:!Bench_util.smoke
+          ?check_baseline:!Bench_util.check_baseline () );
     ( "batching",
       "batched vs unbatched commit pipeline (doorbell batching)",
       fun () -> ignore (Commit_batching.run ()) );
@@ -47,6 +52,15 @@ let () =
         strip_jobs rest
     | [ "--jobs" ] ->
         Fmt.epr "main: --jobs expects a value@.";
+        exit 2
+    | "--smoke" :: rest ->
+        Bench_util.smoke := true;
+        strip_jobs rest
+    | "--check-baseline" :: file :: rest ->
+        Bench_util.check_baseline := Some file;
+        strip_jobs rest
+    | [ "--check-baseline" ] ->
+        Fmt.epr "main: --check-baseline expects a file@.";
         exit 2
     | args -> args
   in

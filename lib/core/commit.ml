@@ -14,11 +14,24 @@ open Farm_sim
    protocol can write — including truncations — to guarantee progress.
 
    Each phase's one-sided writes go out as a single doorbell-batched verb
-   group (Fabric.one_sided_write_batch via Logio.append_batch): the NIC is
-   rung once per phase and the completions reaped together, so a
+   group (Fabric.one_sided_write_batch_fn via Logio.append_prepared): the
+   NIC is rung once per phase and the completions reaped together, so a
    multi-participant commit pays ~one issue/poll instead of one per
    participant. Params.doorbell_batching restores the unbatched pipeline
    for ablation.
+
+   Allocation discipline (DESIGN.md): all per-commit scratch — the write
+   items staged in address order, region-id sets, per-destination
+   groupings, reservation accounting, validation groups and the append
+   staging — lives in a pooled Arena acquired for the duration of the
+   commit and reset, not reallocated, between transactions. Only data that
+   crosses the wire is freshly allocated: write-item records, record
+   payloads, and one regions-written list shared by every LOCK and
+   COMMIT-BACKUP payload of the transaction — receivers keep all of these
+   resident until truncation and recovery reads them back. The arena is
+   reference-counted because the COMMIT-PRIMARY bookkeeping and the lazy
+   TRUNCATE run in background processes that touch the accounting tables
+   after [commit] has returned.
 
    A configuration change can make the transaction "recovering" (§5.3);
    from that point the coordinator must ignore completions and defer to the
@@ -32,21 +45,11 @@ let race_outcome (lt : State.tx_live) (iv : 'a Ivar.t) : 'a race =
       Ivar.on_fill iv (fun v -> resume (Ok (Normal v)));
       Ivar.on_fill lt.State.lt_outcome (fun o -> resume (Ok (Recovered o))))
 
-let add_to tbl key n =
-  let cur = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0 in
-  Hashtbl.replace tbl key (cur + n)
-
-let get0 tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
-
-let add_to_list tbl key v =
-  let cur = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
-  Hashtbl.replace tbl key (v :: cur)
-
 (* {1 Read validation (§4 step 2)} *)
 
 (* Target-side memory access of a header read: what the remote NIC DMAs at
    the linearization instant. *)
-let remote_header st ~dst ~(addr : Addr.t) () =
+let read_remote_header st ~dst ~(addr : Addr.t) =
   match State.peer st dst with
   | None -> None
   | Some pst -> (
@@ -66,97 +69,143 @@ let read_header_at st ~dst ~(addr : Addr.t) =
   end
   else
     Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst ~bytes:16
-      (remote_header st ~dst ~addr)
+      (fun () -> read_remote_header st ~dst ~addr)
 
-(* Validate the read set: group the objects read (and not written) by
-   primary; use one-sided RDMA version reads for small groups — issued as
-   one doorbell batch spanning every such group — and one RPC above the
+(* Validate the read set staged in the arena's [ro_addr]/[ro_ver] vectors:
+   group read-set indices by primary (counted groups, so the
+   RPC-vs-one-sided decision against tr is O(1) per group); use one-sided
+   RDMA version reads for small groups — issued as one doorbell batch
+   spanning every such group — and one RPC above the
    [validate_rpc_threshold] (tr) to trade latency for CPU. *)
-let validate st ~txid (reads : (Addr.t * int) list) =
-  let by_primary = Hashtbl.create 8 in
+let validate_ar st (ar : Arena.t) ~txid =
+  Arena.groups_clear ar.Arena.vgroups;
   let ok = ref true in
-  List.iter
-    (fun (addr, version) ->
-      match State.region_info st addr.Addr.region with
-      | Some info -> add_to_list by_primary info.Wire.primary (addr, version)
-      | None -> ok := false)
-    reads;
+  for i = 0 to Arena.Vec.length ar.Arena.ro_addr - 1 do
+    let addr = Arena.Vec.get ar.Arena.ro_addr i in
+    match State.region_info st addr.Addr.region with
+    | Some info -> Arena.group_add ar.Arena.vgroups ~dst:info.Wire.primary i
+    | None -> ok := false
+  done;
   if not !ok then false
   else begin
-    let groups = Hashtbl.fold (fun p items acc -> (p, items) :: acc) by_primary [] in
-    let rdma_groups, rpc_groups =
-      List.partition
-        (fun (_, items) ->
-          List.length items <= st.State.params.Params.validate_rpc_threshold)
-        groups
-    in
+    let tr = st.State.params.Params.validate_rpc_threshold in
     let check_header version = function
       | Some h -> if Obj_layout.is_locked h || Obj_layout.version h <> version then ok := false
       | None -> ok := false
     in
+    (* One header-read batch across ALL small groups (local items are read
+       directly, no NIC involved). *)
+    let run_rdma_batched () =
+      Arena.Vec.clear ar.Arena.rv_dst;
+      Arena.Vec.clear ar.Arena.rv_idx;
+      for gi = 0 to ar.Arena.vgroups.Arena.live - 1 do
+        let g = Arena.group ar.Arena.vgroups gi in
+        if Arena.Vec.length g.Arena.g_items <= tr then
+          Arena.Vec.iter
+            (fun i ->
+              if g.Arena.g_dst = st.State.id then begin
+                let addr = Arena.Vec.get ar.Arena.ro_addr i in
+                match read_header_at st ~dst:g.Arena.g_dst ~addr with
+                | Ok h -> check_header (Arena.Vec.get ar.Arena.ro_ver i) h
+                | Error _ -> ok := false
+              end
+              else begin
+                Arena.Vec.push ar.Arena.rv_dst g.Arena.g_dst;
+                Arena.Vec.push ar.Arena.rv_idx i
+              end)
+            g.Arena.g_items
+      done;
+      let n = Arena.Vec.length ar.Arena.rv_dst in
+      if n > 0 then begin
+        let results =
+          Farm_net.Fabric.one_sided_read_batch_fn st.State.fabric ~src:st.State.id ~n
+            ~dst:(fun i -> Arena.Vec.get ar.Arena.rv_dst i)
+            ~bytes:(fun _ -> 16)
+            ~read:(fun i ->
+              read_remote_header st
+                ~dst:(Arena.Vec.get ar.Arena.rv_dst i)
+                ~addr:(Arena.Vec.get ar.Arena.ro_addr (Arena.Vec.get ar.Arena.rv_idx i)))
+        in
+        for i = 0 to n - 1 do
+          let version = Arena.Vec.get ar.Arena.ro_ver (Arena.Vec.get ar.Arena.rv_idx i) in
+          match results.(i) with
+          | Ok h -> check_header version h
+          | Error _ -> ok := false
+        done
+      end
+    in
+    (* Ablation path: the pre-batching pipeline read each small group's
+       headers serially, one full-cost verb at a time. *)
+    let unbatched_jobs () =
+      let jobs = ref [] in
+      for gi = ar.Arena.vgroups.Arena.live - 1 downto 0 do
+        let g = Arena.group ar.Arena.vgroups gi in
+        if Arena.Vec.length g.Arena.g_items <= tr then
+          jobs :=
+            (fun () ->
+              Arena.Vec.iter
+                (fun i ->
+                  if !ok then
+                    let addr = Arena.Vec.get ar.Arena.ro_addr i in
+                    match read_header_at st ~dst:g.Arena.g_dst ~addr with
+                    | Ok h -> check_header (Arena.Vec.get ar.Arena.ro_ver i) h
+                    | Error _ -> ok := false)
+                g.Arena.g_items)
+            :: !jobs
+      done;
+      !jobs
+    in
+    (* RPC groups above tr are rare; their item lists are freshly built
+       because a timed-out RPC can still be in flight when the caller
+       resumes — arena-owned storage must never ride a message. *)
     let rpc_jobs =
-      List.map
-        (fun (p, items) () ->
-          let flow =
-            Farm_obs.Tracer.flow_id ~machine:txid.Txid.machine
-              ~thread:txid.Txid.thread ~local:txid.Txid.local ~tag:6 ~dst:p
+      let jobs = ref [] in
+      for gi = ar.Arena.vgroups.Arena.live - 1 downto 0 do
+        let g = Arena.group ar.Arena.vgroups gi in
+        if Arena.Vec.length g.Arena.g_items > tr then begin
+          let p = g.Arena.g_dst in
+          let items =
+            List.init (Arena.Vec.length g.Arena.g_items) (fun k ->
+                let i = Arena.Vec.get g.Arena.g_items k in
+                (Arena.Vec.get ar.Arena.ro_addr i, Arena.Vec.get ar.Arena.ro_ver i))
           in
-          match
-            Comms.call st ~dst:p ~timeout:(Time.ms 20) ~flow
-              (Wire.Validate_req { txid; items })
-          with
-          | Ok (Wire.Validate_reply { ok = reply_ok; _ }) -> if not reply_ok then ok := false
-          | Ok _ | Error _ -> ok := false)
-        rpc_groups
+          jobs :=
+            (fun () ->
+              let flow =
+                Farm_obs.Tracer.flow_id ~machine:txid.Txid.machine
+                  ~thread:txid.Txid.thread ~local:txid.Txid.local ~tag:6 ~dst:p
+              in
+              match
+                Comms.call st ~dst:p ~timeout:(Time.ms 20) ~flow
+                  (Wire.Validate_req { txid; items })
+              with
+              | Ok (Wire.Validate_reply { ok = reply_ok; _ }) -> if not reply_ok then ok := false
+              | Ok _ | Error _ -> ok := false)
+            :: !jobs
+        end
+      done;
+      !jobs
     in
-    let rdma_jobs =
-      if rdma_groups = [] then []
-      else if st.State.params.Params.doorbell_batching then
-        [
-          (fun () ->
-            (* one header-read batch across ALL small groups (local items
-               are read directly, no NIC involved) *)
-            let remote = ref [] in
-            List.iter
-              (fun (p, items) ->
-                List.iter
-                  (fun ((addr : Addr.t), version) ->
-                    if p = st.State.id then
-                      match read_header_at st ~dst:p ~addr with
-                      | Ok h -> check_header version h
-                      | Error _ -> ok := false
-                    else remote := (p, addr, version) :: !remote)
-                  items)
-              rdma_groups;
-            let remote = List.rev !remote in
-            let results =
-              Farm_net.Fabric.one_sided_read_batch st.State.fabric ~src:st.State.id
-                (List.map (fun (p, addr, _) -> (p, 16, remote_header st ~dst:p ~addr)) remote)
-            in
-            List.iteri
-              (fun i (_, _, version) ->
-                match results.(i) with
-                | Ok h -> check_header version h
-                | Error _ -> ok := false)
-              remote);
-        ]
-      else
-        (* ablation path: the pre-batching pipeline read each group's
-           headers serially, one full-cost verb at a time *)
-        List.map
-          (fun (p, items) () ->
-            List.iter
-              (fun ((addr : Addr.t), version) ->
-                if !ok then
-                  match read_header_at st ~dst:p ~addr with
-                  | Ok h -> check_header version h
-                  | Error _ -> ok := false)
-              items)
-          rdma_groups
-    in
-    Comms.par_iter st (rdma_jobs @ rpc_jobs);
+    (match (rpc_jobs, st.State.params.Params.doorbell_batching) with
+    (* common case: every group under tr, one batch, no process spawns *)
+    | [], true -> run_rdma_batched ()
+    | jobs, true -> Comms.par_iter st (run_rdma_batched :: jobs)
+    | jobs, false -> Comms.par_iter st (unbatched_jobs () @ jobs));
     !ok
   end
+
+(* List-based entry point (kept for callers outside the commit path): stage
+   into a pooled arena and validate. *)
+let validate st ~txid (reads : (Addr.t * int) list) =
+  let ar = Arena.acquire st.State.arena_pool in
+  List.iter
+    (fun ((addr : Addr.t), version) ->
+      Arena.Vec.push ar.Arena.ro_addr addr;
+      Arena.Vec.push ar.Arena.ro_ver version)
+    reads;
+  let ok = validate_ar st ar ~txid in
+  Arena.release st.State.arena_pool ar;
+  ok
 
 (* {1 The commit path} *)
 
@@ -165,10 +214,13 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
   if tx.Txn.finished then invalid_arg "Commit.commit: transaction already finished";
   tx.Txn.finished <- true;
   let commit_start = State.now st in
+  let ar = Arena.acquire st.State.arena_pool in
   (* protocol-level abort cause, set where the abort decision is made
      (lock refusal / validation failure); unset means finish derives it
      from the reason (Failed -> timeout) *)
   let abort_cause = ref None in
+  (* runs exactly once on the main path; also drops the main path's arena
+     reference (background processes retain their own) *)
   let finish result =
     (match result with
     | Ok () ->
@@ -179,25 +231,27 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
     | Error e ->
         Farm_obs.Obs.Span.finish tx.Txn.span ~committed:false;
         State.record_abort ~reason:(Txn.reason_index e) ?cause:!abort_cause st);
+    Arena.release st.State.arena_pool ar;
     result
   in
-  let reads_only =
-    List.rev
-      (Addr.Map.fold
-         (fun a (r : Txn.read_entry) acc ->
-           if Addr.Map.mem a tx.Txn.writes then acc else (a, r.Txn.r_version) :: acc)
-         tx.Txn.reads [])
-  in
+  (* stage the read set not written *)
+  Addr.Map.iter
+    (fun a (r : Txn.read_entry) ->
+      if not (Addr.Map.mem a tx.Txn.writes) then begin
+        Arena.Vec.push ar.Arena.ro_addr a;
+        Arena.Vec.push ar.Arena.ro_ver r.Txn.r_version
+      end)
+    tx.Txn.reads;
   if Addr.Map.is_empty tx.Txn.writes then begin
     (* Read-only transactions: serialization point is the last read;
        single-object reads are already atomic and need no validation. *)
-    if List.length reads_only <= 1 then finish (Ok ())
+    if Arena.Vec.length ar.Arena.ro_addr <= 1 then finish (Ok ())
     else begin
       let txid = State.fresh_txid st ~thread:tx.Txn.thread in
       Farm_obs.Obs.Span.set_tx tx.Txn.span ~txm:txid.Txid.machine
         ~txt:txid.Txid.thread ~txl:txid.Txid.local;
       Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_validate;
-      let ok = validate st ~txid reads_only in
+      let ok = validate_ar st ar ~txid in
       State.forget_outstanding st txid;
       if not ok then abort_cause := Some State.Cause_validate;
       finish (if ok then Ok () else Error Txn.Conflict)
@@ -207,86 +261,101 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
     let txid = State.fresh_txid st ~thread:tx.Txn.thread in
     Farm_obs.Obs.Span.set_tx tx.Txn.span ~txm:txid.Txid.machine ~txt:txid.Txid.thread
       ~txl:txid.Txid.local;
-    let items =
-      Addr.Map.bindings tx.Txn.writes
-      |> List.map (fun (addr, (w : Txn.write_entry)) ->
-             {
-               Wire.addr;
-               version = w.Txn.w_version;
-               value = w.Txn.w_value;
-               alloc_op = w.Txn.w_alloc;
-             })
-    in
-    let regions_written =
-      List.sort_uniq compare (List.map (fun (w : Wire.write_item) -> w.Wire.addr.Addr.region) items)
-    in
+    (* Stage the write set in address order. The write-item records are
+       fresh — LOCK and COMMIT-BACKUP receivers keep them resident until
+       truncation — only the staging vector is reused. *)
+    Addr.Map.iter
+      (fun addr (w : Txn.write_entry) ->
+        Arena.Vec.push ar.Arena.items
+          {
+            Wire.addr;
+            version = w.Txn.w_version;
+            value = w.Txn.w_value;
+            alloc_op = w.Txn.w_alloc;
+          };
+        Arena.Vec.push ar.Arena.wregions addr.Addr.region)
+      tx.Txn.writes;
+    Arena.sort_uniq_ints ar.Arena.wregions;
+    (* ONE regions-written list per transaction, shared by every LOCK and
+       COMMIT-BACKUP payload and by the live-tx record *)
+    let regions_written = Arena.Vec.to_list ar.Arena.wregions in
     (* resolve mappings for every written region *)
-    let infos = Hashtbl.create 8 in
-    List.iter
+    let missing = ref false in
+    Arena.Vec.iter
       (fun rid ->
         match Txn.ensure_mapping st rid ~retries:5 with
-        | Some info -> Hashtbl.replace infos rid info
-        | None -> ())
-      regions_written;
-    if Hashtbl.length infos <> List.length regions_written then begin
+        | Some info ->
+            Arena.Vec.push ar.Arena.info_rid rid;
+            Arena.Vec.push ar.Arena.infos info
+        | None -> missing := true)
+      ar.Arena.wregions;
+    if !missing then begin
       State.forget_outstanding st txid;
       Txn.return_allocations tx;
       finish (Error Txn.Failed)
     end
     else begin
-      let primaries = Hashtbl.create 8 and backups = Hashtbl.create 8 in
-      List.iter
-        (fun (w : Wire.write_item) ->
-          let info = Hashtbl.find infos w.Wire.addr.Addr.region in
-          add_to_list primaries info.Wire.primary w;
-          List.iter (fun b -> add_to_list backups b w) info.Wire.backups)
-        items;
-      let primary_list = Hashtbl.fold (fun p its acc -> (p, List.rev its) :: acc) primaries [] in
-      let backup_list = Hashtbl.fold (fun b its acc -> (b, List.rev its) :: acc) backups [] in
-      let participants =
-        List.sort_uniq compare (List.map fst primary_list @ List.map fst backup_list)
+      let find_info rid =
+        let rec go i =
+          if Arena.Vec.get ar.Arena.info_rid i = rid then Arena.Vec.get ar.Arena.infos i
+          else go (i + 1)
+        in
+        go 0
       in
+      Arena.Vec.iter
+        (fun (w : Wire.write_item) ->
+          let info = find_info w.Wire.addr.Addr.region in
+          Arena.group_add ar.Arena.primaries ~dst:info.Wire.primary w;
+          List.iter (fun b -> Arena.group_add ar.Arena.backups ~dst:b w) info.Wire.backups)
+        ar.Arena.items;
+      Arena.Vec.iter
+        (fun (a : Addr.t) -> Arena.Vec.push ar.Arena.rregions a.Addr.region)
+        ar.Arena.ro_addr;
+      Arena.sort_uniq_ints ar.Arena.rregions;
       let lt =
         {
           State.lt_txid = txid;
           lt_written_regions = regions_written;
-          lt_read_regions =
-            List.sort_uniq compare (List.map (fun ((a : Addr.t), _) -> a.Addr.region) reads_only);
+          lt_read_regions = Arena.Vec.to_list ar.Arena.rregions;
           lt_outcome = Ivar.create ();
           lt_recovering = false;
         }
       in
       Txid.Tbl.replace st.State.active_txs txid lt;
       (* {2 Reservations}: space for every record of the protocol plus the
-         truncation allowance, at every participant (§4). *)
-      let reserved = Hashtbl.create 8 and consumed = Hashtbl.create 8 in
-      let trunc_queued = Hashtbl.create 8 in
-      List.iter
-        (fun (p, its) ->
-          let n =
-            Logio.base_bytes (Wire.Lock { txid; regions_written; writes = its })
-            + Logio.base_bytes (Wire.Commit_primary txid)
-            + Logio.trunc_allowance
-          in
-          Logio.reserve_or_flush st ~dst:p n;
-          add_to reserved p n)
-        primary_list;
-      List.iter
-        (fun (b, its) ->
-          let n =
-            Logio.base_bytes (Wire.Commit_backup { txid; regions_written; writes = its })
-            + Logio.trunc_allowance
-          in
-          Logio.reserve_or_flush st ~dst:b n;
-          add_to reserved b n)
-        backup_list;
+         truncation allowance, at every participant (§4) — sized without
+         building any payload. *)
+      let nregions = Arena.Vec.length ar.Arena.wregions in
+      let group_writes_bytes (g : Wire.write_item Arena.group) =
+        Arena.Vec.fold (fun acc w -> acc + Wire.write_item_bytes w) 0 g.Arena.g_items
+      in
+      let reserve_for dst n =
+        Logio.reserve_or_flush st ~dst n;
+        let a = Arena.acct_for ar.Arena.acct dst in
+        a.Arena.a_reserved <- a.Arena.a_reserved + n
+      in
+      for gi = 0 to ar.Arena.primaries.Arena.live - 1 do
+        let g = Arena.group ar.Arena.primaries gi in
+        reserve_for g.Arena.g_dst
+          (Wire.lock_record_base_bytes ~nregions ~writes_bytes:(group_writes_bytes g)
+          + Wire.ctl_record_base_bytes (* COMMIT-PRIMARY *)
+          + Logio.trunc_allowance)
+      done;
+      for gi = 0 to ar.Arena.backups.Arena.live - 1 do
+        let g = Arena.group ar.Arena.backups gi in
+        reserve_for g.Arena.g_dst
+          (Wire.lock_record_base_bytes ~nregions ~writes_bytes:(group_writes_bytes g)
+          + Logio.trunc_allowance)
+      done;
+      (* deterministic participant order for truncation and leftovers *)
+      Arena.accts_sort ar.Arena.acct;
       let release_leftovers () =
-        List.iter
-          (fun m ->
-            let allowance = if Hashtbl.mem trunc_queued m then Logio.trunc_allowance else 0 in
-            let leftover = get0 reserved m - get0 consumed m - allowance in
-            if leftover > 0 then Ringlog.unreserve (State.log_to st m) leftover)
-          participants
+        Arena.accts_iter
+          (fun a ->
+            let allowance = if a.Arena.a_trunc_queued then Logio.trunc_allowance else 0 in
+            let leftover = a.Arena.a_reserved - a.Arena.a_consumed - allowance in
+            if leftover > 0 then Ringlog.unreserve (State.log_to st a.Arena.a_dst) leftover)
+          ar.Arena.acct
       in
       let cleanup () =
         Txid.Tbl.remove st.State.active_txs txid;
@@ -312,30 +381,53 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
          the coordinator waiting for a configuration change that never
          comes, its locks held forever. *)
       let suspect_append_failure m = st.State.on_suspect [ m ] in
-      (* Write one record per destination as a single doorbell-batched
-         group, then settle the books: consumed space on success, suspicion
-         on failure. Returns whether every record was acked. *)
-      let append_group ?on_complete dsts payload_of =
+      (* Stage one record per destination into the arena's append scratch
+         and write them as a single doorbell-batched group, then settle the
+         books: consumed space on success, suspicion on failure. Returns
+         whether every record was acked. *)
+      let append_group ?on_complete (groups : Wire.write_item Arena.groups) payload_of =
+        Arena.Vec.clear ar.Arena.ap_dst;
+        Arena.Vec.clear ar.Arena.ap_pay;
+        for gi = 0 to groups.Arena.live - 1 do
+          let g = Arena.group groups gi in
+          Arena.Vec.push ar.Arena.ap_dst g.Arena.g_dst;
+          Arena.Vec.push ar.Arena.ap_pay (payload_of g)
+        done;
+        let n = Arena.Vec.length ar.Arena.ap_dst in
         let results =
-          Logio.append_batch ?on_complete st ~thread:tx.Txn.thread
-            (List.map (fun (m, its) -> (m, payload_of m its)) dsts)
+          Logio.append_prepared ?on_complete st ~thread:tx.Txn.thread ~n
+            ~dst:(fun i -> Arena.Vec.get ar.Arena.ap_dst i)
+            ~payload:(fun i -> Arena.Vec.get ar.Arena.ap_pay i)
         in
         let all_ok = ref true in
-        List.iteri
-          (fun i (m, _) ->
-            match results.(i) with
-            | Ok n -> add_to consumed m n
-            | Error _ ->
-                all_ok := false;
-                suspect_append_failure m)
-          dsts;
+        for i = 0 to n - 1 do
+          let dst = Arena.Vec.get ar.Arena.ap_dst i in
+          match results.(i) with
+          | Ok b ->
+              let a = Arena.acct_for ar.Arena.acct dst in
+              a.Arena.a_consumed <- a.Arena.a_consumed + b
+          | Error _ ->
+              all_ok := false;
+              suspect_append_failure dst
+        done;
         !all_ok
       in
+      (* Wire payloads: write lists are fresh per destination (receivers
+         retain them); a control record is immutable, so one COMMIT-PRIMARY
+         value serves every destination. *)
+      let lock_payload_of (g : Wire.write_item Arena.group) =
+        Wire.Lock { txid; regions_written; writes = Arena.Vec.to_list g.Arena.g_items }
+      in
+      let commit_backup_payload_of (g : Wire.write_item Arena.group) =
+        Wire.Commit_backup { txid; regions_written; writes = Arena.Vec.to_list g.Arena.g_items }
+      in
+      let commit_primary = Wire.Commit_primary txid in
       (* Abort: write ABORT records to the primaries, which release the
          locks and locally truncate the transaction. *)
       let abort_tx ~cause reason =
         abort_cause := Some cause;
-        ignore (append_group primary_list (fun _ _ -> Wire.Abort txid));
+        let abort_record = Wire.Abort txid in
+        ignore (append_group ar.Arena.primaries (fun _ -> abort_record));
         State.forget_outstanding st txid;
         Txn.return_allocations tx;
         cleanup ();
@@ -345,12 +437,14 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       State.phase st State.Before_lock txid;
       Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_lock;
       let lw =
-        { State.lw_awaiting = List.length primary_list; lw_ok = true; lw_done = Ivar.create () }
+        {
+          State.lw_awaiting = ar.Arena.primaries.Arena.live;
+          lw_ok = true;
+          lw_done = Ivar.create ();
+        }
       in
       Txid.Tbl.replace st.State.pending_lock txid lw;
-      ignore
-        (append_group primary_list (fun _ its ->
-             Wire.Lock { txid; regions_written; writes = its }));
+      ignore (append_group ar.Arena.primaries lock_payload_of);
       match race_outcome lt lw.State.lw_done with
       | Recovered o -> recovered_result o
       | Normal () ->
@@ -360,7 +454,9 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
             Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_validate;
             (* {2 Phase 2: VALIDATE} — one batched header read across all
                groups below tr, one RPC per group above it. *)
-            let validated = reads_only = [] || validate st ~txid reads_only in
+            let validated =
+              Arena.Vec.length ar.Arena.ro_addr = 0 || validate_ar st ar ~txid
+            in
             if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
             else if not validated then abort_tx ~cause:State.Cause_validate Txn.Conflict
             else begin
@@ -369,10 +465,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
               (* {2 Phase 3: COMMIT-BACKUP} — one batched write group; wait
                  for NIC acks from all backups before any COMMIT-PRIMARY
                  (required for serializability across failures, §4). *)
-              let backups_ok =
-                append_group backup_list (fun _ its ->
-                    Wire.Commit_backup { txid; regions_written; writes = its })
-              in
+              let backups_ok = append_group ar.Arena.backups commit_backup_payload_of in
               if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
               else if not backups_ok then
                 (* a backup is gone: the suspicion just reported brings the
@@ -386,9 +479,10 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                    with first-ack semantics: report success on the first
                    hardware ack, delivered by the batch's per-op completion
                    hook; the group's bookkeeping finishes in the
-                   background. *)
+                   background, holding its own arena reference. *)
                 let first_ack = Ivar.create () in
                 let all_acks = Ivar.create () in
+                Arena.retain ar;
                 Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
                     ignore
                       (append_group
@@ -396,9 +490,10 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                            match r with
                            | Ok () -> Ivar.fill_if_empty first_ack ()
                            | Error _ -> ())
-                         primary_list
-                         (fun _ _ -> Wire.Commit_primary txid));
-                    Ivar.fill all_acks ());
+                         ar.Arena.primaries
+                         (fun _ -> commit_primary));
+                    Ivar.fill all_acks ();
+                    Arena.release st.State.arena_pool ar);
                 match race_outcome lt first_ack with
                 | Recovered o -> recovered_result o
                 | Normal () ->
@@ -409,17 +504,18 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                        phase histogram: the span itself finishes when the
                        application is told the commit succeeded. *)
                     let report_at = State.now st in
+                    Arena.retain ar;
                     Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
-                        match race_outcome lt all_acks with
+                        (match race_outcome lt all_acks with
                         | Recovered _ ->
                             Txid.Tbl.remove st.State.active_txs txid;
                             State.forget_outstanding st txid
                         | Normal () ->
-                            List.iter
-                              (fun m ->
-                                State.queue_truncation st ~dst:m txid;
-                                Hashtbl.replace trunc_queued m ())
-                              participants;
+                            Arena.accts_iter
+                              (fun a ->
+                                State.queue_truncation st ~dst:a.Arena.a_dst txid;
+                                a.Arena.a_trunc_queued <- true)
+                              ar.Arena.acct;
                             State.forget_outstanding st txid;
                             cleanup ();
                             State.phase st State.After_truncate txid;
@@ -435,6 +531,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                               ~start:(Time.to_ns report_at) ~arg:0
                               ~txm:txid.Txid.machine ~txt:txid.Txid.thread
                               ~txl:txid.Txid.local);
+                        Arena.release st.State.arena_pool ar);
                     finish (Ok ())
               end
             end

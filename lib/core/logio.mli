@@ -9,13 +9,27 @@ val trunc_allowance : int
     truncation entry. *)
 
 val base_bytes : Wire.record -> int
-(** Wire size of a record before piggybacked truncations. *)
+(** Wire size of a record before piggybacked truncations. Computed without
+    materializing a log record; see also {!Wire.lock_record_base_bytes}
+    for sizing before the payload itself exists. *)
 
 val append : State.t -> dst:int -> thread:int -> Wire.record -> (int, Fabric.error) result
 (** Write a record into the log at [dst], draining this machine's pending
     truncations for [dst] into the piggyback fields. Blocks until the
     receiver NIC's hardware ack. Returns the caller's own share of consumed
     log space. *)
+
+val append_prepared :
+  ?on_complete:(int -> (unit, Fabric.error) result -> unit) ->
+  State.t ->
+  thread:int ->
+  n:int ->
+  dst:(int -> int) ->
+  payload:(int -> Wire.record) ->
+  (int, Fabric.error) result array
+(** Like {!append_batch}, with the batch described by indexed accessors
+    ([dst i], [payload i] for [0 <= i < n]) so the caller can stage it in
+    reused arena storage instead of building a list. *)
 
 val append_batch :
   ?on_complete:(int -> (unit, Fabric.error) result -> unit) ->

@@ -132,7 +132,10 @@ let process_lock st log ~sender (e : Ringlog.entry) (p : Wire.lock_payload) =
   let record = e.Ringlog.record in
   (* group the written objects by region and wait for all regions to be
      active (they are inactive only during lock recovery, §5.3 step 1) *)
-  let rids = List.sort_uniq compare (List.map (fun w -> w.Wire.addr.Addr.region) p.Wire.writes) in
+  let rids =
+    List.sort_uniq Int.compare
+      (List.map (fun w -> w.Wire.addr.Addr.region) p.Wire.writes)
+  in
   let reps = List.filter_map (fun rid -> State.replica st rid) rids in
   if List.exists (fun (r : State.replica) -> not r.State.active) reps then begin
     st.State.inflight_blocked <- st.State.inflight_blocked + 1;
@@ -259,7 +262,7 @@ let process_entry st log (e : Ringlog.entry) =
   (* piggybacked truncation information *)
   (match Ringlog.txid_of_record record with
   | Some txid ->
-      State.update_low_bound st ~coord:(Txid.coord_key txid) record.Wire.low_bound
+      State.update_low_bound st ~coord:(Txid.coord_id txid) record.Wire.low_bound
   | None -> ());
   List.iter (fun txid -> apply_truncation st log txid) record.Wire.truncations;
   (match Ringlog.txid_of_record record with

@@ -12,6 +12,7 @@ type t = {
   validate_rpc_threshold : int;
   commit_log_bytes : int;
   doorbell_batching : bool;
+  arena_reuse : bool;
   (* leases (§5.1) *)
   lease_duration : Time.t;
   lease_renew_divisor : int;
@@ -58,6 +59,7 @@ let default =
     validate_rpc_threshold = 4;
     commit_log_bytes = 64;
     doorbell_batching = true;
+    arena_reuse = true;
     lease_duration = Time.ms 10;
     lease_renew_divisor = 5;
     lease_check_interval = Time.us 500;

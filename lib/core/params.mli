@@ -22,6 +22,11 @@ type t = {
           completion reap per group. [false] restores the pre-batching
           pipeline (one full-cost verb, poll and process spawn per record)
           for ablation *)
+  arena_reuse : bool;
+      (** recycle per-commit scratch arenas through the machine's pool
+          (the default). [false] drops released arenas so every commit
+          starts from freshly-zeroed scratch — the state-leak-detector
+          mode: traces must be byte-identical either way *)
   lease_duration : Time.t;  (** paper experiments use 10 ms *)
   lease_renew_divisor : int;  (** renew every lease/5 *)
   lease_check_interval : Time.t;

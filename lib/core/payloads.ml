@@ -15,6 +15,6 @@ let merge_payloads (a : Wire.lock_payload) (b : Wire.lock_payload) =
   in
   {
     Wire.txid = a.Wire.txid;
-    regions_written = List.sort_uniq compare (a.Wire.regions_written @ b.Wire.regions_written);
+    regions_written = List.sort_uniq Int.compare (a.Wire.regions_written @ b.Wire.regions_written);
     writes;
   }

@@ -168,9 +168,11 @@ type t = {
      this table would release another transaction's lock taken at the same
      version. *)
   locks_held : Wire.write_item list Txid.Tbl.t;
+  (* per-commit scratch arenas (see Arena); workers acquire one per commit *)
+  arena_pool : Arena.pool;
   (* truncation *)
   pending_trunc : (int, Txid.t list ref) Hashtbl.t;  (* dest machine -> txids *)
-  truncated : (int * int, trunc_track) Hashtbl.t;  (* (m, t) -> tracking *)
+  truncated : (int, trunc_track) Hashtbl.t;  (* Txid.coord_id -> tracking *)
   (* log-record processing *)
   mutable inflight : int;  (* log entries currently being processed *)
   mutable inflight_blocked : int;  (* of which blocked on region activation *)
@@ -236,6 +238,7 @@ let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~config ~directory ~obs
     pending_lock = Txid.Tbl.create 64;
     active_txs = Txid.Tbl.create 64;
     locks_held = Txid.Tbl.create 64;
+    arena_pool = Arena.create_pool ~reuse:params.Params.arena_reuse;
     pending_trunc = Hashtbl.create 16;
     truncated = Hashtbl.create 64;
     inflight = 0;
@@ -393,7 +396,7 @@ let trunc_track st ~coord =
       t
 
 let mark_truncated st txid =
-  let t = trunc_track st ~coord:(Txid.coord_key txid) in
+  let t = trunc_track st ~coord:(Txid.coord_id txid) in
   if txid.Txid.local >= t.low then Hashtbl.replace t.above txid.Txid.local ()
 
 let update_low_bound st ~coord low =
@@ -404,7 +407,7 @@ let update_low_bound st ~coord low =
   end
 
 let is_truncated st txid =
-  let t = trunc_track st ~coord:(Txid.coord_key txid) in
+  let t = trunc_track st ~coord:(Txid.coord_id txid) in
   txid.Txid.local < t.low || Hashtbl.mem t.above txid.Txid.local
 
 (* {1 Pending truncations at the coordinator} *)

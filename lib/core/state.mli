@@ -155,8 +155,10 @@ type t = {
   locks_held : Wire.write_item list Txid.Tbl.t;
       (** primary-side lock ownership: the ABORT path must release exactly
           the locks its transaction took *)
+  arena_pool : Arena.pool;
+      (** per-commit scratch arenas; workers acquire one per commit *)
   pending_trunc : (int, Txid.t list ref) Hashtbl.t;
-  truncated : (int * int, trunc_track) Hashtbl.t;
+  truncated : (int, trunc_track) Hashtbl.t;  (** keyed by {!Txid.coord_id} *)
   mutable inflight : int;
   mutable inflight_blocked : int;
   deferred_trunc : (int, Txid.Set.t ref) Hashtbl.t;
@@ -225,9 +227,11 @@ val forget_outstanding : t -> Txid.t -> unit
 
 (** {1 Truncation tracking} *)
 
-val trunc_track : t -> coord:int * int -> trunc_track
+val trunc_track : t -> coord:int -> trunc_track
+(** [coord] is a {!Txid.coord_id}-packed coordinator-thread identity. *)
+
 val mark_truncated : t -> Txid.t -> unit
-val update_low_bound : t -> coord:int * int -> int -> unit
+val update_low_bound : t -> coord:int -> int -> unit
 val is_truncated : t -> Txid.t -> bool
 
 val queue_truncation : t -> dst:int -> Txid.t -> unit

@@ -24,6 +24,12 @@ let hash t = Hashtbl.hash (t.config, t.machine, t.thread, t.local)
    for sharding recovery work across threads. *)
 let coord_key t = (t.machine, t.thread)
 
+(* The same identity packed into one int, for the per-record hot path:
+   keying the truncation tables on a tuple would allocate the key and
+   hash it structurally on every log record processed. Threads fit in 10
+   bits ([Params.threads_per_machine] is single digits). *)
+let coord_id t = (t.machine lsl 10) lor t.thread
+
 let pp ppf t = Fmt.pf ppf "<c%d,m%d,t%d,l%d>" t.config t.machine t.thread t.local
 
 module Tbl = Hashtbl.Make (struct

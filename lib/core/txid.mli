@@ -17,6 +17,10 @@ val coord_key : t -> int * int
 (** [(machine, thread)], the key for truncation tracking and recovery
     sharding. *)
 
+val coord_id : t -> int
+(** The same identity packed into one int — the allocation-free key the
+    truncation tables use on the per-record hot path. *)
+
 val pp : Format.formatter -> t -> unit
 
 module Tbl : Hashtbl.S with type key = t

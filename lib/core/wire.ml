@@ -189,15 +189,23 @@ let record_flow payload ~dst =
       Farm_obs.Tracer.flow_id ~machine:id.Txid.machine ~thread:id.Txid.thread
         ~local:id.Txid.local ~tag:(payload_tag payload) ~dst
 
-let record_bytes r =
-  let base =
-    match r.payload with
-    | Lock p | Commit_backup p -> 16 + lock_payload_bytes p
-    | Commit_primary _ -> 32
-    | Abort _ -> 32
-    | Truncate_marker -> 24
-  in
-  base + (16 * List.length r.truncations) + 8
+let payload_bytes = function
+  | Lock p | Commit_backup p -> 16 + lock_payload_bytes p
+  | Commit_primary _ -> 32
+  | Abort _ -> 32
+  | Truncate_marker -> 24
+
+let record_bytes r = payload_bytes r.payload + (16 * List.length r.truncations) + 8
+
+(* Record sizes computed without materializing the record: the commit path
+   reserves log space for every LOCK / COMMIT-BACKUP / COMMIT-PRIMARY
+   record before building any of them, and building throwaway payloads
+   just to measure them was a per-commit allocation. Must mirror
+   [payload_bytes] + the [record_bytes] trailer. *)
+let lock_record_base_bytes ~nregions ~writes_bytes =
+  16 + (16 + (4 * nregions) + writes_bytes) + 8
+
+let ctl_record_base_bytes = 32 + 8
 
 let evidence_bytes e =
   24

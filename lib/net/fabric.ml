@@ -289,46 +289,79 @@ let reap t (ms : 'msg machine) results =
     Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll;
   results
 
-let record_batch (ms : 'msg machine) descs bytes_of =
-  match descs with
-  | [] -> ()
-  | _ ->
-      let n = List.length descs in
-      let total = List.fold_left (fun acc d -> acc + bytes_of d) 0 descs in
-      Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_batch;
-      Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_batch ~a:n ~b:total ~c:0
+let record_batch (ms : 'msg machine) ~n bytes_of =
+  if n > 0 then begin
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      total := !total + bytes_of i
+    done;
+    Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_batch;
+    Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_batch ~a:n ~b:!total ~c:0
+  end
+
+(* The primary batch entry points take indexed accessors ([dst i],
+   [bytes i], [read i] / [apply i] for [0 <= i < n]) so hot callers can
+   describe a group straight out of reused flat storage, with a constant
+   number of closures per batch instead of a descriptor tuple per
+   operation. The list forms below are veneers. *)
+
+let one_sided_read_batch_fn t ~src ~n ~(dst : int -> int) ~(bytes : int -> int)
+    ~(read : int -> 'a) : ('a, error) result array =
+  let ms = get t src in
+  record_batch ms ~n bytes;
+  let flights =
+    Array.init n (fun i ->
+        let d = dst i and b = bytes i in
+        Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_read;
+        Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_read ~a:d ~b ~c:0;
+        Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
+        read_flight t ~src ~dst:d ~bytes:b (fun () -> read i))
+  in
+  reap t ms (Array.map Ivar.read flights)
+
+let one_sided_write_batch_fn ?on_complete t ~src ~n ~(dst : int -> int)
+    ~(bytes : int -> int) ~(apply : int -> unit) : (unit, error) result array =
+  let ms = get t src in
+  record_batch ms ~n bytes;
+  let flights =
+    Array.init n (fun i ->
+        let d = dst i and b = bytes i in
+        Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_write;
+        Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_write ~a:d ~b ~c:0;
+        Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
+        let iv = write_flight t ~src ~dst:d ~bytes:b (fun () -> apply i) in
+        (match on_complete with Some f -> Ivar.on_fill iv (fun r -> f i r) | None -> ());
+        iv)
+  in
+  reap t ms (Array.map Ivar.read flights)
 
 let one_sided_read_batch t ~src (descs : (int * int * (unit -> 'a)) list) :
     ('a, error) result array =
-  let ms = get t src in
-  record_batch ms descs (fun (_, bytes, _) -> bytes);
-  let flights =
-    List.mapi
-      (fun i (dst, bytes, read) ->
-        Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_read;
-        Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_read ~a:dst ~b:bytes ~c:0;
-        Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
-        read_flight t ~src ~dst ~bytes read)
-      descs
-  in
-  reap t ms (Array.of_list (List.map Ivar.read flights))
+  let a = Array.of_list descs in
+  one_sided_read_batch_fn t ~src ~n:(Array.length a)
+    ~dst:(fun i ->
+      let d, _, _ = a.(i) in
+      d)
+    ~bytes:(fun i ->
+      let _, b, _ = a.(i) in
+      b)
+    ~read:(fun i ->
+      let _, _, r = a.(i) in
+      r ())
 
 let one_sided_write_batch ?on_complete t ~src (descs : (int * int * (unit -> unit)) list) :
     (unit, error) result array =
-  let ms = get t src in
-  record_batch ms descs (fun (_, bytes, _) -> bytes);
-  let flights =
-    List.mapi
-      (fun i (dst, bytes, apply) ->
-        Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_write;
-        Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_write ~a:dst ~b:bytes ~c:0;
-        Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
-        let iv = write_flight t ~src ~dst ~bytes apply in
-        (match on_complete with Some f -> Ivar.on_fill iv (fun r -> f i r) | None -> ());
-        iv)
-      descs
-  in
-  reap t ms (Array.of_list (List.map Ivar.read flights))
+  let a = Array.of_list descs in
+  one_sided_write_batch_fn ?on_complete t ~src ~n:(Array.length a)
+    ~dst:(fun i ->
+      let d, _, _ = a.(i) in
+      d)
+    ~bytes:(fun i ->
+      let _, b, _ = a.(i) in
+      b)
+    ~apply:(fun i ->
+      let _, _, f = a.(i) in
+      f ())
 
 let deliver t ~src ~dst ~prio ~bytes ~flow msg ~reply =
   let route at =

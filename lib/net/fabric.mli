@@ -93,9 +93,33 @@ val one_sided_write : 'msg t -> src:int -> dst:int -> bytes:int -> (unit -> unit
     completed (ack or failure) and return per-descriptor results in order.
     An empty batch returns [[||]] and charges nothing. *)
 
+val one_sided_read_batch_fn :
+  'msg t ->
+  src:int ->
+  n:int ->
+  dst:(int -> int) ->
+  bytes:(int -> int) ->
+  read:(int -> 'a) ->
+  ('a, error) result array
+(** Indexed-accessor form: operation [i] ([0 <= i < n]) reads [bytes i]
+    from [dst i], with [read i] executing at its target-DMA instant. Lets
+    hot callers describe a batch out of reused flat storage with a
+    constant number of closures instead of a descriptor per operation. *)
+
 val one_sided_read_batch :
   'msg t -> src:int -> (int * int * (unit -> 'a)) list -> ('a, error) result array
 (** Each descriptor is [(dst, bytes, read)]. *)
+
+val one_sided_write_batch_fn :
+  ?on_complete:(int -> (unit, error) result -> unit) ->
+  'msg t ->
+  src:int ->
+  n:int ->
+  dst:(int -> int) ->
+  bytes:(int -> int) ->
+  apply:(int -> unit) ->
+  (unit, error) result array
+(** Indexed-accessor form of {!one_sided_write_batch}. *)
 
 val one_sided_write_batch :
   ?on_complete:(int -> (unit, error) result -> unit) ->

@@ -51,7 +51,9 @@ let txid_ordering () =
   let b = Txid.make ~config:1 ~machine:2 ~thread:3 ~local:5 in
   check_bool "ordered by local" true (Txid.compare a b < 0);
   check_bool "equal" true (Txid.equal a a);
-  check_bool "coord key" true (Txid.coord_key a = (2, 3))
+  check_bool "coord key" true (Txid.coord_key a = (2, 3));
+  check_bool "coord id packs machine+thread" true
+    (Txid.coord_id a = Txid.coord_id b && Txid.coord_id a <> Txid.coord_id (Txid.make ~config:1 ~machine:2 ~thread:4 ~local:0))
 
 let addr_map () =
   let a = Addr.make ~region:1 ~offset:64 in

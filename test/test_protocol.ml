@@ -90,7 +90,10 @@ let truncation_tracking_compact () =
   (* at the primary, the tracker for coordinator (1,0) has advanced its low
      bound and keeps only a small set above it *)
   let st = Cluster.machine c r.Wire.primary in
-  let t = State.trunc_track st ~coord:(1, 0) in
+  let t =
+    State.trunc_track st
+      ~coord:(Txid.coord_id (Txid.make ~config:1 ~machine:1 ~thread:0 ~local:0))
+  in
   check_bool "low bound advanced" true (t.State.low > 40);
   check_bool "above-set compact" true (Hashtbl.length t.State.above < 20)
 
