@@ -25,6 +25,13 @@ type spec = {
   victim : victim;
   seed : int;
   data_rec_limit : Time.t;  (* how long to wait for full data recovery *)
+  kill_burst : int;
+      (* extra unmeasured workers per machine, spawned 2 ms before the kill
+         and stopped 10 ms after it: they raise the in-flight transaction
+         population at the kill instant (the paper's runs carry ~7 500
+         in-flight transactions into recovery, and that drain is where its
+         recovery-time tail comes from) without polluting the throughput
+         series the recovery analysis reads *)
   quiet : bool;
   json : string option;
       (* write the sampled cluster timeline (1 ms commits/aborts/one-sided
@@ -46,6 +53,7 @@ let default_spec =
     victim = Kill_primary_of_first_region;
     seed = 42;
     data_rec_limit = Time.s 2;
+    kill_burst = 0;
     quiet = false;
     json = None;
   }
@@ -186,6 +194,37 @@ let run spec : outcome =
               (fun m -> spec.domains m = d)
               (List.init spec.machines Fun.id));
       List.iter (fun m -> Cluster.kill c m) !victims);
+  (* the in-flight burst: extra workers alive only across the kill window,
+     so far more transactions are mid-commit when the victim dies *)
+  if spec.kill_burst > 0 then begin
+    let burst_stop = ref false in
+    Engine.schedule c.Cluster.engine
+      ~at:(Time.sub kill_abs (Time.ms 2))
+      (fun () ->
+        Array.iter
+          (fun (st : State.t) ->
+            if st.State.alive then
+              for w = 0 to spec.kill_burst - 1 do
+                let ctx =
+                  {
+                    Driver.st;
+                    thread = w mod st.State.params.Params.threads_per_machine;
+                    rng = Rng.split st.State.rng;
+                    worker = 1000 + w;
+                  }
+                in
+                Proc.spawn ~ctx:st.State.ctx c.Cluster.engine (fun () ->
+                    while not !burst_stop do
+                      Proc.check_cancelled ();
+                      ignore (op ctx);
+                      Proc.sleep (Time.us 1)
+                    done)
+              done)
+          c.Cluster.machines);
+    Engine.schedule c.Cluster.engine
+      ~at:(Time.add kill_abs (Time.ms 10))
+      (fun () -> burst_stop := true)
+  end;
   let stats =
     Driver.run c ~workers:spec.workers ~duration:spec.measure_for ~op
       ~machines:

@@ -35,6 +35,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "batching",
       "batched vs unbatched commit pipeline (doorbell batching)",
       fun () -> ignore (Commit_batching.run ()) );
+    ( "opacity",
+      "validate-at-commit vs snapshot protocol on contended YCSB-B/C",
+      fun () -> ignore (Opacity_bench.run ()) );
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -24,7 +24,7 @@ let tests () =
     {
       Farm_core.Wire.payload =
         Farm_core.Wire.Commit_primary
-          (Farm_core.Txid.make ~config:1 ~machine:0 ~thread:0 ~local:1);
+          { txid = Farm_core.Txid.make ~config:1 ~machine:0 ~thread:0 ~local:1; ts = 0 };
       truncations = [];
       low_bound = 0;
       cfg = 1;
@@ -50,6 +50,35 @@ let tests () =
         with
         | Ok v -> v
         | Error e -> Fmt.failwith "micro: setup tx failed: %a" Txn.pp_abort e)
+  in
+  (* a second cluster running the snapshot protocol, for the read-only
+     transaction rows: same shape, different commit path *)
+  let cs =
+    Cluster.create ~machines:3
+      ~params:{ Params.default with Params.protocol = Params.Snapshot }
+      ()
+  in
+  let rs = Cluster.alloc_region_exn cs in
+  let sa, sb =
+    Cluster.run_on cs ~machine:0 (fun st ->
+        match
+          Api.run st ~thread:0 (fun tx ->
+              let a = Txn.alloc tx ~size:16 ~region:rs.Wire.rid () in
+              let b = Txn.alloc tx ~size:16 ~region:rs.Wire.rid () in
+              (a, b))
+        with
+        | Ok v -> v
+        | Error e -> Fmt.failwith "micro: snapshot setup tx failed: %a" Txn.pp_abort e)
+  in
+  let ro_txn cl x y =
+    Cluster.run_on cl ~machine:0 (fun st ->
+        match
+          Api.run st ~thread:0 (fun tx ->
+              ignore (Txn.read tx x ~len:16);
+              ignore (Txn.read tx y ~len:16))
+        with
+        | Ok () -> ()
+        | Error e -> Fmt.failwith "micro: read-only tx failed: %a" Txn.pp_abort e)
   in
   let payload = Bytes.make 16 'x' in
   let fnv_key = Bytes.make 16 'k' in
@@ -93,6 +122,11 @@ let tests () =
             with
             | Ok () -> ()
             | Error e -> Fmt.failwith "micro: commit tx failed: %a" Txn.pp_abort e) );
+    (* a two-object read-only transaction, both protocol variants: the
+       baseline validates at commit, the snapshot protocol reads at its
+       timestamp and commits locally *)
+    ("commit.ro_txn_baseline", fun () -> ro_txn c a b);
+    ("commit.ro_txn_snapshot", fun () -> ro_txn cs sa sb);
   ]
 
 (* Bytes allocated per operation, measured over a GC-quiet window (see

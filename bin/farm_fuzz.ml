@@ -18,7 +18,8 @@ open Farm_sim
 open Farm_fault
 open Cmdliner
 
-let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching ~perfetto =
+let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching ~protocol
+    ~perfetto =
   {
     Explorer.machines;
     cells;
@@ -26,6 +27,7 @@ let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching ~perfe
     duration = Time.ms duration_ms;
     btree = not no_btree;
     batching = not no_batching;
+    protocol;
     record = true;
     perfetto;
   }
@@ -71,8 +73,8 @@ let run_replay ~opts ~seed ~trace_flag ~perfetto_file =
   | _ -> ());
   if Explorer.ok o then 0 else 1
 
-let main seed schedules replay machines cells workers duration_ms no_btree no_batching jobs
-    verbose trace_flag perfetto_file =
+let main seed schedules replay machines cells workers duration_ms no_btree no_batching
+    protocol jobs verbose trace_flag perfetto_file =
   if machines < 3 then begin
     Fmt.epr "farm_fuzz: --machines must be at least 3 (every region needs f+1 = 3 replicas)@.";
     2
@@ -87,7 +89,7 @@ let main seed schedules replay machines cells workers duration_ms no_btree no_ba
   end
   else begin
     let opts =
-      opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching
+      opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching ~protocol
         ~perfetto:(perfetto_file <> None)
     in
     match replay with
@@ -125,6 +127,23 @@ let cmd =
       & info [ "no-batching" ]
           ~doc:"Run the unbatched (pre-doorbell-batching) commit pipeline.")
   in
+  let protocol =
+    let proto_conv =
+      Arg.enum
+        [
+          ("baseline", Farm_core.Params.Validate_at_commit);
+          ("snapshot", Farm_core.Params.Snapshot);
+        ]
+    in
+    Arg.(
+      value
+      & opt proto_conv Farm_core.Params.Validate_at_commit
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:
+            "Commit protocol variant: $(b,baseline) (validate-at-commit, the default) or \
+             $(b,snapshot) (multi-version reads at a global-time snapshot; read-only \
+             transactions commit locally without VALIDATE).")
+  in
   let jobs =
     Arg.(
       value
@@ -156,7 +175,7 @@ let cmd =
   let term =
     Term.(
       const main $ seed $ schedules $ replay $ machines $ cells $ workers $ duration_ms
-      $ no_btree $ no_batching $ jobs $ verbose $ trace_flag $ perfetto_file)
+      $ no_btree $ no_batching $ protocol $ jobs $ verbose $ trace_flag $ perfetto_file)
   in
   Cmd.v (Cmd.info "farm_fuzz" ~doc:"Deterministic fault-schedule fuzzer for the FaRM simulation") term
 

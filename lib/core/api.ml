@@ -29,6 +29,7 @@ let run st ~thread (f : Txn.t -> 'a) : 'a result_t =
           Error e)
   | exception Txn.Abort reason ->
       tx.Txn.finished <- true;
+      Txn.release_read_ts tx;
       Txn.return_allocations tx;
       Farm_obs.Obs.Span.finish tx.Txn.span ~committed:false;
       State.record_abort ~reason:(Txn.reason_index reason) st;

@@ -27,6 +27,11 @@ let create ?(seed = 42) ?(params = Params.default) ?(domains = fun i -> i) ~mach
     Farm_net.Fabric.create engine ~params:params.Params.net ~rng:(Rng.split rng)
   in
   let zk = Farm_coord.Zk.create engine ~rng:(Rng.split rng) ~replicas:5 in
+  (* the clock service and per-machine offsets exist in BOTH protocol
+     modes, drawn from a dedicated stream: switching Params.protocol never
+     perturbs the fabric/zk/machine rng streams *)
+  let clock = Clock.create engine ~eps:params.Params.clock_eps in
+  let clock_rng = Rng.split rng in
   let members = List.init n Fun.id in
   let domains_list = List.map (fun m -> (m, domains m)) members in
   let config = Config.make ~id:1 ~members ~domains:domains_list ~cm:0 in
@@ -44,8 +49,9 @@ let create ?(seed = 42) ?(params = Params.default) ?(domains = fun i -> i) ~mach
             logs_in = Hashtbl.create (max 8 n);
           }
         in
-        State.create ~id ~engine ~rng:(Rng.split rng) ~params ~fabric ~zk ~cpu ~nv ~config
-          ~directory ~obs)
+        let clk = Clock.handle clock ~offset_ns:(Clock.draw_offset clock clock_rng) in
+        State.create ~id ~engine ~rng:(Rng.split rng) ~params ~fabric ~zk ~cpu ~nv
+          ~clock:clk ~config ~directory ~obs)
   in
   Array.iter (fun st -> Hashtbl.replace directory st.State.id st) states;
   (* a ring log (located at the receiver) for every ordered machine pair *)
@@ -152,8 +158,11 @@ let restart_machine ?(rejoining = true) t id ~config =
   Farm_net.Fabric.reset_machine ~obs t.fabric ~id ~cpu;
   let directory = old.State.directory in
   let st =
+    (* the clock offset is a hardware property of the machine: a restart
+       keeps the old handle (same static offset, same engine) *)
     State.create ~id ~engine:t.engine ~rng:(Rng.split t.rng) ~params:t.params
-      ~fabric:t.fabric ~zk:t.zk ~cpu ~nv:old.State.nv ~config ~directory ~obs
+      ~fabric:t.fabric ~zk:t.zk ~cpu ~nv:old.State.nv ~clock:old.State.clock ~config
+      ~directory ~obs
   in
   (* reconnect the sender-side views of the shared ring logs; reservations
      and head estimates died with the process, so resynchronize them *)

@@ -231,6 +231,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
     | Error e ->
         Farm_obs.Obs.Span.finish tx.Txn.span ~committed:false;
         State.record_abort ~reason:(Txn.reason_index e) ?cause:!abort_cause st);
+    Txn.release_read_ts tx;
     Arena.release st.State.arena_pool ar;
     result
   in
@@ -243,9 +244,19 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       end)
     tx.Txn.reads;
   if Addr.Map.is_empty tx.Txn.writes then begin
-    (* Read-only transactions: serialization point is the last read;
-       single-object reads are already atomic and need no validation. *)
-    if Arena.Vec.length ar.Arena.ro_addr <= 1 then finish (Ok ())
+    if tx.Txn.read_ts >= 0 then begin
+      (* Snapshot protocol: every read was served at the transaction's
+         read timestamp, so the whole read set is one consistent snapshot
+         already — the transaction serializes there and commits locally,
+         with zero VALIDATE messages and zero aborts (FaRMv2 opacity). *)
+      Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_ro_commit;
+      finish (Ok ())
+    end
+    else if
+      (* Baseline: serialization point is the last read; single-object
+         reads are already atomic and need no validation. *)
+      Arena.Vec.length ar.Arena.ro_addr <= 1
+    then finish (Ok ())
     else begin
       let txid = State.fresh_txid st ~thread:tx.Txn.thread in
       Farm_obs.Obs.Span.set_tx tx.Txn.span ~txm:txid.Txid.machine
@@ -272,6 +283,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
             version = w.Txn.w_version;
             value = w.Txn.w_value;
             alloc_op = w.Txn.w_alloc;
+            ts = 0;  (* the write timestamp is chosen after the locks *)
           };
         Arena.Vec.push ar.Arena.wregions addr.Addr.region)
       tx.Txn.writes;
@@ -319,6 +331,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
           lt_read_regions = Arena.Vec.to_list ar.Arena.rregions;
           lt_outcome = Ivar.create ();
           lt_recovering = false;
+          lt_born = State.now st;
         }
       in
       Txid.Tbl.replace st.State.active_txs txid lt;
@@ -418,16 +431,50 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       let lock_payload_of (g : Wire.write_item Arena.group) =
         Wire.Lock { txid; regions_written; writes = Arena.Vec.to_list g.Arena.g_items }
       in
+      (* Snapshot protocol: the write timestamp, chosen once every lock is
+         granted — above this clock's upper bound, above every locked
+         object's head timestamp (from the LOCK replies), and above the
+         transaction's own read timestamp. 0 in the baseline. *)
+      let w_ts = ref 0 in
+      (* COMMIT-BACKUP items carry the write timestamp the LOCK items could
+         not know yet; the lists are fresh per destination anyway. *)
       let commit_backup_payload_of (g : Wire.write_item Arena.group) =
-        Wire.Commit_backup { txid; regions_written; writes = Arena.Vec.to_list g.Arena.g_items }
+        let writes = Arena.Vec.to_list g.Arena.g_items in
+        let writes =
+          if !w_ts = 0 then writes
+          else List.map (fun (w : Wire.write_item) -> { w with Wire.ts = !w_ts }) writes
+        in
+        Wire.Commit_backup { txid; regions_written; writes }
       in
-      let commit_primary = Wire.Commit_primary txid in
+      (* A failed log append reports a suspicion and assumes the resulting
+         configuration change makes this transaction recovering (§5.3). That
+         is not guaranteed: the suspect can heal before eviction, or an
+         unrelated reconfiguration can win the race without changing any
+         written region's replica set — then no drain ever classifies the
+         transaction, nobody decides it, and its locks leak. But this
+         coordinator is alive and owns the transaction until it fails, so it
+         can decide the outcome itself — abort while the commit point is
+         still ahead, commit once every COMMIT-BACKUP record is acked — and
+         hand the decision to the recovery push, which retries COMMIT/
+         ABORT-RECOVERY against every written region's replicas (re-resolving
+         the mapping each round) until the locks are released everywhere.
+         Vote collection is wrong here: pre-drain votes come from the
+         primaries' resident logs alone, which cannot see COMMIT-BACKUP
+         records held by backups. *)
+      let recover_deciding outcome =
+        lt.State.lt_recovering <- true;
+        Recovery.coordinator_decide st txid ~regions:lt.State.lt_written_regions
+          outcome
+      in
       (* Abort: write ABORT records to the primaries, which release the
          locks and locally truncate the transaction. *)
       let abort_tx ~cause reason =
         abort_cause := Some cause;
         let abort_record = Wire.Abort txid in
-        ignore (append_group ar.Arena.primaries (fun _ -> abort_record));
+        if not (append_group ar.Arena.primaries (fun _ -> abort_record)) then
+          (* an unreachable primary keeps its locks until the decision
+             reaches it — make sure there is a decision *)
+          recover_deciding State.Aborted;
         State.forget_outstanding st txid;
         Txn.return_allocations tx;
         cleanup ();
@@ -441,15 +488,25 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
           State.lw_awaiting = ar.Arena.primaries.Arena.live;
           lw_ok = true;
           lw_done = Ivar.create ();
+          lw_max_ts = 0;
         }
       in
       Txid.Tbl.replace st.State.pending_lock txid lw;
-      ignore (append_group ar.Arena.primaries lock_payload_of);
+      if not (append_group ar.Arena.primaries lock_payload_of) then
+        (* an unreachable primary never replies, so [lw_done] may never
+           fill — and since some locks may already be granted, abort: the
+           decision fills [lt_outcome] and its push releases them *)
+        recover_deciding State.Aborted;
       match race_outcome lt lw.State.lw_done with
       | Recovered o -> recovered_result o
       | Normal () ->
           if not lw.State.lw_ok then abort_tx ~cause:State.Cause_lock Txn.Conflict
           else begin
+            if tx.Txn.read_ts >= 0 then
+              w_ts :=
+                max
+                  (Clock.hi st.State.clock + 1)
+                  (max (lw.State.lw_max_ts + 1) (tx.Txn.read_ts + 1));
             State.phase st State.After_lock txid;
             Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_validate;
             (* {2 Phase 2: VALIDATE} — one batched header read across all
@@ -467,11 +524,16 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                  (required for serializability across failures, §4). *)
               let backups_ok = append_group ar.Arena.backups commit_backup_payload_of in
               if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
-              else if not backups_ok then
-                (* a backup is gone: the suspicion just reported brings the
-                   configuration change that makes this transaction
-                   recovering *)
+              else if not backups_ok then begin
+                (* a backup is gone, with COMMIT-BACKUP records at the
+                   surviving ones: neither outcome is decidable here (§5.3
+                   commits on the surviving records once the failed backup is
+                   evicted). Park until a decision fills [lt_outcome]: the
+                   eviction-triggered drain supplies it with full evidence,
+                   and if the partition heals without a replica-set change
+                   the park watchdog aborts instead *)
                 recovered_result (Ivar.read lt.State.lt_outcome)
+              end
               else begin
                 State.phase st State.After_commit_backup txid;
                 Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_commit_primary;
@@ -482,22 +544,42 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                    background, holding its own arena reference. *)
                 let first_ack = Ivar.create () in
                 let all_acks = Ivar.create () in
+                let commit_primary = Wire.Commit_primary { txid; ts = !w_ts } in
                 Arena.retain ar;
                 Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
-                    ignore
-                      (append_group
-                         ~on_complete:(fun _ r ->
-                           match r with
-                           | Ok () -> Ivar.fill_if_empty first_ack ()
-                           | Error _ -> ())
-                         ar.Arena.primaries
-                         (fun _ -> commit_primary));
+                    let ok =
+                      append_group
+                        ~on_complete:(fun _ r ->
+                          match r with
+                          | Ok () -> Ivar.fill_if_empty first_ack ()
+                          | Error _ -> ())
+                        ar.Arena.primaries
+                        (fun _ -> commit_primary)
+                    in
+                    (* if every append failed, [first_ack] never fills and
+                       the commit parks; on partial failure the unreachable
+                       primary keeps its locks. Either way the outcome is
+                       already fixed — every COMMIT-BACKUP record was acked,
+                       the commit point is behind us — so decide commit and
+                       let the push apply it at the unreachable primaries *)
+                    if not ok then recover_deciding State.Committed;
                     Ivar.fill all_acks ();
                     Arena.release st.State.arena_pool ar);
                 match race_outcome lt first_ack with
                 | Recovered o -> recovered_result o
                 | Normal () ->
                     State.phase st State.After_commit_primary txid;
+                    (* {2 Commit wait (snapshot protocol)} — before the
+                       commit is reported, wait until every machine's clock
+                       lower bound has passed the write timestamp: any
+                       transaction that begins after the report draws a
+                       read timestamp above it (strict serializability,
+                       FaRMv2 §3). Readers meanwhile wait on the object
+                       locks, so no one observes the write early. *)
+                    if !w_ts > 0 then begin
+                      Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_commit_wait;
+                      Clock.commit_wait st.State.clock ~ts:!w_ts
+                    end;
                     (* {2 Phase 5: TRUNCATE} — lazily, after all primaries
                        acked, in the background. The segment is timed from
                        the report instant and recorded directly into the

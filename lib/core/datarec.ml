@@ -181,6 +181,11 @@ let rec recover_region st (rep : State.replica) ~on_done =
                 recover_region st rep ~on_done)
           else begin
             rep.State.fresh_backup <- false;
+            (* the copied blocks carry only current versions, no history:
+               the chain cannot serve snapshots older than "now" *)
+            (match rep.State.vc with
+            | Some vc -> Verchain.raise_floor vc (Clock.hi st.State.clock + 1)
+            | None -> ());
             on_done ()
           end
         end)

@@ -166,6 +166,20 @@ let process_lock st log ~sender (e : Ringlog.entry) (p : Wire.lock_payload) =
       (if ok then Farm_obs.Obs.C_lock_ok else Farm_obs.Obs.C_lock_fail);
     if not ok then List.iter (fun (rep, w) -> Objmem.unlock rep w) acquired
     else Txid.Tbl.replace st.State.locks_held p.Wire.txid p.Wire.writes;
+    (* snapshot protocol: the largest head commit timestamp among the
+       objects just locked — exact, because the locks serialize same-object
+       writers — so the coordinator's write timestamp provably exceeds
+       every version it overwrites *)
+    let head_ts =
+      if not ok then 0
+      else
+        List.fold_left
+          (fun acc ((rep : State.replica), (w : Wire.write_item)) ->
+            match rep.State.vc with
+            | Some vc -> max acc (Verchain.head_ts vc ~off:w.Wire.addr.Addr.offset)
+            | None -> acc)
+          0 acquired
+    in
     Ringlog.retain log e;
     let id = p.Wire.txid in
     Farm_obs.Tracer.slice_tx
@@ -181,12 +195,14 @@ let process_lock st log ~sender (e : Ringlog.entry) (p : Wire.lock_payload) =
         ~local:id.Txid.local ~tag:5 ~dst:sender
     in
     Comms.send st ~flow ~dst:sender
-      (Wire.Lock_reply { txid = p.Wire.txid; ok; cfg = record.Wire.cfg })
+      (Wire.Lock_reply { txid = p.Wire.txid; ok; cfg = record.Wire.cfg; head_ts })
   end
 
-let process_commit_primary st log (e : Ringlog.entry) txid =
+let process_commit_primary st log (e : Ringlog.entry) txid ~ts =
   (* The LOCK record is resident in the same log (processed before the
-     coordinator could write COMMIT-PRIMARY). *)
+     coordinator could write COMMIT-PRIMARY). Its items carry no write
+     timestamp (the coordinator chose one only after the locks), so the
+     COMMIT-PRIMARY record's [ts] is what the primary installs. *)
   let payload =
     List.find_map
       (fun (r : Wire.log_record) ->
@@ -201,7 +217,7 @@ let process_commit_primary st log (e : Ringlog.entry) txid =
         (fun (w : Wire.write_item) ->
           match State.replica st w.Wire.addr.Addr.region with
           | Some rep ->
-              let applied = Objmem.apply_write rep w in
+              let applied = Objmem.apply_write ~ts rep w in
               (* a committed free returns the slot to the primary's slab
                  (only on first application) *)
               if applied && w.Wire.alloc_op = Wire.Alloc_clear && rep.State.role = State.Primary
@@ -281,7 +297,7 @@ let process_entry st log (e : Ringlog.entry) =
         match record.Wire.payload with
         | Lock p -> process_lock st log ~sender e p
         | Commit_backup _ -> Ringlog.retain log e
-        | Commit_primary txid -> process_commit_primary st log e txid
+        | Commit_primary { txid; ts } -> process_commit_primary st log e txid ~ts
         | Abort txid -> process_abort st log e txid
         | Truncate_marker -> Ringlog.discard log st.State.engine e
       end;

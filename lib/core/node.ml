@@ -6,7 +6,7 @@ open Farm_sim
 
 let dispatch st ~src ~reply (msg : Wire.message) =
   match msg with
-  | Wire.Lock_reply { txid; ok; cfg = _ } -> (
+  | Wire.Lock_reply { txid; ok; cfg = _; head_ts } -> (
       match Txid.Tbl.find_opt st.State.pending_lock txid with
       | Some lw ->
           let recovering =
@@ -17,6 +17,7 @@ let dispatch st ~src ~reply (msg : Wire.message) =
           (* coordinators ignore replies for recovering transactions *)
           if not recovering then begin
             lw.State.lw_awaiting <- lw.State.lw_awaiting - 1;
+            if head_ts > lw.State.lw_max_ts then lw.State.lw_max_ts <- head_ts;
             if not ok then lw.State.lw_ok <- false;
             if lw.State.lw_awaiting <= 0 || not ok then Ivar.fill_if_empty lw.State.lw_done ()
           end
@@ -105,6 +106,28 @@ let dispatch st ~src ~reply (msg : Wire.message) =
       let ok = match st.State.app_handler with Some f -> f ~tag ~args | None -> false in
       Comms.reply_to reply (Wire.App_reply { ok })
   | Wire.App_reply _ -> ()
+  | Wire.Watermark_report { cfg; wm } ->
+      (* CM side of chain truncation: remember the reporter's watermark and
+         release the cluster minimum only once EVERY current member has
+         reported — a machine that never reported may still host snapshot
+         readers below everyone else's bound. 0 means "do not trim yet". *)
+      let cluster_wm =
+        if (not (State.is_cm st)) || cfg <> st.State.config.Config.id then 0
+        else begin
+          let cm = State.ensure_cm st in
+          Hashtbl.replace cm.State.cm_wms src wm;
+          List.fold_left
+            (fun acc m ->
+              if acc = 0 then 0
+              else
+                match Hashtbl.find_opt cm.State.cm_wms m with
+                | Some w -> min acc w
+                | None -> 0)
+            max_int st.State.config.Config.members
+        end
+      in
+      Comms.reply_to reply (Wire.Watermark_update { wm = (if cluster_wm = max_int then 0 else cluster_wm) })
+  | Wire.Watermark_update _ -> ()
   | Wire.Ack | Wire.Nack -> ()
 
 (* Receive path: lease traffic takes its dedicated fast path (§5.1); all
@@ -129,6 +152,59 @@ let start st =
   Farm_net.Fabric.set_handler st.State.fabric st.State.id (fun ~src ~reply msg ->
       on_message st ~src ~reply msg);
   Lease.start st;
+  (* Snapshot protocol: the watermark reporter. Every [wm_interval] the
+     machine reports min(its active snapshot read timestamps, clock lower
+     bound) to the CM and trims its version chains up to the cluster
+     minimum the CM releases. Spawned only under the snapshot protocol, so
+     the baseline's process schedule is untouched. *)
+  if st.State.params.Params.protocol = Params.Snapshot then
+    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+        let rec loop () =
+          Proc.sleep st.State.params.Params.wm_interval;
+          Proc.check_cancelled ();
+          if st.State.alive then begin
+            let wm = State.local_watermark st in
+            let cfg = st.State.config.Config.id in
+            (match
+               Comms.call st ~dst:st.State.config.Config.cm ~timeout:(Time.ms 10)
+                 (Wire.Watermark_report { cfg; wm })
+             with
+            | Ok (Wire.Watermark_update { wm }) when wm > 0 ->
+                ignore (State.trim_chains st ~wm)
+            | Ok _ | Error _ -> ());
+            loop ()
+          end
+        in
+        loop ());
+  (* Park watchdog. A committing transaction that has made no progress for
+     [park_timeout] — orders of magnitude past any normal round trip — lost
+     a message to a transient partition (a LOCK reply dropped, say) that
+     can heal without an eviction. No configuration change would ever
+     classify it as recovering, so nobody would decide it and its locks
+     would leak. The coordinator drives the vote/decide machinery itself;
+     the decision fills [lt_outcome] and the parked commit defers to it. *)
+  Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+      let period = st.State.params.Params.park_timeout in
+      let rec loop () =
+        Proc.sleep period;
+        Proc.check_cancelled ();
+        if st.State.alive then begin
+          let now = State.now st in
+          Txid.Tbl.iter
+            (fun txid (lt : State.tx_live) ->
+              if
+                (not lt.State.lt_recovering)
+                && Time.to_ns (Time.sub now lt.State.lt_born) >= Time.to_ns period
+              then begin
+                lt.State.lt_recovering <- true;
+                ignore
+                  (Recovery.rec_coord_of st txid ~regions:lt.State.lt_written_regions)
+              end)
+            st.State.active_txs;
+          loop ()
+        end
+      in
+      loop ());
   if State.is_cm st then begin
     let cm = State.ensure_cm st in
     List.iter

@@ -25,11 +25,24 @@ let unlock (r : State.replica) (w : Wire.write_item) =
    the one observed at read time, apply allocation-bit changes, clear the
    lock. Used by COMMIT-PRIMARY processing at primaries and by truncation
    at backups (§4 steps 4-5). Idempotent: a replica that already holds a
-   version beyond [w.version] is left untouched. *)
-let apply_write (r : State.replica) (w : Wire.write_item) =
+   version beyond [w.version] is left untouched.
+
+   Snapshot protocol (replica carries a version chain): the superseded head
+   is archived under its own commit timestamp before the install, and a
+   skipped (stale) write is archived too — at a backup, truncation order
+   can invert per object, and the chain is where the skipped version
+   belongs. [ts] (or [w.ts], whichever is nonzero) is the write's global
+   commit timestamp; recovery evidence that predates timestamp assignment
+   falls back to [head_ts + 1], which preserves per-object order. *)
+let apply_write ?(ts = 0) (r : State.replica) (w : Wire.write_item) =
   let off = w.addr.Addr.offset in
   let h = header r ~off in
   let new_version = w.version + 1 in
+  let eff_ts vc =
+    if w.ts <> 0 then w.ts
+    else if ts <> 0 then ts
+    else Verchain.head_ts vc ~off + 1
+  in
   if Obj_layout.version h < new_version then begin
     (* Any committed write implies the object was allocated when written:
        the allocation bit must come from the write, never be inherited from
@@ -41,15 +54,68 @@ let apply_write (r : State.replica) (w : Wire.write_item) =
       | Wire.Alloc_set | Wire.Alloc_none -> true
       | Wire.Alloc_clear -> false
     in
+    (match r.State.vc with
+    | None -> ()
+    | Some vc ->
+        let old_version = Obj_layout.version h in
+        Verchain.archive vc ~off ~version:old_version ~ts:(Verchain.head_ts vc ~off)
+          ~allocated:(Obj_layout.is_allocated h)
+          (Obj_layout.read_data r.mem ~off ~len:(Bytes.length w.value));
+        Verchain.set_head_ts vc ~off (eff_ts vc));
     Obj_layout.set r.mem ~off
       (Obj_layout.make ~locked:false ~allocated ~version:new_version);
     Obj_layout.write_data r.mem ~off w.value;
     true
   end
-  else
+  else begin
     (* already applied (recovery raced normal processing): leave the header
        alone — any lock at a newer version belongs to another transaction *)
+    (match r.State.vc with
+    | None -> ()
+    | Some vc ->
+        if Obj_layout.version h > new_version then
+          let allocated =
+            match w.alloc_op with
+            | Wire.Alloc_set | Wire.Alloc_none -> true
+            | Wire.Alloc_clear -> false
+          in
+          Verchain.archive vc ~off ~version:new_version ~ts:(eff_ts vc) ~allocated w.value);
     false
+  end
+
+(* A snapshot read at timestamp [ts] (snapshot protocol only). *)
+type snap_read =
+  | Snap_value of { version : int; value : Bytes.t; allocated : bool; from_chain : bool }
+  | Snap_locked
+  | Snap_none
+  | Snap_below_floor
+
+let read_snapshot (r : State.replica) ~off ~len ~ts =
+  match r.State.vc with
+  | None -> invalid_arg "Objmem.read_snapshot: replica has no version chain"
+  | Some vc ->
+      let h = header r ~off in
+      let head_ts = Verchain.head_ts vc ~off in
+      if head_ts <= ts then
+        (* the in-memory head is inside the snapshot — unless it is locked,
+           in which case a write with an unknown timestamp (possibly <= ts)
+           is about to land and the reader must wait it out *)
+        if Obj_layout.is_locked h then Snap_locked
+        else
+          Snap_value
+            {
+              version = Obj_layout.version h;
+              value = Obj_layout.read_data r.mem ~off ~len;
+              allocated = Obj_layout.is_allocated h;
+              from_chain = false;
+            }
+      else
+        (* head too new: serve from the chain (lock state is irrelevant —
+           a pending write's timestamp exceeds the head's, so > ts) *)
+        match Verchain.find vc ~off ~ts with
+        | Some (version, value, allocated) ->
+            Snap_value { version; value; allocated; from_chain = true }
+        | None -> if Verchain.floor vc <= ts then Snap_none else Snap_below_floor
 
 (* Recovery locking (§5.3 step 4): lock the object if it is still at the
    version the recovering transaction observed. Returns true when the

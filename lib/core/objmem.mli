@@ -12,11 +12,35 @@ val unlock : State.replica -> Wire.write_item -> unit
 (** Release only a lock taken at this write's version — callers must own
     it (see [State.locks_held]). *)
 
-val apply_write : State.replica -> Wire.write_item -> bool
+val apply_write : ?ts:int -> State.replica -> Wire.write_item -> bool
 (** Install value, version+1, allocation-bit change, unlocked. Idempotent:
     returns false (and leaves the header alone) when the replica already
     advanced past this write. A committed write always implies the object
-    is allocated, so the bit is never inherited from the local header. *)
+    is allocated, so the bit is never inherited from the local header.
+
+    Snapshot protocol: the superseded head is archived in the replica's
+    version chain before the install, and a stale (skipped) write is
+    archived under its own timestamp — backups can apply truncations out
+    of per-object order. The write's commit timestamp is [w.ts], or [ts],
+    or (recovery evidence predating timestamp assignment) the head's
+    timestamp + 1, whichever is first nonzero. *)
+
+(** Outcome of a snapshot read at a given read timestamp. *)
+type snap_read =
+  | Snap_value of { version : int; value : Bytes.t; allocated : bool; from_chain : bool }
+      (** the newest version with commit timestamp [<= ts] *)
+  | Snap_locked
+      (** the head is inside the snapshot but locked: a write with an
+          as-yet-unknown timestamp (possibly [<= ts]) is about to land —
+          wait briefly and retry *)
+  | Snap_none  (** no version that old: the object did not exist yet *)
+  | Snap_below_floor
+      (** the chain has been truncated past [ts] (or this replica was
+          created after it): retry at a fresh read timestamp *)
+
+val read_snapshot : State.replica -> off:int -> len:int -> ts:int -> snap_read
+(** Snapshot protocol only; raises [Invalid_argument] on a chain-less
+    replica. *)
 
 val recovery_lock : State.replica -> Wire.write_item -> bool
 (** §5.3 step 4: lock if still at the observed version; true when this

@@ -1,5 +1,7 @@
 open Farm_sim
 
+type protocol = Validate_at_commit | Snapshot
+
 type t = {
   (* memory layout *)
   region_size : int;
@@ -9,10 +11,15 @@ type t = {
   (* replication *)
   replication : int;
   (* transactions *)
+  protocol : protocol;
   validate_rpc_threshold : int;
   commit_log_bytes : int;
   doorbell_batching : bool;
   arena_reuse : bool;
+  (* global time (snapshot protocol only) *)
+  clock_eps : Time.t;
+  wm_interval : Time.t;
+  park_timeout : Time.t;
   (* leases (§5.1) *)
   lease_duration : Time.t;
   lease_renew_divisor : int;
@@ -56,10 +63,14 @@ let default =
     log_size = 1 lsl 21;
     regions_per_machine_cap = 512;
     replication = 3;
+    protocol = Validate_at_commit;
     validate_rpc_threshold = 4;
     commit_log_bytes = 64;
     doorbell_batching = true;
     arena_reuse = true;
+    clock_eps = Time.us 5;
+    wm_interval = Time.us 500;
+    park_timeout = Time.ms 10;
     lease_duration = Time.ms 10;
     lease_renew_divisor = 5;
     lease_check_interval = Time.us 500;

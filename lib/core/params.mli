@@ -4,12 +4,25 @@ open Farm_sim
     where the paper gives them and scaled-down memory sizes for simulation
     speed (see DESIGN.md §1). *)
 
+type protocol =
+  | Validate_at_commit
+      (** the FaRM SOSP'15 protocol: reads record versions and are
+          re-checked at commit (VALIDATE phase); read-only transactions can
+          abort under contention. The ablation baseline. *)
+  | Snapshot
+      (** FaRMv2-style opacity via global time: transactions read a
+          globally-consistent snapshot taken from a bounded-uncertainty
+          clock, objects keep per-version chains, and read-only
+          transactions commit locally with zero VALIDATE messages and zero
+          aborts. Read-write transactions still lock and validate. *)
+
 type t = {
   region_size : int;  (** bytes per region (paper: 2 GB; sim default 1 MB) *)
   block_size : int;  (** slab block size (paper: 1 MB) *)
   log_size : int;  (** per sender-receiver transaction ring log, bytes *)
   regions_per_machine_cap : int;  (** placement capacity constraint *)
   replication : int;  (** f+1 copies of every region (paper default 3) *)
+  protocol : protocol;  (** read/validate stack variant (see {!protocol}) *)
   validate_rpc_threshold : int;
       (** tr: reads per primary above which validation switches from
           one-sided RDMA to RPC (paper: 4) *)
@@ -27,6 +40,20 @@ type t = {
           (the default). [false] drops released arenas so every commit
           starts from freshly-zeroed scratch — the state-leak-detector
           mode: traces must be byte-identical either way *)
+  clock_eps : Time.t;
+      (** ε of the simulated clock-synchronisation service: every machine's
+          clock reads as an interval [\[lo, hi\]] of width 2ε guaranteed to
+          contain true (engine) time. Snapshot-mode writers wait out the
+          uncertainty at commit (see {!Farm_sim.Clock}). *)
+  wm_interval : Time.t;
+      (** snapshot mode: period of the per-machine low-watermark report to
+          the CM, which drives old-version truncation of the chains *)
+  park_timeout : Time.t;
+      (** a committing transaction parked this long past any normal round
+          trip means a message was lost to a transient partition that may
+          heal without an eviction — the coordinator then drives the
+          vote/decide machinery itself instead of waiting for a
+          configuration change that never classifies it as recovering *)
   lease_duration : Time.t;  (** paper experiments use 10 ms *)
   lease_renew_divisor : int;  (** renew every lease/5 *)
   lease_check_interval : Time.t;

@@ -5,12 +5,24 @@
    locks and loses committed writes at recovery time. *)
 
 let merge_payloads (a : Wire.lock_payload) (b : Wire.lock_payload) =
+  (* on duplicate addresses, keep the item with the larger commit
+     timestamp: a COMMIT-BACKUP item (ts = the real write timestamp) beats
+     the LOCK item of the same write (ts 0), so a snapshot-mode recovery
+     installs the timestamp the coordinator actually chose *)
   let writes =
     List.fold_left
       (fun acc (w : Wire.write_item) ->
-        if List.exists (fun (x : Wire.write_item) -> Addr.equal x.Wire.addr w.Wire.addr) acc
+        if
+          List.exists
+            (fun (x : Wire.write_item) ->
+              Addr.equal x.Wire.addr w.Wire.addr && x.Wire.ts >= w.Wire.ts)
+            acc
         then acc
-        else w :: acc)
+        else
+          w
+          :: List.filter
+               (fun (x : Wire.write_item) -> not (Addr.equal x.Wire.addr w.Wire.addr))
+               acc)
       a.Wire.writes b.Wire.writes
   in
   {

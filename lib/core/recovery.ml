@@ -81,6 +81,14 @@ let backup_has rs ~rid ~backup =
 
 (* {1 Voting rules (§5.3 step 6)} *)
 
+let vote_tag = function
+  | Wire.Vote_commit_primary -> 0
+  | Wire.Vote_commit_backup -> 1
+  | Wire.Vote_lock -> 2
+  | Wire.Vote_abort -> 3
+  | Wire.Vote_truncated -> 4
+  | Wire.Vote_unknown -> 5
+
 let vote_from_evidence (ev : Wire.tx_evidence) =
   let s = ev.Wire.ev_saw in
   if s.Wire.saw_commit_primary || s.Wire.saw_commit_recovery then Wire.Vote_commit_primary
@@ -94,8 +102,63 @@ let coordinator_for st txid =
   if Config.is_member st.State.config txid.Txid.machine then txid.Txid.machine
   else Config.recovery_coordinator st.State.config txid
 
-(* Decide and push the outcome to every replica of every written region,
-   then truncate (§5.3 step 7). *)
+(* Push a decided outcome to every replica of every written region, then
+   truncate (§5.3 step 7). Retries until every replica acknowledges,
+   re-resolving the replica sets through the CM each round: a replica
+   unreachable right now — plausibly behind the very partition that made
+   recovery necessary — would keep its locks past the heal, with no later
+   drain to release them. The handlers are idempotent, so re-delivery to an
+   already-acked replica is harmless; evicted machines drop out of the
+   mapping. [rc_pushing] keeps re-sent votes from piling up loops. *)
+let push_decision st (rc : State.rec_coord) outcome =
+  if not rc.State.rc_pushing then begin
+    rc.State.rc_pushing <- true;
+    let txid = rc.State.rc_txid in
+    let cfg = st.State.config.Config.id in
+    let msg =
+      match outcome with
+      | State.Committed -> Wire.Commit_recovery { cfg; txid }
+      | State.Aborted -> Wire.Abort_recovery { cfg; txid }
+    in
+    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+        Fun.protect
+          ~finally:(fun () -> rc.State.rc_pushing <- false)
+          (fun () ->
+            let rec push () =
+              Proc.check_cancelled ();
+              if st.State.alive then begin
+                let targets =
+                  List.sort_uniq compare
+                    (List.concat_map
+                       (fun rid ->
+                         match Txn.ensure_mapping st rid ~retries:10 with
+                         | Some info -> info.Wire.primary :: info.Wire.backups
+                         | None -> [])
+                       rc.State.rc_regions)
+                in
+                let all_acked = ref (targets <> []) in
+                Comms.par_iter st
+                  (List.map
+                     (fun m () ->
+                       match Comms.call st ~dst:m ~timeout:(Time.ms 10) msg with
+                       | Ok _ -> ()
+                       | Error _ -> all_acked := false)
+                     targets);
+                if !all_acked then
+                  List.iter
+                    (fun m ->
+                      Comms.send st ~dst:m (Wire.Truncate_recovery { cfg; txid }))
+                    targets
+                else begin
+                  Proc.sleep (Time.ms 1);
+                  push ()
+                end
+              end
+            in
+            push ()))
+  end
+
+(* Decide (§5.3 step 7). *)
 let decide st (rc : State.rec_coord) outcome =
   if not rc.State.rc_decided then begin
     rc.State.rc_decided <- true;
@@ -111,32 +174,7 @@ let decide st (rc : State.rec_coord) outcome =
     (match Txid.Tbl.find_opt st.State.active_txs txid with
     | Some lt -> Ivar.fill_if_empty lt.State.lt_outcome outcome
     | None -> ());
-    let cfg = st.State.config.Config.id in
-    let msg =
-      match outcome with
-      | State.Committed -> Wire.Commit_recovery { cfg; txid }
-      | State.Aborted -> Wire.Abort_recovery { cfg; txid }
-    in
-    Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
-        (* resolve each region's replicas through the CM if the cache was
-           (momentarily) invalidated — dropping a target here would leave
-           recovery locks held forever *)
-        let targets =
-          List.sort_uniq compare
-            (List.concat_map
-               (fun rid ->
-                 match Txn.ensure_mapping st rid ~retries:10 with
-                 | Some info -> info.Wire.primary :: info.Wire.backups
-                 | None -> [])
-               rc.State.rc_regions)
-        in
-        Comms.par_iter st
-          (List.map
-             (fun m () -> ignore (Comms.call st ~dst:m ~timeout:(Time.ms 10) msg))
-             targets);
-        List.iter
-          (fun m -> Comms.send st ~dst:m (Wire.Truncate_recovery { cfg; txid }))
-          targets)
+    push_decision st rc outcome
   end
 
 let try_decide st (rc : State.rec_coord) =
@@ -195,6 +233,7 @@ let rec_coord_of st txid ~regions =
           rc_votes = [];
           rc_regions = regions;
           rc_decided = false;
+          rc_pushing = false;
           rc_created = State.now st;
         }
       in
@@ -202,13 +241,15 @@ let rec_coord_of st txid ~regions =
       start_vote_requester st rc;
       rc
 
-let vote_tag = function
-  | Wire.Vote_commit_primary -> 0
-  | Wire.Vote_commit_backup -> 1
-  | Wire.Vote_lock -> 2
-  | Wire.Vote_abort -> 3
-  | Wire.Vote_truncated -> 4
-  | Wire.Vote_unknown -> 5
+(* A live coordinator hitting a failed log append decides the transaction
+   itself instead of collecting votes: it owns the outcome until it fails
+   (abort before the commit point, commit once every COMMIT-BACKUP record is
+   acked), and pre-drain votes would be under-informed — a primary's
+   resident log cannot see COMMIT-BACKUP records held by its backups. The
+   decision enters the same push/retransmit machinery as a voted one. *)
+let coordinator_decide st txid ~regions outcome =
+  let rc = rec_coord_of st txid ~regions in
+  if not rc.State.rc_decided then decide st rc outcome
 
 let on_vote st ~cfg ~rid ~txid ~regions ~vote =
   if cfg = st.State.config.Config.id then begin
@@ -216,9 +257,19 @@ let on_vote st ~cfg ~rid ~txid ~regions ~vote =
     Farm_obs.Obs.event st.State.obs Farm_obs.Obs.K_rec_vote ~a:rid ~b:(vote_tag vote)
       ~c:0;
     let rc = rec_coord_of st txid ~regions in
-    if not (List.mem_assoc rid rc.State.rc_votes) then
-      rc.State.rc_votes <- (rid, vote) :: rc.State.rc_votes;
-    try_decide st rc
+    if rc.State.rc_decided then begin
+      (* primaries re-send votes until they see the decision, so a vote for
+         an already-decided transaction means the voter missed the push (it
+         was unreachable then): the vote doubles as a retransmit request *)
+      match Txid.Tbl.find_opt st.State.recovered_outcomes txid with
+      | Some outcome -> push_decision st rc outcome
+      | None -> ()
+    end
+    else begin
+      if not (List.mem_assoc rid rc.State.rc_votes) then
+        rc.State.rc_votes <- (rid, vote) :: rc.State.rc_votes;
+      try_decide st rc
+    end
   end
 
 (* {1 Primary side (steps 3-6)} *)
@@ -266,6 +317,26 @@ let on_need_recovery st ~src ~reply ~cfg ~rid ~txs =
          this machine's configuration catches up *)
       ()
 
+(* Apply one recovered write at its region's replica here, if primary.
+   Idempotent: the decision push re-sends COMMIT-RECOVERY every round until
+   all replicas ack, so the same item can arrive several times. *)
+let apply_recovered_write st (w : Wire.write_item) =
+  match State.replica st w.Wire.addr.Addr.region with
+  | Some rep when rep.State.role = State.Primary ->
+      let applied = Objmem.apply_write rep w in
+      (* snapshot protocol: LOCK-record evidence predates timestamp
+         assignment (ts 0), so the install synthesized a timestamp.
+         Snapshots that straddle it could be answered wrongly — raise the
+         chain floor past every read timestamp drawn so far; those readers
+         retry at a fresh one. *)
+      if w.Wire.ts = 0 then
+        (match rep.State.vc with
+        | Some vc -> Verchain.raise_floor vc (Clock.hi st.State.clock + 1)
+        | None -> ());
+      if applied && w.Wire.alloc_op = Wire.Alloc_clear then
+        Allocmgr.release_slot st rep ~off:w.Wire.addr.Addr.offset
+  | _ -> ()
+
 (* Lock recovery, log-record replication, and voting for one region this
    machine is primary of (§5.3 steps 4-6). *)
 let primary_recover_region st (rs : State.recovery_state) rid =
@@ -300,8 +371,22 @@ let primary_recover_region st (rs : State.recovery_state) rid =
         (* a decision reached through another written region can land during
            the yield above: its COMMIT/ABORT-RECOVERY already released this
            transaction, so locking now would leak *)
-        if Txid.Tbl.mem st.State.recovered_outcomes txid then ()
-        else
+        match Txid.Tbl.find_opt st.State.recovered_outcomes txid with
+        | Some State.Committed -> (
+            (* the decision outran the promotion: its push recorded the
+               outcome while this machine was still a backup, which applies
+               nothing. Apply here, before the region goes active — leaving
+               it to the next push round would serve the object's
+               pre-commit version, unlocked, to new transactions *)
+            match (Txid.Tbl.find_opt rs.State.rs_local txid : Wire.tx_evidence option) with
+            | Some { ev_payload = Some p; _ } ->
+                List.iter
+                  (fun (w : Wire.write_item) ->
+                    if w.Wire.addr.Addr.region = rid then apply_recovered_write st w)
+                  p.Wire.writes
+            | Some _ | None -> ())
+        | Some State.Aborted -> ()
+        | None -> (
         match (Txid.Tbl.find_opt rs.State.rs_local txid : Wire.tx_evidence option) with
         | Some { ev_payload = Some p; _ } ->
             let held =
@@ -327,7 +412,7 @@ let primary_recover_region st (rs : State.recovery_state) rid =
               in
               Txid.Tbl.replace st.State.locks_held txid (fresh @ prev)
             end
-        | Some _ | None -> ())
+        | Some _ | None -> ()))
       txs;
     (* the region becomes active: transactions can use it again, in
        parallel with the rest of recovery *)
@@ -543,30 +628,101 @@ let on_replicate_tx_state st ~reply ~cfg ~rid ~txid ~lock =
   | _ -> ());
   Comms.reply_to reply Wire.Ack
 
+(* Evidence for [txid] synthesized from this machine's resident log
+   records — the same merge a drain performs, on demand. A vote request can
+   arrive without any drain having run (the coordinator's park watchdog
+   starts recovery after a transient partition that heals without a
+   configuration change); answering Vote_unknown while a COMMIT-PRIMARY
+   record sits resident here would let the coordinator abort a transaction
+   another region already applied. *)
+let resident_evidence st (txid : Txid.t) =
+  match Hashtbl.find_opt st.State.nv.State.logs_in txid.Txid.machine with
+  | None -> None
+  | Some log -> (
+      match Ringlog.resident_records log txid with
+      | [] -> None
+      | records ->
+          let ev =
+            {
+              Wire.ev_txid = txid;
+              ev_regions = [];
+              ev_saw = Wire.saw_nothing ();
+              ev_payload = None;
+            }
+          in
+          Some
+            (List.fold_left
+               (fun (ev : Wire.tx_evidence) (r : Wire.log_record) ->
+                 let ev =
+                   match (ev.Wire.ev_regions, Logproc.regions_of_record r) with
+                   | [], (_ :: _ as regions) -> { ev with Wire.ev_regions = regions }
+                   | _ -> ev
+                 in
+                 let ev =
+                   match (ev.Wire.ev_payload, r.Wire.payload) with
+                   | None, (Wire.Lock p | Wire.Commit_backup p) ->
+                       { ev with Wire.ev_payload = Some p }
+                   | Some p0, (Wire.Lock p | Wire.Commit_backup p) ->
+                       { ev with Wire.ev_payload = Some (Payloads.merge_payloads p0 p) }
+                   | _ -> ev
+                 in
+                 (match r.Wire.payload with
+                 | Wire.Lock _ -> ev.Wire.ev_saw.Wire.saw_lock <- true
+                 | Wire.Commit_backup _ -> ev.Wire.ev_saw.Wire.saw_commit_backup <- true
+                 | Wire.Commit_primary _ -> ev.Wire.ev_saw.Wire.saw_commit_primary <- true
+                 | Wire.Abort _ -> ev.Wire.ev_saw.Wire.saw_abort <- true
+                 | Wire.Truncate_marker -> ());
+                 ev)
+               ev records))
+
 let on_request_vote st ~src ~cfg ~rid ~txid =
   if cfg = st.State.config.Config.id then begin
-    let vote, regions =
-      match st.State.recovery with
-      | Some rs -> (
-          match Txid.Tbl.find_opt rs.State.rs_local txid with
+    (* a decision already applied here outranks any log evidence: voting
+       from the resident records after COMMIT/ABORT-RECOVERY was processed
+       would let a second coordinator re-litigate a settled transaction *)
+    match Txid.Tbl.find_opt st.State.recovered_outcomes txid with
+    | Some outcome ->
+        let vote =
+          match outcome with
+          | State.Committed -> Wire.Vote_commit_primary
+          | State.Aborted -> Wire.Vote_abort
+        in
+        Comms.send st ~dst:src (Wire.Recovery_vote { cfg; rid; txid; regions = []; vote })
+    | None ->
+        let drained =
+          match st.State.recovery with
+          | Some rs -> Txid.Tbl.find_opt rs.State.rs_local txid
+          | None -> None
+        in
+        let ev = match drained with Some _ -> drained | None -> resident_evidence st txid in
+        let vote, regions =
+          match ev with
           | Some ev -> (vote_from_evidence ev, ev.Wire.ev_regions)
           | None ->
               if State.is_truncated st txid then (Wire.Vote_truncated, [])
-              else (Wire.Vote_unknown, []))
-      | None ->
-          if State.is_truncated st txid then (Wire.Vote_truncated, [])
-          else (Wire.Vote_unknown, [])
-    in
-    Comms.send st ~dst:src (Wire.Recovery_vote { cfg; rid; txid; regions; vote })
+              else (Wire.Vote_unknown, [])
+        in
+        Comms.send st ~dst:src (Wire.Recovery_vote { cfg; rid; txid; regions; vote })
   end
 
 let evidence_payload st txid =
-  match st.State.recovery with
-  | Some rs -> (
-      match Txid.Tbl.find_opt rs.State.rs_local txid with
+  let drained =
+    match st.State.recovery with
+    | Some rs -> (
+        match Txid.Tbl.find_opt rs.State.rs_local txid with
+        | Some { Wire.ev_payload = Some p; _ } -> Some p
+        | _ -> None)
+    | None -> None
+  in
+  match drained with
+  | Some _ -> drained
+  | None -> (
+      (* no drain merged evidence for this transaction (watchdog-initiated
+         recovery without a configuration change): the resident records are
+         the evidence *)
+      match resident_evidence st txid with
       | Some { Wire.ev_payload = Some p; _ } -> Some p
-      | _ -> None)
-  | None -> None
+      | Some _ | None -> None)
 
 (* COMMIT-RECOVERY: like COMMIT-PRIMARY at a primary (apply in place),
    like COMMIT-BACKUP at a backup (just record it). *)
@@ -580,15 +736,7 @@ let on_commit_recovery st ~reply ~cfg:_ ~txid =
   | None -> ());
   (match evidence_payload st txid with
   | Some p ->
-      List.iter
-        (fun (w : Wire.write_item) ->
-          match State.replica st w.Wire.addr.Addr.region with
-          | Some rep when rep.State.role = State.Primary ->
-              let applied = Objmem.apply_write rep w in
-              if applied && w.Wire.alloc_op = Wire.Alloc_clear then
-                Allocmgr.release_slot st rep ~off:w.Wire.addr.Addr.offset
-          | _ -> ())
-        p.Wire.writes;
+      List.iter (apply_recovered_write st) p.Wire.writes;
       Txid.Tbl.remove st.State.locks_held txid
   | None -> ());
   Comms.reply_to reply Wire.Ack
@@ -625,7 +773,13 @@ let on_truncate_recovery st ~cfg:_ ~txid =
             (fun (w : Wire.write_item) ->
               match State.replica st w.Wire.addr.Addr.region with
               | Some rep when rep.State.role = State.Backup ->
-                  ignore (Objmem.apply_write rep w)
+                  ignore (Objmem.apply_write rep w);
+                  (* see on_commit_recovery: ts-less evidence invalidates
+                     snapshots that straddle the synthesized timestamp *)
+                  if w.Wire.ts = 0 then (
+                    match rep.State.vc with
+                    | Some vc -> Verchain.raise_floor vc (Clock.hi st.State.clock + 1)
+                    | None -> ())
               | _ -> ())
             p.Wire.writes
       | None -> ())

@@ -23,6 +23,23 @@ val coordinator_for : State.t -> Txid.t -> int
 
 val merge_evidence : State.recovery_state -> Wire.tx_evidence -> Wire.tx_evidence
 
+val rec_coord_of : State.t -> Txid.t -> regions:int list -> State.rec_coord
+(** The (idempotent) recovery coordinator for [txid], created on first use
+    with a vote requester driving the written [regions] to a decision. Also
+    used by the coordinator's park watchdog: a transaction parked on a reply
+    lost to a transient partition cannot rely on the ensuing reconfiguration
+    to classify it as recovering (the suspect may heal, or the new
+    configuration may keep every written region's replica set), so the
+    watchdog drives the decision itself. *)
+
+val coordinator_decide : State.t -> Txid.t -> regions:int list -> State.outcome -> unit
+(** Record the outcome a live coordinator decided after a failed log append
+    (abort before the commit point, commit once every COMMIT-BACKUP record
+    is acked) and push it to the written [regions]' replicas until every one
+    acknowledges. No votes are collected: pre-drain votes come from resident
+    primary logs alone and cannot see the backups' COMMIT-BACKUP records.
+    No-op if a decision for [txid] already exists. *)
+
 (** {1 Message handlers (wired by Node)} *)
 
 val on_need_recovery :

@@ -64,7 +64,8 @@ let capacity t = t.capacity
 let txid_of_record (r : Wire.log_record) =
   match r.payload with
   | Lock p | Commit_backup p -> Some p.txid
-  | Commit_primary txid | Abort txid -> Some txid
+  | Commit_primary { txid; _ } -> Some txid
+  | Abort txid -> Some txid
   | Truncate_marker -> None
 
 (* {1 Sender side} *)

@@ -28,6 +28,10 @@ type replica = {
   mutable next_free_block : int;
   mutable free_lists_valid : bool;  (* false on a new primary until scan *)
   mutable fresh_backup : bool;  (* zeroed replica awaiting data recovery *)
+  (* snapshot protocol only: archived versions older than the region-memory
+     head, plus the per-offset head commit timestamps. None in the
+     validate-at-commit baseline, which carries zero chain overhead. *)
+  vc : Verchain.t option;
 }
 
 type nvstate = {
@@ -42,6 +46,10 @@ type lock_wait = {
   mutable lw_awaiting : int;
   mutable lw_ok : bool;
   lw_done : unit Ivar.t;
+  (* snapshot protocol: the largest head commit timestamp among the objects
+     the LOCK replies locked — the coordinator's write timestamp must
+     exceed every version it overwrites *)
+  mutable lw_max_ts : int;
 }
 
 type outcome = Committed | Aborted
@@ -54,6 +62,7 @@ type tx_live = {
   lt_read_regions : int list;
   lt_outcome : outcome Ivar.t;  (* filled by recovery if it takes over *)
   mutable lt_recovering : bool;
+  lt_born : Time.t;  (* commit start, for the coordinator's park watchdog *)
 }
 
 (* Truncation tracking at a record receiver: per coordinator thread, a low
@@ -66,6 +75,7 @@ type rec_coord = {
   mutable rc_votes : (int * Wire.vote) list;  (* region -> vote *)
   mutable rc_regions : int list;  (* all written regions, from votes *)
   mutable rc_decided : bool;
+  mutable rc_pushing : bool;  (* a decision-push loop is running *)
   rc_created : Time.t;
 }
 
@@ -111,6 +121,9 @@ type cm_state = {
   (* reconfiguration ack collection: (cfg, machines remaining, done) *)
   mutable ack_pending : (int * int list ref * unit Ivar.t) option;
   mutable pending_data_recovery : int;
+  (* snapshot protocol: last watermark reported by each machine; the
+     cluster minimum is released only once every member has reported *)
+  cm_wms : (int, int) Hashtbl.t;
 }
 
 type metrics = {
@@ -141,6 +154,10 @@ type t = {
   zk : Config.t Farm_coord.Zk.t;
   cpu : Cpu.t;
   nv : nvstate;
+  clock : Clock.handle;
+      (* this machine's view of global time (bounded uncertainty); present
+         in both modes so offset draws keep the rng streams aligned, but
+         only the snapshot protocol ever reads it *)
   mutable ctx : Proc.Ctx.t;
   mutable alive : bool;
   mutable config : Config.t;
@@ -163,6 +180,10 @@ type t = {
   outstanding : (int, Txid.Set.t ref) Hashtbl.t;  (* thread -> not-yet-truncated *)
   pending_lock : lock_wait Txid.Tbl.t;
   active_txs : tx_live Txid.Tbl.t;
+  (* snapshot protocol: read timestamps of transactions currently executing
+     on this machine (ts -> holder count); their minimum caps the local
+     truncation watermark *)
+  read_ts_active : (int, int) Hashtbl.t;
   (* primary-side lock ownership: which written objects each transaction
      currently holds locks on at this machine. Unlocking anything not in
      this table would release another transaction's lock taken at the same
@@ -213,7 +234,7 @@ let create_metrics () =
     recovered_txs = Stats.Counter.create ();
   }
 
-let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~config ~directory ~obs =
+let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~clock ~config ~directory ~obs =
   {
     id;
     engine;
@@ -223,6 +244,7 @@ let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~config ~directory ~obs
     zk;
     cpu;
     nv;
+    clock;
     ctx = Proc.Ctx.create ~name:(Printf.sprintf "m%d" id) ();
     alive = true;
     config;
@@ -237,6 +259,7 @@ let create ~id ~engine ~rng ~params ~fabric ~zk ~cpu ~nv ~config ~directory ~obs
     outstanding = Hashtbl.create 8;
     pending_lock = Txid.Tbl.create 64;
     active_txs = Txid.Tbl.create 64;
+    read_ts_active = Hashtbl.create 64;
     locks_held = Txid.Tbl.create 64;
     arena_pool = Arena.create_pool ~reuse:params.Params.arena_reuse;
     pending_trunc = Hashtbl.create 16;
@@ -287,6 +310,7 @@ let ensure_cm st =
           all_active_sent = false;
           ack_pending = None;
           pending_data_recovery = 0;
+          cm_wms = Hashtbl.create 16;
         }
       in
       st.cm <- Some c;
@@ -313,6 +337,20 @@ let add_replica st ~rid ~role =
   | Some r -> r
   | None ->
       let mem = Farm_nvram.Bank.alloc st.nv.bank ~key:rid ~size:st.params.Params.region_size in
+      let vc =
+        match st.params.Params.protocol with
+        | Params.Validate_at_commit -> None
+        | Params.Snapshot ->
+            (* a replica created at time zero has the full (empty) history;
+               one created later — a fresh backup, re-replicated from
+               current heads — cannot serve snapshots older than its
+               creation, so its chain floor starts above any read
+               timestamp drawn before it existed *)
+            let floor =
+              if Time.to_ns (Engine.now st.engine) = 0 then 0 else Clock.hi st.clock + 1
+            in
+            Some (Verchain.create ~floor)
+      in
       let r =
         {
           rid;
@@ -326,6 +364,7 @@ let add_replica st ~rid ~role =
           next_free_block = 0;
           free_lists_valid = true;
           fresh_backup = false;
+          vc;
         }
       in
       Hashtbl.replace st.nv.replicas rid r;
@@ -469,6 +508,42 @@ let record_abort ?(reason = 0) ?cause st =
   | Cause_other -> ());
   Farm_obs.Obs.event st.obs Farm_obs.Obs.K_tx_abort ~a:reason
     ~b:(abort_cause_index cause) ~c:0
+
+(* {1 Snapshot read timestamps and the truncation watermark} *)
+
+let register_read_ts st ts =
+  let n = match Hashtbl.find_opt st.read_ts_active ts with Some n -> n | None -> 0 in
+  Hashtbl.replace st.read_ts_active ts (n + 1)
+
+let release_read_ts st ts =
+  match Hashtbl.find_opt st.read_ts_active ts with
+  | Some 1 -> Hashtbl.remove st.read_ts_active ts
+  | Some n -> Hashtbl.replace st.read_ts_active ts (n - 1)
+  | None -> ()
+
+let min_active_read_ts st =
+  Hashtbl.fold
+    (fun ts _ acc -> match acc with None -> Some ts | Some m -> Some (min ts m))
+    st.read_ts_active None
+
+(* The watermark this machine can safely contribute to the cluster minimum:
+   no version at or above it may be truncated. Capped by the clock's lower
+   bound because a transaction beginning here right now would draw exactly
+   that read timestamp. *)
+let local_watermark st =
+  let lo = Clock.lo st.clock in
+  match min_active_read_ts st with None -> lo | Some m -> min m lo
+
+let trim_chains st ~wm =
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun _ r ->
+      match r.vc with
+      | Some vc -> dropped := !dropped + Verchain.trim vc ~wm
+      | None -> ())
+    st.nv.replicas;
+  if !dropped > 0 then Farm_obs.Obs.add st.obs Farm_obs.Obs.C_wm_trim !dropped;
+  !dropped
 
 let commit_phase_index = function
   | Before_lock -> 0

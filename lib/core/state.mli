@@ -31,6 +31,9 @@ type replica = {
       (** false on a new primary until the recovery scan finishes *)
   mutable fresh_backup : bool;
       (** zeroed replica awaiting bulk data recovery (§5.4) *)
+  vc : Verchain.t option;
+      (** snapshot protocol only: archived object versions and head commit
+          timestamps; [None] in the validate-at-commit baseline *)
 }
 
 type nvstate = {
@@ -45,6 +48,9 @@ type lock_wait = {
   mutable lw_awaiting : int;
   mutable lw_ok : bool;
   lw_done : unit Ivar.t;
+  mutable lw_max_ts : int;
+      (** snapshot protocol: largest head commit timestamp among the locked
+          objects, folded in from the LOCK replies *)
 }
 
 type outcome = Committed | Aborted
@@ -55,6 +61,7 @@ type tx_live = {
   lt_read_regions : int list;
   lt_outcome : outcome Ivar.t;  (** filled by recovery when it takes over *)
   mutable lt_recovering : bool;
+  lt_born : Time.t;  (** commit start, for the coordinator's park watchdog *)
 }
 
 type trunc_track = { mutable low : int; above : (int, unit) Hashtbl.t }
@@ -66,6 +73,7 @@ type rec_coord = {
   mutable rc_votes : (int * Wire.vote) list;
   mutable rc_regions : int list;
   mutable rc_decided : bool;
+  mutable rc_pushing : bool;  (** a decision-push loop is running *)
   rc_created : Time.t;
 }
 (** Recovery-coordinator state for one recovering transaction. *)
@@ -104,6 +112,8 @@ type cm_state = {
   mutable all_active_sent : bool;
   mutable ack_pending : (int * int list ref * unit Ivar.t) option;
   mutable pending_data_recovery : int;
+  cm_wms : (int, int) Hashtbl.t;
+      (** snapshot protocol: last watermark reported per machine *)
 }
 
 type metrics = {
@@ -135,6 +145,10 @@ type t = {
   zk : Config.t Farm_coord.Zk.t;
   cpu : Cpu.t;
   nv : nvstate;
+  clock : Clock.handle;
+      (** this machine's bounded-uncertainty view of global time; present
+          in both modes (keeps rng streams aligned), read only by the
+          snapshot protocol *)
   mutable ctx : Proc.Ctx.t;
   mutable alive : bool;
   mutable config : Config.t;
@@ -152,6 +166,9 @@ type t = {
   outstanding : (int, Txid.Set.t ref) Hashtbl.t;
   pending_lock : lock_wait Txid.Tbl.t;
   active_txs : tx_live Txid.Tbl.t;
+  read_ts_active : (int, int) Hashtbl.t;
+      (** snapshot protocol: active read timestamps (ts -> holder count);
+          their minimum caps the local truncation watermark *)
   locks_held : Wire.write_item list Txid.Tbl.t;
       (** primary-side lock ownership: the ABORT path must release exactly
           the locks its transaction took *)
@@ -191,6 +208,7 @@ val create :
   zk:Config.t Farm_coord.Zk.t ->
   cpu:Cpu.t ->
   nv:nvstate ->
+  clock:Clock.handle ->
   config:Config.t ->
   directory:(int, t) Hashtbl.t ->
   obs:Farm_obs.Obs.t ->
@@ -236,6 +254,24 @@ val is_truncated : t -> Txid.t -> bool
 
 val queue_truncation : t -> dst:int -> Txid.t -> unit
 val take_truncations : t -> dst:int -> Txid.t list
+
+(** {1 Snapshot read timestamps and the truncation watermark} *)
+
+val register_read_ts : t -> int -> unit
+val release_read_ts : t -> int -> unit
+
+val min_active_read_ts : t -> int option
+(** Smallest read timestamp of a transaction currently executing here. *)
+
+val local_watermark : t -> int
+(** min(smallest active read timestamp, clock lower bound): the largest
+    watermark this machine can safely contribute to the cluster minimum —
+    no transaction that begins here later can draw a smaller read
+    timestamp. *)
+
+val trim_chains : t -> wm:int -> int
+(** Truncate every local replica's version chain below the cluster
+    watermark; returns (and counts on [C_wm_trim]) the nodes recycled. *)
 
 (** {1 Metrics and hooks} *)
 

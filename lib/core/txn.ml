@@ -45,6 +45,11 @@ type t = {
   mutable writes : write_entry Addr.Map.t;
   mutable allocated : (Addr.t * int) list;  (* tentative slots, for abort *)
   mutable finished : bool;
+  (* snapshot protocol: the transaction's read timestamp, drawn from the
+     local clock's lower bound at begin and registered in
+     [State.read_ts_active] until the transaction settles. -1 in the
+     validate-at-commit baseline. *)
+  mutable read_ts : int;
 }
 
 let reason_index = function
@@ -56,6 +61,16 @@ let reason_index = function
 
 let begin_tx st ~thread =
   Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_tx_begin;
+  (* draw and register the read timestamp in one step — no yield between,
+     so the local watermark can never pass a drawn-but-unregistered ts *)
+  let read_ts =
+    match st.State.params.Params.protocol with
+    | Params.Validate_at_commit -> -1
+    | Params.Snapshot ->
+        let r = Clock.lo st.State.clock in
+        State.register_read_ts st r;
+        r
+  in
   {
     st;
     thread;
@@ -65,7 +80,16 @@ let begin_tx st ~thread =
     writes = Addr.Map.empty;
     allocated = [];
     finished = false;
+    read_ts;
   }
+
+(* Drop the transaction's claim on its read timestamp (commit or abort —
+   whichever settles it first); idempotent. *)
+let release_read_ts tx =
+  if tx.read_ts >= 0 then begin
+    State.release_read_ts tx.st tx.read_ts;
+    tx.read_ts <- -1
+  end
 
 (* {1 Region mapping} *)
 
@@ -146,6 +170,77 @@ let read_versioned st ~(addr : Addr.t) ~len =
   in
   attempt ~failures:0 ~locked:0
 
+(* {1 Snapshot reads (snapshot protocol)}
+
+   A timestamp-ordered one-sided read: serve the newest version with
+   commit timestamp <= the transaction's read timestamp, from the region
+   head when it is old enough, from the primary's version chain otherwise.
+   No version is recorded for validation wars — read-only transactions
+   need none, and read-write transactions validate the served version at
+   commit exactly like the baseline (a chain-served version can never
+   still be current, so such reads abort conservatively). *)
+
+let snap_read_at st ~dst ~(addr : Addr.t) ~len ~ts :
+    (Objmem.snap_read option, Farm_net.Fabric.error) result =
+  if dst = st.State.id then begin
+    Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_local_read;
+    match State.replica st addr.Addr.region with
+    | Some rep when rep.State.role = State.Primary ->
+        State.await_active rep;
+        Ok (Some (Objmem.read_snapshot rep ~off:addr.Addr.offset ~len ~ts))
+    | _ -> Ok None
+  end
+  else
+    Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst
+      ~bytes:(Obj_layout.header_size + len)
+      (fun () ->
+        match State.peer st dst with
+        | None -> None
+        | Some pst -> (
+            match State.replica pst addr.Addr.region with
+            | Some rep when rep.State.role = State.Primary && rep.State.active ->
+                Some (Objmem.read_snapshot rep ~off:addr.Addr.offset ~len ~ts)
+            | _ -> None))
+
+let read_snapshot_versioned st ~(addr : Addr.t) ~len ~ts =
+  let max_failures = 100 and max_locked = 400 in
+  let rec attempt ~failures ~locked =
+    Proc.check_cancelled ();
+    if failures > max_failures then raise (Abort Failed)
+    else if locked > max_locked then raise (Abort Conflict)
+    else
+      match ensure_mapping st addr.Addr.region ~retries:5 with
+      | None -> raise (Abort Failed)
+      | Some info -> (
+          match snap_read_at st ~dst:info.Wire.primary ~addr ~len ~ts with
+          | Error (`Unreachable | `Timeout) ->
+              invalidate_mapping st addr.Addr.region;
+              Proc.sleep (Time.us 500);
+              attempt ~failures:(failures + 1) ~locked
+          | Ok None ->
+              invalidate_mapping st addr.Addr.region;
+              Proc.sleep (Time.us 200);
+              attempt ~failures:(failures + 1) ~locked
+          | Ok (Some (Objmem.Snap_locked)) ->
+              (* the head is inside the snapshot but a write with an
+                 unknown timestamp is landing; wait for the writer *)
+              Proc.sleep (Time.us 30);
+              attempt ~failures ~locked:(locked + 1)
+          | Ok (Some (Objmem.Snap_value { version; value; allocated; from_chain })) ->
+              Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_snap_read;
+              if from_chain then
+                Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_snap_chain_read;
+              if not allocated then raise (Abort Not_allocated) else (version, value)
+          | Ok (Some Objmem.Snap_none) ->
+              Farm_obs.Obs.incr st.State.obs Farm_obs.Obs.C_snap_read;
+              raise (Abort Not_allocated)
+          | Ok (Some Objmem.Snap_below_floor) ->
+              (* history truncated past our snapshot (only possible across
+                 failures/re-replication): retry at a fresh timestamp *)
+              raise (Abort Conflict))
+  in
+  attempt ~failures:0 ~locked:0
+
 (* {1 Transaction API} *)
 
 let read tx (addr : Addr.t) ~len =
@@ -155,12 +250,19 @@ let read tx (addr : Addr.t) ~len =
       match Addr.Map.find_opt addr tx.reads with
       | Some r -> Bytes.sub r.r_value 0 (min len (Bytes.length r.r_value))
       | None ->
-          let version, data = read_versioned tx.st ~addr ~len in
+          let version, data =
+            if tx.read_ts >= 0 then
+              read_snapshot_versioned tx.st ~addr ~len ~ts:tx.read_ts
+            else read_versioned tx.st ~addr ~len
+          in
           tx.reads <- Addr.Map.add addr { r_version = version; r_value = Bytes.copy data } tx.reads;
           data)
 
 (* The version a write must lock at: the version observed by this
-   transaction, fetching it if the object was not read first. *)
+   transaction, fetching it if the object was not read first. A blind
+   write deliberately observes the CURRENT header version even in
+   snapshot mode — locking at the snapshot's (possibly archived) version
+   would make the write abort forever once the head moves. *)
 let observed_version tx (addr : Addr.t) =
   match Addr.Map.find_opt addr tx.reads with
   | Some r -> r.r_version

@@ -35,6 +35,10 @@ type t = {
   mutable writes : write_entry Addr.Map.t;
   mutable allocated : (Addr.t * int) list;
   mutable finished : bool;
+  mutable read_ts : int;
+      (** snapshot protocol: read timestamp drawn at begin and registered
+          in [State.read_ts_active]; -1 in the validate-at-commit
+          baseline *)
 }
 
 val reason_index : abort_reason -> int
@@ -42,6 +46,13 @@ val reason_index : abort_reason -> int
     flight-recorder event argument. *)
 
 val begin_tx : State.t -> thread:int -> t
+(** Under the snapshot protocol, also draws the transaction's read
+    timestamp (the local clock's lower bound) and registers it against
+    the truncation watermark. *)
+
+val release_read_ts : t -> unit
+(** Drop the transaction's claim on its read timestamp once it settles
+    (commit or abort). Idempotent; no-op in the baseline. *)
 
 val read : t -> Addr.t -> len:int -> Bytes.t
 (** Read [len] data bytes of an object. Atomic per object; successive
@@ -77,6 +88,11 @@ val ensure_mapping : State.t -> int -> retries:int -> Wire.region_info option
 val invalidate_mapping : State.t -> int -> unit
 
 val read_versioned : State.t -> addr:Addr.t -> len:int -> int * Bytes.t
-
 (** Versioned read with retries across lock conflicts and
     reconfigurations. *)
+
+val read_snapshot_versioned : State.t -> addr:Addr.t -> len:int -> ts:int -> int * Bytes.t
+(** Snapshot protocol: the newest version with commit timestamp [<= ts],
+    served from the region head or the primary's version chain. Waits out
+    locked heads; aborts [Conflict] when the chain was truncated past
+    [ts]. *)

@@ -1,0 +1,128 @@
+(* Pooled per-object version chains (see verchain.mli).
+
+   Chains hang off a per-offset hash table; each node owns a reusable
+   byte buffer sized to its high-water mark. Offsets are region-relative,
+   and one [t] serves one replica, so no synchronisation is needed — all
+   access happens on the owning machine's simulated CPU. *)
+
+type node = {
+  mutable n_version : int;
+  mutable n_ts : int;
+  mutable n_buf : Bytes.t;  (* capacity >= n_len; reused across pooling *)
+  mutable n_len : int;
+  mutable n_allocated : bool;
+  mutable n_next : node option;  (* next older version *)
+}
+
+type t = {
+  mutable floor : int;
+  chains : (int, node) Hashtbl.t;  (* offset -> newest archived node *)
+  head : (int, int) Hashtbl.t;  (* offset -> commit ts of the in-memory head *)
+  mutable pool : node list;
+  mutable live : int;
+}
+
+let create ~floor =
+  { floor; chains = Hashtbl.create 64; head = Hashtbl.create 64; pool = []; live = 0 }
+
+let floor t = t.floor
+let raise_floor t f = if f > t.floor then t.floor <- f
+let head_ts t ~off = match Hashtbl.find_opt t.head off with Some ts -> ts | None -> 0
+let set_head_ts t ~off ts = Hashtbl.replace t.head off ts
+let nodes_live t = t.live
+
+let take_node t ~version ~ts ~allocated value =
+  let len = Bytes.length value in
+  let n =
+    match t.pool with
+    | n :: rest ->
+        t.pool <- rest;
+        if Bytes.length n.n_buf < len then n.n_buf <- Bytes.create len;
+        n
+    | [] ->
+        {
+          n_version = 0;
+          n_ts = 0;
+          n_buf = Bytes.create (max len 16);
+          n_len = 0;
+          n_allocated = false;
+          n_next = None;
+        }
+  in
+  Bytes.blit value 0 n.n_buf 0 len;
+  n.n_version <- version;
+  n.n_ts <- ts;
+  n.n_len <- len;
+  n.n_allocated <- allocated;
+  n.n_next <- None;
+  t.live <- t.live + 1;
+  n
+
+let recycle t n =
+  n.n_next <- None;
+  t.pool <- n :: t.pool;
+  t.live <- t.live - 1
+
+let archive t ~off ~version ~ts ~allocated value =
+  match Hashtbl.find_opt t.chains off with
+  | None -> Hashtbl.replace t.chains off (take_node t ~version ~ts ~allocated value)
+  | Some head ->
+      if version > head.n_version then begin
+        let n = take_node t ~version ~ts ~allocated value in
+        n.n_next <- Some head;
+        Hashtbl.replace t.chains off n
+      end
+      else begin
+        (* out-of-order arrival (backup truncation order can invert per
+           object): walk to the sorted position, skipping duplicates *)
+        let rec insert prev =
+          match prev.n_next with
+          | Some nx when version < nx.n_version -> insert nx
+          | Some nx when version = nx.n_version -> ()
+          | tail ->
+              if version <> prev.n_version then begin
+                let n = take_node t ~version ~ts ~allocated value in
+                n.n_next <- tail;
+                prev.n_next <- Some n
+              end
+        in
+        insert head
+      end
+
+let find t ~off ~ts =
+  let rec newest_at_or_below = function
+    | None -> None
+    | Some n -> if n.n_ts <= ts then Some n else newest_at_or_below n.n_next
+  in
+  match newest_at_or_below (Hashtbl.find_opt t.chains off) with
+  | None -> None
+  | Some n -> Some (n.n_version, Bytes.sub n.n_buf 0 n.n_len, n.n_allocated)
+
+let trim t ~wm =
+  if wm <= t.floor then 0
+  else begin
+    let dropped = ref 0 in
+    Hashtbl.iter
+      (fun _off head ->
+        (* keep nodes with ts >= wm plus the newest older one (it serves
+           reads in [wm, next newer ts)); recycle everything below it *)
+        let rec cut n =
+          if n.n_ts < wm then begin
+            let rec drop = function
+              | None -> ()
+              | Some older ->
+                  let next = older.n_next in
+                  recycle t older;
+                  incr dropped;
+                  drop next
+            in
+            drop n.n_next;
+            n.n_next <- None
+          end
+          else match n.n_next with None -> () | Some nx -> cut nx
+        in
+        cut head)
+      t.chains;
+    t.floor <- wm;
+    !dropped
+  end

@@ -1,0 +1,48 @@
+(** Per-replica version chains for the snapshot protocol.
+
+    Region memory always holds the newest committed version of every
+    object ({!Obj_layout}); this side structure archives the versions a
+    snapshot read below the head's commit timestamp still needs. Nodes
+    are pooled (values are reused byte buffers) so steady-state archiving
+    allocates nothing — the PR 7 allocation budget applies to snapshot
+    mode too — and old versions are truncated against the cluster
+    low-watermark, below which no snapshot can ever read again. *)
+
+type t
+
+val create : floor:int -> t
+(** [floor] is the timestamp below which history is absent: snapshot
+    reads strictly below it must abort (retry at a fresh, higher
+    read-timestamp). A replica that existed since the epoch starts at 0;
+    a freshly re-replicated backup starts at its creation instant's
+    clock bound. *)
+
+val floor : t -> int
+val raise_floor : t -> int -> unit
+
+val head_ts : t -> off:int -> int
+(** Commit timestamp of the version currently installed in region memory
+    at [off]; 0 when never written under the snapshot protocol. *)
+
+val set_head_ts : t -> off:int -> int -> unit
+
+val archive : t -> off:int -> version:int -> ts:int -> allocated:bool -> Bytes.t -> unit
+(** Record a superseded version. Inserts keep the chain sorted by
+    version (newest first) and drop duplicates, so out-of-order
+    applications at backups — where truncation order can invert per
+    object — are safe. Copies the value into a pooled buffer. *)
+
+val find : t -> off:int -> ts:int -> (int * Bytes.t * bool) option
+(** Newest archived version with commit timestamp [<= ts]:
+    [(version, value copy, allocated)]. [None] when the chain holds
+    nothing that old (caller decides between "object did not exist yet"
+    and "truncated" via {!floor}). *)
+
+val trim : t -> wm:int -> int
+(** Truncate history no snapshot at or above the watermark can read:
+    per chain, keep every node with [ts >= wm] plus the newest older
+    one, recycle the rest to the pool, and raise the floor to [wm].
+    Returns the number of nodes recycled. No-op (0) when [wm <= floor]. *)
+
+val nodes_live : t -> int
+(** Archived (non-pooled) node count, for gauges and tests. *)

@@ -9,6 +9,11 @@ type write_item = {
   version : int;  (* version observed at read; the lock target *)
   value : bytes;  (* new object data *)
   alloc_op : alloc_op;
+  ts : int;
+      (* snapshot protocol: the write's global-time commit timestamp. 0 in
+         LOCK records (the coordinator picks the timestamp only after all
+         locks are granted) and in the validate-at-commit protocol;
+         COMMIT-BACKUP records rebuild their items with the real value *)
 }
 
 (* Payload shared by LOCK and COMMIT-BACKUP records: transaction id, the ids
@@ -23,7 +28,9 @@ type lock_payload = {
 type record =
   | Lock of lock_payload
   | Commit_backup of lock_payload
-  | Commit_primary of Txid.t
+  | Commit_primary of { txid : Txid.t; ts : int }
+      (* ts: the commit timestamp the primary installs (0 in the
+         validate-at-commit protocol, whose versions are the only order) *)
   | Abort of Txid.t
   | Truncate_marker
 
@@ -96,7 +103,11 @@ type region_info = {
 
 type message =
   (* normal-case transaction protocol *)
-  | Lock_reply of { txid : Txid.t; ok : bool; cfg : int }
+  | Lock_reply of { txid : Txid.t; ok : bool; cfg : int; head_ts : int }
+    (* head_ts: snapshot protocol — the largest commit timestamp among the
+       objects this reply just locked at the primary, so the coordinator's
+       write timestamp provably exceeds every version it overwrites; 0
+       otherwise. Locks serialize same-object writers, so this is exact. *)
   | Validate_req of { txid : Txid.t; items : (Addr.t * int) list }
   | Validate_reply of { txid : Txid.t; ok : bool }
   (* transaction state recovery (Table 2) *)
@@ -151,13 +162,19 @@ type message =
      optimization of §6.2 ships the update to the object's primary) *)
   | App_call of { tag : int; args : int array }
   | App_reply of { ok : bool }
+  (* snapshot protocol: cluster low-watermark for version-chain truncation.
+     Machines report min(own active snapshot read-ts, clock lo) to the CM;
+     the CM replies with the cluster-wide minimum once every member has
+     reported, and the reporter trims its chains up to it. *)
+  | Watermark_report of { cfg : int; wm : int }
+  | Watermark_update of { wm : int }
   (* generic *)
   | Ack
   | Nack
 
 (* Wire-size estimates for the NIC cost model. *)
 
-let write_item_bytes w = 12 + 8 + Bytes.length w.value + 2
+let write_item_bytes w = 12 + 8 + 8 + Bytes.length w.value + 2
 
 let lock_payload_bytes p =
   16 + (4 * List.length p.regions_written)
@@ -177,7 +194,8 @@ let payload_tag = function
 
 let payload_txid = function
   | Lock p | Commit_backup p -> Some p.txid
-  | Commit_primary id | Abort id -> Some id
+  | Commit_primary { txid; _ } -> Some txid
+  | Abort id -> Some id
   | Truncate_marker -> None
 
 (* The flow id linking one record's append at [Txid.machine] to its
@@ -191,7 +209,7 @@ let record_flow payload ~dst =
 
 let payload_bytes = function
   | Lock p | Commit_backup p -> 16 + lock_payload_bytes p
-  | Commit_primary _ -> 32
+  | Commit_primary _ -> 40
   | Abort _ -> 32
   | Truncate_marker -> 24
 
@@ -205,7 +223,9 @@ let record_bytes r = payload_bytes r.payload + (16 * List.length r.truncations) 
 let lock_record_base_bytes ~nregions ~writes_bytes =
   16 + (16 + (4 * nregions) + writes_bytes) + 8
 
-let ctl_record_base_bytes = 32 + 8
+(* Covers the larger COMMIT-PRIMARY (40) so one reservation size fits every
+   control record; the residue is unreserved when the commit settles. *)
+let ctl_record_base_bytes = 40 + 8
 
 let evidence_bytes e =
   24
@@ -213,7 +233,7 @@ let evidence_bytes e =
   + (match e.ev_payload with Some p -> lock_payload_bytes p | None -> 0)
 
 let message_bytes = function
-  | Lock_reply _ -> 32
+  | Lock_reply _ -> 40
   | Validate_req { items; _ } -> 24 + (20 * List.length items)
   | Validate_reply _ -> 32
   | Need_recovery { txs; _ } ->
@@ -239,4 +259,6 @@ let message_bytes = function
   | Alloc_obj_req _ | Alloc_obj_reply _ | Free_slot_hint _ -> 32
   | App_call { args; _ } -> 16 + (8 * Array.length args)
   | App_reply _ -> 16
+  | Watermark_report _ -> 24
+  | Watermark_update _ -> 16
   | Ack | Nack -> 8

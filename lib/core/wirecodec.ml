@@ -48,7 +48,8 @@ let w_write_item b (w : Wire.write_item) =
   w_addr b w.Wire.addr;
   w_int b w.Wire.version;
   w_bytes b w.Wire.value;
-  w_alloc_op b w.Wire.alloc_op
+  w_alloc_op b w.Wire.alloc_op;
+  w_int b w.Wire.ts
 
 let w_lock_payload b (p : Wire.lock_payload) =
   w_txid b p.Wire.txid;
@@ -154,7 +155,8 @@ let r_write_item c =
   let version = r_int c in
   let value = r_bytes c in
   let alloc_op = r_alloc_op c in
-  { Wire.addr; version; value; alloc_op }
+  let ts = r_int c in
+  { Wire.addr; version; value; alloc_op; ts }
 
 let r_lock_payload c =
   let txid = r_txid c in
@@ -213,11 +215,12 @@ let r_config c =
 let encode (msg : Wire.message) =
   let b = Buffer.create 64 in
   (match msg with
-  | Wire.Lock_reply { txid; ok; cfg } ->
+  | Wire.Lock_reply { txid; ok; cfg; head_ts } ->
       w_u8 b 0;
       w_txid b txid;
       w_bool b ok;
-      w_int b cfg
+      w_int b cfg;
+      w_int b head_ts
   | Wire.Validate_req { txid; items } ->
       w_u8 b 1;
       w_txid b txid;
@@ -358,7 +361,14 @@ let encode (msg : Wire.message) =
       w_u8 b 35;
       w_bool b ok
   | Wire.Ack -> w_u8 b 36
-  | Wire.Nack -> w_u8 b 37);
+  | Wire.Nack -> w_u8 b 37
+  | Wire.Watermark_report { cfg; wm } ->
+      w_u8 b 38;
+      w_int b cfg;
+      w_int b wm
+  | Wire.Watermark_update { wm } ->
+      w_u8 b 39;
+      w_int b wm);
   Buffer.to_bytes b
 
 let decode_exn c : Wire.message =
@@ -367,7 +377,8 @@ let decode_exn c : Wire.message =
       let txid = r_txid c in
       let ok = r_bool c in
       let cfg = r_int c in
-      Wire.Lock_reply { txid; ok; cfg }
+      let head_ts = r_int c in
+      Wire.Lock_reply { txid; ok; cfg; head_ts }
   | 1 ->
       let txid = r_txid c in
       let items = r_list c (fun c -> let a = r_addr c in let v = r_int c in (a, v)) in
@@ -485,6 +496,11 @@ let decode_exn c : Wire.message =
   | 35 -> Wire.App_reply { ok = r_bool c }
   | 36 -> Wire.Ack
   | 37 -> Wire.Nack
+  | 38 ->
+      let cfg = r_int c in
+      let wm = r_int c in
+      Wire.Watermark_report { cfg; wm }
+  | 39 -> Wire.Watermark_update { wm = r_int c }
   | _ -> raise Bad
 
 let decode data =

@@ -23,6 +23,7 @@ type opts = {
   duration : Time.t;  (** workload + fault window per schedule *)
   btree : bool;
   batching : bool;  (** doorbell-batched commit pipeline (the default) *)
+  protocol : Params.protocol;  (** commit protocol variant under test *)
   record : bool;  (** capture flight-recorder events (the default) *)
   perfetto : bool;  (** also capture a causal trace (off by default) *)
 }
@@ -35,6 +36,7 @@ let default_opts =
     duration = Time.ms 60;
     btree = true;
     batching = true;
+    protocol = Params.Validate_at_commit;
     record = true;
     perfetto = false;
   }
@@ -92,6 +94,7 @@ let transfer st ~rng ~hist ~addrs =
       Commit.commit tx
     with Txn.Abort reason ->
       tx.Txn.finished <- true;
+      Txn.release_read_ts tx;
       Txn.return_allocations tx;
       Error reason
   with
@@ -129,7 +132,9 @@ let spawn_workers (c : Cluster.t) ~opts ~stop ~hist ~addrs ~tree =
    violations and exercise the failing-outcome path). *)
 let run_one ?(opts = default_opts) ?probe seed =
   let trace = ref [] in
-  let params = { params with Params.doorbell_batching = opts.batching } in
+  let params =
+    { params with Params.doorbell_batching = opts.batching; protocol = opts.protocol }
+  in
   let c = Cluster.create ~seed ~params ~machines:opts.machines () in
   Cluster.set_recording c opts.record;
   Cluster.set_tracing c opts.perfetto;

@@ -15,6 +15,9 @@ type opts = {
   duration : Time.t;  (** workload + fault window per schedule *)
   btree : bool;
   batching : bool;  (** doorbell-batched commit pipeline (the default) *)
+  protocol : Farm_core.Params.protocol;
+      (** commit protocol variant under test: the validate-at-commit
+          baseline (default) or the snapshot (opacity) protocol *)
   record : bool;
       (** capture flight-recorder events (the default). Recording never
           perturbs the schedule: outcomes are identical either way. *)

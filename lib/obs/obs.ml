@@ -42,6 +42,10 @@ type counter =
   | C_abort_lock_refused
   | C_abort_validate_failed
   | C_abort_timeout
+  | C_snap_read
+  | C_snap_chain_read
+  | C_ro_commit
+  | C_wm_trim
 
 let all_counters =
   [
@@ -50,7 +54,8 @@ let all_counters =
     C_log_trunc; C_log_trunc_deferred; C_lock_ok; C_lock_fail; C_tx_commit;
     C_tx_abort; C_lease_renewal; C_lease_grant; C_lease_expiry; C_suspect;
     C_reconfig; C_rec_vote; C_rec_decide; C_abort_lock_refused;
-    C_abort_validate_failed; C_abort_timeout;
+    C_abort_validate_failed; C_abort_timeout; C_snap_read; C_snap_chain_read;
+    C_ro_commit; C_wm_trim;
   ]
 
 let n_counters = List.length all_counters
@@ -83,6 +88,10 @@ let counter_index = function
   | C_abort_lock_refused -> 24
   | C_abort_validate_failed -> 25
   | C_abort_timeout -> 26
+  | C_snap_read -> 27
+  | C_snap_chain_read -> 28
+  | C_ro_commit -> 29
+  | C_wm_trim -> 30
 
 let counter_name = function
   | C_rdma_read -> "rdma-read"
@@ -112,12 +121,27 @@ let counter_name = function
   | C_abort_lock_refused -> "abort-lock-refused"
   | C_abort_validate_failed -> "abort-validate-failed"
   | C_abort_timeout -> "abort-timeout"
+  | C_snap_read -> "snap-read"
+  | C_snap_chain_read -> "snap-chain-read"
+  | C_ro_commit -> "ro-commit"
+  | C_wm_trim -> "wm-trim"
 
 (* {1 Phases and stages} *)
 
-type phase = P_execute | P_lock | P_validate | P_commit_backup | P_commit_primary | P_truncate
+(* [P_commit_wait] (snapshot protocol: waiting out clock uncertainty) sits
+   last so the established phase indices stay stable. *)
+type phase =
+  | P_execute
+  | P_lock
+  | P_validate
+  | P_commit_backup
+  | P_commit_primary
+  | P_truncate
+  | P_commit_wait
 
-let all_phases = [ P_execute; P_lock; P_validate; P_commit_backup; P_commit_primary; P_truncate ]
+let all_phases =
+  [ P_execute; P_lock; P_validate; P_commit_backup; P_commit_primary; P_truncate; P_commit_wait ]
+
 let n_phases = List.length all_phases
 
 let phase_index = function
@@ -127,6 +151,7 @@ let phase_index = function
   | P_commit_backup -> 3
   | P_commit_primary -> 4
   | P_truncate -> 5
+  | P_commit_wait -> 6
 
 let phase_name = function
   | P_execute -> "execute"
@@ -135,6 +160,7 @@ let phase_name = function
   | P_commit_backup -> "commit-backup"
   | P_commit_primary -> "commit-primary"
   | P_truncate -> "truncate"
+  | P_commit_wait -> "commit-wait"
 
 type stage = S_drain | S_region_active | S_decide
 
@@ -390,7 +416,7 @@ let all_phases_arr = Array.of_list all_phases
 let step_of_phase_arr =
   [|
     Tracer.T_execute; Tracer.T_lock; Tracer.T_validate; Tracer.T_commit_backup;
-    Tracer.T_commit_primary; Tracer.T_truncate;
+    Tracer.T_commit_primary; Tracer.T_truncate; Tracer.T_commit_wait;
   |]
 
 module Span = struct

@@ -77,6 +77,10 @@ type counter =
   | C_abort_lock_refused  (** aborts caused by a refused LOCK record *)
   | C_abort_validate_failed  (** aborts caused by a failed VALIDATE read *)
   | C_abort_timeout  (** aborts caused by timeouts / machine failure *)
+  | C_snap_read  (** snapshot-protocol object reads (any source) *)
+  | C_snap_chain_read  (** of which served from a version chain *)
+  | C_ro_commit  (** read-only transactions committed locally, no VALIDATE *)
+  | C_wm_trim  (** version-chain nodes truncated below the watermark *)
 
 val all_counters : counter list
 (** Every counter, in declaration order. *)
@@ -106,6 +110,9 @@ type phase =
   | P_commit_backup
   | P_commit_primary
   | P_truncate
+  | P_commit_wait
+      (** snapshot protocol: the coordinator waiting out clock
+          uncertainty before exposing its writes *)
 
 val phase_name : phase -> string
 val all_phases : phase list

@@ -26,6 +26,7 @@ type step =
   | T_rec_drain
   | T_rec_region_active
   | T_rec_decide
+  | T_commit_wait
 
 let step_index = function
   | T_execute -> 0
@@ -41,12 +42,13 @@ let step_index = function
   | T_rec_drain -> 10
   | T_rec_region_active -> 11
   | T_rec_decide -> 12
+  | T_commit_wait -> 13
 
 let step_names =
   [|
     "execute"; "LOCK"; "VALIDATE"; "COMMIT-BACKUP"; "COMMIT-PRIMARY"; "TRUNCATE";
     "log-append"; "log-process"; "lock-grant"; "lock-refuse"; "rec-drain";
-    "rec-region-active"; "rec-decide";
+    "rec-region-active"; "rec-decide"; "COMMIT-WAIT";
   |]
 
 let step_name s = step_names.(step_index s)

@@ -61,6 +61,7 @@ type step =
   | T_rec_drain
   | T_rec_region_active
   | T_rec_decide
+  | T_commit_wait  (** snapshot protocol: waiting out clock uncertainty *)
 
 val step_name : step -> string
 

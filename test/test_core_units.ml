@@ -169,7 +169,7 @@ let placement_qcheck =
 let mk_log () = Ringlog.create ~sender:0 ~receiver:1 ~capacity:4096
 
 let dummy_record txid =
-  { Wire.payload = Wire.Commit_primary txid; truncations = []; low_bound = 0; cfg = 1 }
+  { Wire.payload = Wire.Commit_primary { txid; ts = 0 }; truncations = []; low_bound = 0; cfg = 1 }
 
 let tx n = Txid.make ~config:1 ~machine:0 ~thread:0 ~local:n
 
@@ -246,6 +246,7 @@ let wire_sizes_monotone () =
       version = 1;
       value = Bytes.make v 'x';
       alloc_op = Wire.Alloc_none;
+      ts = 0;
     }
   in
   let p n = { Wire.txid = tx 0; regions_written = [ 1 ]; writes = List.init n (fun _ -> w 32) } in

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "farm"
-    (Test_sim.suites @ Test_net.suites @ Test_substrates.suites @ Test_core_units.suites @ Test_wirecodec.suites @ Test_txn.suites @ Test_recovery.suites @ Test_lease.suites @ Test_kv.suites @ Test_kv_model.suites @ Test_workloads.suites @ Test_protocol.suites @ Test_kv_extra.suites @ Test_commit_edge.suites @ Test_serializability.suites @ Test_powerfail.suites @ Test_endtoend.suites @ Test_hierarchy.suites @ Test_fuzz.suites @ Test_batching.suites @ Test_obs.suites @ Test_alloc.suites @ Test_domain.suites)
+    (Test_sim.suites @ Test_net.suites @ Test_substrates.suites @ Test_core_units.suites @ Test_wirecodec.suites @ Test_txn.suites @ Test_recovery.suites @ Test_lease.suites @ Test_kv.suites @ Test_kv_model.suites @ Test_workloads.suites @ Test_protocol.suites @ Test_kv_extra.suites @ Test_commit_edge.suites @ Test_serializability.suites @ Test_powerfail.suites @ Test_endtoend.suites @ Test_hierarchy.suites @ Test_fuzz.suites @ Test_opacity.suites @ Test_batching.suites @ Test_obs.suites @ Test_alloc.suites @ Test_domain.suites)

@@ -21,11 +21,11 @@ let gen_alloc_op = oneofl [ Wire.Alloc_none; Wire.Alloc_set; Wire.Alloc_clear ]
 
 let gen_write_item =
   map
-    (fun (addr, version, value, alloc_op) ->
-      { Wire.addr; version; value; alloc_op = Option.get alloc_op })
+    (fun (addr, version, value, (alloc_op, ts)) ->
+      { Wire.addr; version; value; alloc_op; ts })
     (quad gen_addr gen_small
        (map Bytes.of_string (string_size (int_range 0 32)))
-       (map Option.some gen_alloc_op))
+       (pair gen_alloc_op gen_small))
 
 let gen_lock_payload =
   map
@@ -99,8 +99,8 @@ let gen_message =
   let pure_ m = map (fun () -> m) unit in
   oneof
     [
-      map (fun ((txid, ok), cfg) -> Wire.Lock_reply { txid; ok; cfg })
-        (pair (pair gen_txid bool) gen_small);
+      map (fun ((txid, ok), (cfg, head_ts)) -> Wire.Lock_reply { txid; ok; cfg; head_ts })
+        (pair (pair gen_txid bool) (pair gen_small gen_small));
       map (fun (txid, items) -> Wire.Validate_req { txid; items })
         (pair gen_txid (list_size (int_range 0 4) (pair gen_addr gen_small)));
       map (fun (txid, ok) -> Wire.Validate_reply { txid; ok }) (pair gen_txid bool);
@@ -158,6 +158,8 @@ let gen_message =
       map (fun (tag, args) -> Wire.App_call { tag; args = Array.of_list args })
         (pair gen_small (list_size (int_range 0 4) gen_small));
       map (fun ok -> Wire.App_reply { ok }) bool;
+      map (fun (cfg, wm) -> Wire.Watermark_report { cfg; wm }) (pair gen_small gen_small);
+      map (fun wm -> Wire.Watermark_update { wm }) gen_small;
       pure_ Wire.Ack;
       pure_ Wire.Nack;
     ]
