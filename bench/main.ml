@@ -38,6 +38,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "opacity",
       "validate-at-commit vs snapshot protocol on contended YCSB-B/C",
       fun () -> ignore (Opacity_bench.run ()) );
+    ( "slo",
+      "SLO under gray failures: open-loop TATP, goodput/p999/max-stall",
+      fun () -> Slo_bench.run ~smoke:!Bench_util.smoke () );
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

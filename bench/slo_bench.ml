@@ -1,0 +1,241 @@
+open Farm_sim
+open Farm_core
+open Farm_workloads
+open Farm_fault
+
+(* SLO under gray failures: TATP driven open-loop through a bounded
+   admission queue while one machine degrades — slow/lossy NIC, asymmetric
+   partition, CPU throttling, lease flapping — with a healthy baseline for
+   reference. Per scenario: goodput, sojourn percentiles (p50/p99/p999,
+   queueing included — the open loop is what makes gray damage visible),
+   shed load, and the longest cluster-wide commit stall from the 1 ms
+   timeline sampler. The SLO probes gate each scenario: a stall must
+   coincide with suspicion evidence, queues must drain after heal, nothing
+   may stay parked.
+
+   Everything derives from the per-scenario seed; scenarios are
+   independent worlds sharded over domains, and the JSON artifact
+   (BENCH_slo.json) is byte-identical across reruns and --jobs counts. *)
+
+type scenario = {
+  label : string;
+  shape : Arrivals.shape;
+  rate : float;  (* cluster-wide arrivals/s *)
+  faults : Schedule.event list;  (* relative to the load window start *)
+}
+
+let machines = 6
+let subscribers = 2_000
+let queue_cap = 64
+let serve_workers = 2
+let seed = 42
+
+let params = { Params.default with Params.lease_duration = Time.ms 5 }
+let lease = params.Params.lease_duration
+
+(* Fault window: degrade at 30 ms, heal at 80 ms, load stops at [window]. *)
+let fault_at = Time.ms 30
+let heal_at = Time.ms 80
+
+let ev at fault = { Schedule.at; fault }
+
+let scenarios ~window:_ =
+  [
+    { label = "baseline"; shape = Arrivals.Poisson; rate = 40_000.; faults = [] };
+    {
+      label = "slow_nic";
+      shape = Arrivals.Self_similar { b = 0.72 };
+      rate = 40_000.;
+      faults =
+        [
+          ev fault_at (Schedule.Slow_nic { machine = 1; delay_factor = 4.; loss = 0.08 });
+          ev heal_at (Schedule.Nic_heal 1);
+        ];
+    };
+    {
+      label = "asym_partition";
+      shape = Arrivals.Poisson;
+      rate = 40_000.;
+      faults =
+        [
+          ev fault_at (Schedule.Asym_partition { srcs = [ 1 ]; dsts = [ 2 ] });
+          ev heal_at Schedule.Heal;
+        ];
+    };
+    {
+      label = "cpu_slow";
+      shape = Arrivals.Diurnal { trough = 0.4 };
+      rate = 40_000.;
+      faults =
+        [
+          ev fault_at (Schedule.Cpu_slow { machine = 1; factor = 4 });
+          ev heal_at (Schedule.Cpu_heal 1);
+        ];
+    };
+    {
+      label = "lease_flap";
+      shape = Arrivals.Flash { at = 0.45; magnitude = 5.; width = 0.3 };
+      rate = 40_000.;
+      faults =
+        [
+          ev fault_at
+            (Schedule.Lease_flap
+               { machine = 1; period = lease; count = 5;
+                 stall = Time.div_int (Time.mul_int lease 3) 4 });
+        ];
+    };
+  ]
+
+type result = {
+  r_label : string;
+  r_shape : string;
+  r_rate : float;
+  r_offered : int;  (* submitted + shed = everything that arrived *)
+  r_submitted : int;
+  r_shed : int;
+  r_completed : int;
+  r_failed : int;
+  r_stranded : int;  (* admitted but never served: lost to eviction/death *)
+  r_goodput : float;  (* completed per second of load window *)
+  r_p50_us : float;
+  r_p99_us : float;
+  r_p999_us : float;
+  r_max_stall_ms : int;  (* longest cluster-wide zero-commit run, sampler bins *)
+  r_violations : string list;
+  r_block : string;  (* rendered human-readable output *)
+}
+
+(* Longest zero-run (ms) of the sampler's merged per-ms commits between the
+   first and last nonzero bins. *)
+let max_stall_ms rows =
+  let vals = List.map snd rows in
+  let arr = Array.of_list vals in
+  let first = ref (-1) and last = ref (-1) in
+  Array.iteri
+    (fun i v ->
+      if v > 0 then begin
+        if !first < 0 then first := i;
+        last := i
+      end)
+    arr;
+  if !first < 0 then 0
+  else begin
+    let best = ref 0 and cur = ref 0 in
+    for i = !first to !last do
+      if arr.(i) = 0 then begin
+        incr cur;
+        if !cur > !best then best := !cur
+      end
+      else cur := 0
+    done;
+    !best
+  end
+
+let run_scenario ~window ~drain (sc : scenario) : result =
+  let c = Cluster.create ~seed ~params ~machines () in
+  let tatp = Tatp.create c ~subscribers ~regions_per_table:2 in
+  Tatp.load c tatp;
+  let op = Tatp.op tatp in
+  let start = Cluster.now c in
+  (* open loop first so its queue gauges join the sampler's standard set *)
+  let ol =
+    Openloop.start c ~queue_cap ~workers:serve_workers ~shape:sc.shape ~rate:sc.rate
+      ~duration:window ~op
+  in
+  let horizon = Time.add (Time.add start window) (Time.add drain (Time.ms 200)) in
+  Cluster.start_sampling c ~until:horizon;
+  Nemesis.run c ~start { Schedule.seed; machines; events = sc.faults };
+  Cluster.run_until c ~at:(Time.add start window);
+  Openloop.stop ol;
+  Cluster.run_for c ~d:drain;
+  Cluster.heal c;
+  let settled = Cluster.quiesce c in
+  Cluster.run_for c ~d:(Time.ms 60);
+  let st = Openloop.stats ol in
+  let violations =
+    (if settled then [] else [ "slo: cluster failed to quiesce" ])
+    @ Probes.no_global_stall c @ Probes.no_parked_tx c
+    @ Probes.queues_drained
+        ~queues:(fun () -> Openloop.queue_depths ~members_only:true ol)
+        ()
+  in
+  let submitted = Stats.Counter.get st.Openloop.submitted in
+  let shed = Stats.Counter.get st.Openloop.shed in
+  let completed = Stats.Counter.get st.Openloop.completed in
+  let failed = Stats.Counter.get st.Openloop.failed in
+  let pct p = float_of_int (Stats.Hist.percentile st.Openloop.sojourn p) /. 1e3 in
+  let stall = max_stall_ms (Failure_bench.merged_commits c) in
+  let goodput = float_of_int completed /. Time.to_s_float window in
+  let stranded = Openloop.stranded ol in
+  let block =
+    Fmt.str "%-14s %-24s offered %6d  shed %5d  goodput %9.0f/s@.%s%s@.%a"
+      sc.label
+      (Fmt.str "%a" Arrivals.pp_shape sc.shape)
+      (submitted + shed) shed goodput
+      (Fmt.str
+         "               sojourn p50 %8.1f us  p99 %8.1f us  p999 %8.1f us  max-stall %d ms"
+         (pct 50.) (pct 99.) (pct 99.9) stall)
+      (if stranded = 0 then ""
+       else Fmt.str "  stranded %d (evicted/dead machine)" stranded)
+      Fmt.(list ~sep:nop (fmt "               VIOLATION: %s@."))
+      violations
+  in
+  {
+    r_label = sc.label;
+    r_shape = Fmt.str "%a" Arrivals.pp_shape sc.shape;
+    r_rate = sc.rate;
+    r_offered = submitted + shed;
+    r_submitted = submitted;
+    r_shed = shed;
+    r_completed = completed;
+    r_failed = failed;
+    r_stranded = stranded;
+    r_goodput = goodput;
+    r_p50_us = pct 50.;
+    r_p99_us = pct 99.;
+    r_p999_us = pct 99.9;
+    r_max_stall_ms = stall;
+    r_violations = violations;
+    r_block = block;
+  }
+
+let write_json file results =
+  let oc = open_out file in
+  Printf.fprintf oc "{\"bench\":\"slo\",\"scenarios\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc
+        "{\"label\":\"%s\",\"shape\":\"%s\",\"rate_per_s\":%.0f,\"offered\":%d,\"submitted\":%d,\"shed\":%d,\"completed\":%d,\"failed\":%d,\"stranded\":%d,\"goodput_per_s\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f,\"max_stall_ms\":%d,\"violations\":[%s]}"
+        (Failure_bench.json_escape r.r_label)
+        (Failure_bench.json_escape r.r_shape)
+        r.r_rate r.r_offered r.r_submitted r.r_shed r.r_completed r.r_failed
+        r.r_stranded r.r_goodput
+        r.r_p50_us r.r_p99_us r.r_p999_us r.r_max_stall_ms
+        (String.concat ","
+           (List.map (fun v -> "\"" ^ Failure_bench.json_escape v ^ "\"") r.r_violations)))
+    results;
+  Printf.fprintf oc "]}\n";
+  close_out oc
+
+let run ?(smoke = false) () =
+  Bench_util.header "SLO under gray failures (open-loop TATP)"
+    "graceful degradation: Fig 16's lease stack under slow-but-alive faults";
+  let window = if smoke then Time.ms 60 else Time.ms 120 in
+  let drain = Time.ms 40 in
+  Fmt.pr
+    "machines=%d  tatp subscribers=%d  open-loop rate=40000/s  queue cap=%d/machine  \
+     window=%dms@.@."
+    machines subscribers queue_cap
+    (Bench_util.ms_of window);
+  let results =
+    Bench_util.shard_map (fun sc -> run_scenario ~window ~drain sc) (scenarios ~window)
+  in
+  List.iter (fun r -> Fmt.pr "%s@." r.r_block) results;
+  let bad = List.concat_map (fun r -> r.r_violations) results in
+  if bad = [] then Fmt.pr "slo probes: all scenarios clean@."
+  else Fmt.pr "slo probes: %d violation(s) — see above@." (List.length bad);
+  if not smoke then begin
+    write_json "BENCH_slo.json" results;
+    Fmt.pr "wrote BENCH_slo.json@."
+  end

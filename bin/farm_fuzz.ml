@@ -19,7 +19,7 @@ open Farm_fault
 open Cmdliner
 
 let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching ~protocol
-    ~perfetto =
+    ~perfetto ~gray =
   {
     Explorer.machines;
     cells;
@@ -30,11 +30,17 @@ let opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching ~proto
     protocol;
     record = true;
     perfetto;
+    gray;
   }
+
+(* Gray sweeps also gate graceful degradation: the SLO probes (no
+   unexplained global commit stall, nothing parked past its timeout) run
+   against every healed schedule. *)
+let probe_of (opts : Explorer.opts) = if opts.Explorer.gray then Some Probes.gray else None
 
 let run_explore ~opts ~seed ~schedules ~jobs ~verbose =
   let report =
-    Explorer.sweep ~opts ~jobs
+    Explorer.sweep ~opts ?probe:(probe_of opts) ~jobs
       ~on_outcome:(fun ~index o ->
         if not (Explorer.ok o) then Fmt.pr "schedule %d: %a@." index Explorer.pp_outcome o
         else if verbose then Fmt.pr "schedule %d: %a@." index Explorer.pp_outcome o
@@ -51,7 +57,7 @@ let run_explore ~opts ~seed ~schedules ~jobs ~verbose =
   if report.Explorer.failures = [] then 0 else 1
 
 let run_replay ~opts ~seed ~trace_flag ~perfetto_file =
-  let o = Explorer.run_one ~opts seed in
+  let o = Explorer.run_one ~opts ?probe:(probe_of opts) seed in
   List.iter (Fmt.pr "%s@.") o.Explorer.trace;
   Fmt.pr "%a@." Explorer.pp_outcome { o with Explorer.trace = []; Explorer.recorder = [] };
   if trace_flag then begin
@@ -74,7 +80,7 @@ let run_replay ~opts ~seed ~trace_flag ~perfetto_file =
   if Explorer.ok o then 0 else 1
 
 let main seed schedules replay machines cells workers duration_ms no_btree no_batching
-    protocol jobs verbose trace_flag perfetto_file =
+    protocol gray jobs verbose trace_flag perfetto_file =
   if machines < 3 then begin
     Fmt.epr "farm_fuzz: --machines must be at least 3 (every region needs f+1 = 3 replicas)@.";
     2
@@ -90,7 +96,7 @@ let main seed schedules replay machines cells workers duration_ms no_btree no_ba
   else begin
     let opts =
       opts_of ~machines ~cells ~workers ~duration_ms ~no_btree ~no_batching ~protocol
-        ~perfetto:(perfetto_file <> None)
+        ~perfetto:(perfetto_file <> None) ~gray
     in
     match replay with
     | Some s -> run_replay ~opts ~seed:s ~trace_flag ~perfetto_file
@@ -144,6 +150,17 @@ let cmd =
              $(b,snapshot) (multi-version reads at a global-time snapshot; read-only \
              transactions commit locally without VALIDATE).")
   in
+  let gray =
+    Arg.(
+      value & flag
+      & info [ "gray" ]
+          ~doc:
+            "Draw schedules from the gray-failure family (slow/lossy NICs, asymmetric \
+             partitions, CPU throttling, lease flapping) instead of the classic \
+             crash/partition pool, and additionally gate every schedule on the SLO \
+             probes: no global commit stall without an active suspicion, no \
+             transaction parked past its timeout.")
+  in
   let jobs =
     Arg.(
       value
@@ -175,7 +192,8 @@ let cmd =
   let term =
     Term.(
       const main $ seed $ schedules $ replay $ machines $ cells $ workers $ duration_ms
-      $ no_btree $ no_batching $ protocol $ jobs $ verbose $ trace_flag $ perfetto_file)
+      $ no_btree $ no_batching $ protocol $ gray $ jobs $ verbose $ trace_flag
+      $ perfetto_file)
   in
   Cmd.v (Cmd.info "farm_fuzz" ~doc:"Deterministic fault-schedule fuzzer for the FaRM simulation") term
 

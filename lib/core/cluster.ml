@@ -272,16 +272,20 @@ let power_cycle t =
 let partition t ~group ids =
   List.iter (fun id -> Farm_net.Fabric.set_partition t.fabric id group) ids
 
-(* Undo every network fault: all machines back in partition group 0 and all
-   per-link delay/loss injection cleared. Dead machines stay dead and
-   evicted machines stay evicted — healing the network never re-admits
-   anyone (the paper never re-admits machines mid-run). *)
+(* Undo every network fault: all machines back in partition group 0, all
+   per-link delay/loss injection cleared, and all gray state — gray NICs,
+   directed blackholes, CPU slow factors — restored to healthy. Dead
+   machines stay dead and evicted machines stay evicted — healing the
+   network never re-admits anyone (the paper never re-admits machines
+   mid-run). *)
 let heal t =
   Array.iter
     (fun (st : State.t) ->
-      if st.State.alive then Farm_net.Fabric.set_partition t.fabric st.State.id 0)
+      if st.State.alive then Farm_net.Fabric.set_partition t.fabric st.State.id 0;
+      Cpu.set_slow_factor st.State.cpu 1)
     t.machines;
-  Farm_net.Fabric.clear_link_faults t.fabric
+  Farm_net.Fabric.clear_link_faults t.fabric;
+  Farm_net.Fabric.clear_gray_faults t.fabric
 
 (* The newest configuration committed by any alive machine. Its members are
    the machines whose state is authoritative: alive non-members are evicted
@@ -485,7 +489,10 @@ let start_sampling ?(interval = Time.ms 1) t ~until =
     (fun i st ->
       let tl = Farm_obs.Obs.timeline st.State.obs in
       if not (Farm_obs.Timeline.running tl) then begin
-        if Farm_obs.Timeline.series_names tl = [] then begin
+        (* Callers may pre-register extra gauges (e.g. the open-loop
+           admission-queue depth) before sampling starts; only the standard
+           set's presence decides whether to add it again. *)
+        if not (List.mem "commits" (Farm_obs.Timeline.series_names tl)) then begin
           let live () = t.machines.(i) in
           Farm_obs.Timeline.add_series tl ~name:"commits" ~kind:Farm_obs.Timeline.Cumulative
             (fun () -> Stats.Counter.get (live ()).State.metrics.committed);

@@ -26,6 +26,7 @@ type opts = {
   protocol : Params.protocol;  (** commit protocol variant under test *)
   record : bool;  (** capture flight-recorder events (the default) *)
   perfetto : bool;  (** also capture a causal trace (off by default) *)
+  gray : bool;  (** draw gray-failure schedules ({!Schedule.generate_gray}) *)
 }
 
 let default_opts =
@@ -39,6 +40,7 @@ let default_opts =
     protocol = Params.Validate_at_commit;
     record = true;
     perfetto = false;
+    gray = false;
   }
 
 type outcome = {
@@ -167,7 +169,8 @@ let run_one ?(opts = default_opts) ?probe seed =
   (* draw and run the fault script *)
   let start = Cluster.now c in
   let sched =
-    Schedule.generate ~seed ~machines:opts.machines ~duration:opts.duration
+    (if opts.gray then Schedule.generate_gray else Schedule.generate)
+      ~seed ~machines:opts.machines ~duration:opts.duration
       ~lease:params.Params.lease_duration
   in
   Nemesis.run c ~start sched;

@@ -25,6 +25,12 @@ type opts = {
       (** also capture a causal trace ({!Farm_core.Cluster.trace_dump}),
           rendered into [perfetto_json]. Off by default (span buffers cost
           memory per machine); tracing never perturbs the schedule. *)
+  gray : bool;
+      (** draw schedules from the gray-failure family
+          ({!Schedule.generate_gray}: slow/lossy NICs, directed blackholes,
+          CPU throttling, lease flapping) instead of the classic
+          crash/partition pool. Off by default, so existing pools keep
+          their exact historical schedule streams. *)
 }
 
 val default_opts : opts

@@ -56,6 +56,52 @@ let apply (c : Cluster.t) (fault : Schedule.fault) =
         emit c "nemesis: clock-skew m%d %a" machine Time.pp delta;
         Lease.inject_clock_skew st ~delta
       end
+  | Schedule.Slow_nic { machine; delay_factor; loss } ->
+      emit c "nemesis: slow-nic m%d x%.1f loss=%.2f" machine delay_factor loss;
+      Farm_net.Fabric.set_nic_gray ~delay_factor ~loss c.Cluster.fabric ~machine
+  | Schedule.Nic_heal machine ->
+      emit c "nemesis: nic-heal m%d" machine;
+      Farm_net.Fabric.clear_nic_gray c.Cluster.fabric ~machine
+  | Schedule.Asym_partition { srcs; dsts } ->
+      emit c "nemesis: asym-partition {%a}->{%a}"
+        Fmt.(list ~sep:(any ",") int)
+        srcs
+        Fmt.(list ~sep:(any ",") int)
+        dsts;
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst ->
+              if src <> dst then Farm_net.Fabric.set_blackhole c.Cluster.fabric ~src ~dst)
+            dsts)
+        srcs
+  | Schedule.Cpu_slow { machine; factor } ->
+      let st = Cluster.machine c machine in
+      if st.State.alive then begin
+        emit c "nemesis: cpu-slow m%d x%d" machine factor;
+        Farm_sim.Cpu.set_slow_factor st.State.cpu factor
+      end
+  | Schedule.Cpu_heal machine ->
+      let st = Cluster.machine c machine in
+      if st.State.alive then begin
+        emit c "nemesis: cpu-heal m%d" machine;
+        Farm_sim.Cpu.set_slow_factor st.State.cpu 1
+      end
+  | Schedule.Lease_flap { machine; period; count; stall } ->
+      (* Expand the flap into [count] periodic stall injections, scheduled
+         as engine callbacks. Unlike power-cycling, a stall injection only
+         mutates lease state and emits — safe from inside a callback, and
+         the deterministic engine clock makes the expansion replayable. *)
+      emit c "nemesis: lease-flap m%d %dx%a every %a" machine count Time.pp stall
+        Time.pp period;
+      for i = 0 to count - 1 do
+        Engine.schedule_in c.Cluster.engine ~after:(Time.mul_int period i) (fun () ->
+            let st = Cluster.machine c machine in
+            if st.State.alive then begin
+              emit c "nemesis: lease-flap-stall m%d %a" machine Time.pp stall;
+              Lease.inject_stall st ~duration:stall
+            end)
+      done
 
 (* Run the schedule against the cluster: advance the simulation to each
    event's instant (relative to [start]) and apply its fault. Returns with

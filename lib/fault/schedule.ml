@@ -23,6 +23,20 @@ type fault =
   | Link_heal of { src : int; dst : int }
   | Lease_stall of { machine : int; duration : Time.t }
   | Clock_skew of { machine : int; delta : Time.t }
+  (* gray failures: the machine is degraded, not dead *)
+  | Slow_nic of { machine : int; delay_factor : float; loss : float }
+      (** slow-but-alive NIC: every packet touching [machine] flies
+          [delay_factor] x slower and is lost with probability [loss] *)
+  | Nic_heal of int
+  | Asym_partition of { srcs : int list; dsts : int list }
+      (** directed blackholes src->dst for every pair; the reverse
+          direction keeps working (healed only by [Heal]) *)
+  | Cpu_slow of { machine : int; factor : int }
+      (** every CPU cost on [machine] multiplied by [factor] *)
+  | Cpu_heal of int
+  | Lease_flap of { machine : int; period : Time.t; count : int; stall : Time.t }
+      (** [count] short lease-manager stalls of [stall] each, [period]
+          apart: the flapping pattern that repeatedly grazes expiry *)
 
 type event = { at : Time.t; fault : fault }
 type t = { seed : int; machines : int; events : event list }
@@ -41,6 +55,20 @@ let pp_fault ppf = function
       Fmt.pf ppf "lease-stall m%d %a" machine Time.pp duration
   | Clock_skew { machine; delta } ->
       Fmt.pf ppf "clock-skew m%d %a" machine Time.pp delta
+  | Slow_nic { machine; delay_factor; loss } ->
+      Fmt.pf ppf "slow-nic m%d x%.1f loss=%.2f" machine delay_factor loss
+  | Nic_heal m -> Fmt.pf ppf "nic-heal m%d" m
+  | Asym_partition { srcs; dsts } ->
+      Fmt.pf ppf "asym-partition {%a}->{%a}"
+        Fmt.(list ~sep:(any ",") int)
+        srcs
+        Fmt.(list ~sep:(any ",") int)
+        dsts
+  | Cpu_slow { machine; factor } -> Fmt.pf ppf "cpu-slow m%d x%d" machine factor
+  | Cpu_heal m -> Fmt.pf ppf "cpu-heal m%d" m
+  | Lease_flap { machine; period; count; stall } ->
+      Fmt.pf ppf "lease-flap m%d %dx%a every %a" machine count Time.pp stall Time.pp
+        period
 
 let pp_event ppf e = Fmt.pf ppf "@%a %a" Time.pp e.at pp_fault e.fault
 
@@ -155,6 +183,120 @@ let generate ~seed ~machines ~duration ~lease =
               (Link_fault
                  { src; dst; delay = Time.us (Rng.int_in_range rng ~lo:20 ~hi:300); loss = 0. })
     done;
+  let cmp a b =
+    match Time.compare a.at b.at with 0 -> compare a.fault b.fault | c -> c
+  in
+  { seed; machines; events = List.stable_sort cmp !events }
+
+(* Gray-failure schedules: every fault leaves its victim alive but degraded
+   — a slow/lossy NIC, a directed half-dead link, a throttled CPU, a
+   flapping lease manager. The fault budget is the same as [generate]'s:
+   any fault that can plausibly end in suspicion and eviction (NIC loss,
+   blackholes, lease flapping, CPU throttling) victimises distinct machines
+   up to [replication - 1], so no region can lose every replica even if all
+   the gray faults escalate to evictions. A separate generator keeps the
+   classic pools byte-identical: [generate] draws exactly the stream it
+   always did. *)
+let generate_gray ~seed ~machines ~duration ~lease =
+  let rng = Rng.create seed in
+  let budget = ref (Params.default.Params.replication - 1) in
+  let victims = ref [] in
+  let events = ref [] in
+  let horizon = Time.to_ns (Time.div_int (Time.mul_int duration 3) 4) in
+  let lo = horizon / 8 in
+  let at () = Time.ns (Rng.int_in_range rng ~lo ~hi:horizon) in
+  let add fault = events := { at = at (); fault } :: !events in
+  let victimize m =
+    if not (List.mem m !victims) then begin
+      victims := m :: !victims;
+      decr budget
+    end
+  in
+  for _ = 1 to Rng.int_in_range rng ~lo:2 ~hi:6 do
+    match Rng.int rng 100 with
+    | k when k < 30 && !budget > 0 ->
+        (* slow-but-alive NIC; loss can starve UD lease traffic, so it
+           spends budget. Healed a few leases later about half the time —
+           the explorer's final heal catches the rest. *)
+        (match pick_distinct rng ~n:machines ~k:1 ~excluding:!victims with
+        | [ m ] ->
+            victimize m;
+            let delay_factor = 2. +. (6. *. Rng.float rng) in
+            let loss = 0.03 +. (0.12 *. Rng.float rng) in
+            let fault_at = at () in
+            events :=
+              { at = fault_at; fault = Slow_nic { machine = m; delay_factor; loss } }
+              :: !events;
+            if Rng.bool rng then
+              events :=
+                { at = Time.add fault_at (Time.mul_int lease (2 + Rng.int rng 5));
+                  fault = Nic_heal m }
+                :: !events
+        | _ -> ())
+    | k when k < 50 && !budget > 1 ->
+        (* one directed dead link: a->b blackholed while b->a lives. Either
+           endpoint can end up suspected depending on where the CM sits, so
+           both spend budget. *)
+        (match pick_distinct rng ~n:machines ~k:2 ~excluding:!victims with
+        | [ a; b ] ->
+            victimize a;
+            victimize b;
+            let cut_at = at () in
+            events :=
+              { at = cut_at; fault = Asym_partition { srcs = [ a ]; dsts = [ b ] } }
+              :: !events;
+            if Rng.bool rng then
+              events :=
+                { at = Time.add cut_at (Time.mul_int lease (2 + Rng.int rng 6));
+                  fault = Heal }
+                :: !events
+        | _ -> ())
+    | k when k < 70 && !budget > 0 ->
+        (* machine at kx CPU latency; queueing can delay lease renewal on
+           the shared-thread lease implementations, so it spends budget *)
+        (match pick_distinct rng ~n:machines ~k:1 ~excluding:!victims with
+        | [ m ] ->
+            victimize m;
+            let factor = 2 + Rng.int rng 5 in
+            let slow_at = at () in
+            events := { at = slow_at; fault = Cpu_slow { machine = m; factor } } :: !events;
+            if Rng.bool rng then
+              events :=
+                { at = Time.add slow_at (Time.mul_int lease (2 + Rng.int rng 5));
+                  fault = Cpu_heal m }
+                :: !events
+        | _ -> ())
+    | k when k < 85 && !budget > 0 ->
+        (* lease flapping: repeated sub-expiry stalls that compound *)
+        (match pick_distinct rng ~n:machines ~k:1 ~excluding:!victims with
+        | [ m ] ->
+            victimize m;
+            let count = 3 + Rng.int rng 4 in
+            let stall =
+              Time.ns (Time.to_ns lease * Rng.int_in_range rng ~lo:4 ~hi:9 / 10)
+            in
+            let period =
+              Time.ns (Time.to_ns lease * Rng.int_in_range rng ~lo:5 ~hi:15 / 10)
+            in
+            add (Lease_flap { machine = m; period; count; stall })
+        | _ -> ())
+    | _ ->
+        (* budget exhausted or filler: delay-only slow NIC — microseconds of
+           extra flight time against millisecond leases, benign by three
+           orders of magnitude *)
+        let m = Rng.int rng machines in
+        let fault_at = at () in
+        events :=
+          { at = fault_at;
+            fault =
+              Slow_nic
+                { machine = m; delay_factor = 1.5 +. (2.5 *. Rng.float rng); loss = 0. } }
+          :: !events;
+        events :=
+          { at = Time.add fault_at (Time.mul_int lease (1 + Rng.int rng 4));
+            fault = Nic_heal m }
+          :: !events
+  done;
   let cmp a b =
     match Time.compare a.at b.at with 0 -> compare a.fault b.fault | c -> c
   in

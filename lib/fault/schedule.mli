@@ -20,6 +20,19 @@ type fault =
   | Link_heal of { src : int; dst : int }
   | Lease_stall of { machine : int; duration : Time.t }
   | Clock_skew of { machine : int; delta : Time.t }
+  | Slow_nic of { machine : int; delay_factor : float; loss : float }
+      (** gray: every packet touching [machine] flies [delay_factor] x
+          slower and is additionally lost with probability [loss] *)
+  | Nic_heal of int
+  | Asym_partition of { srcs : int list; dsts : int list }
+      (** gray: directed blackholes src->dst for every pair; the reverse
+          direction keeps working. Healed only by [Heal]. *)
+  | Cpu_slow of { machine : int; factor : int }
+      (** gray: every CPU cost on [machine] multiplied by [factor] *)
+  | Cpu_heal of int
+  | Lease_flap of { machine : int; period : Time.t; count : int; stall : Time.t }
+      (** gray: [count] lease-manager stalls of [stall] each, [period]
+          apart — each alone below expiry, compounding toward it *)
 
 type event = { at : Time.t; fault : fault }
 type t = { seed : int; machines : int; events : event list }
@@ -28,6 +41,12 @@ val generate : seed:int -> machines:int -> duration:Time.t -> lease:Time.t -> t
 (** Draw a schedule for a [machines]-node cluster whose faults land within
     the first three quarters of [duration]; [lease] scales stall and heal
     delays. *)
+
+val generate_gray : seed:int -> machines:int -> duration:Time.t -> lease:Time.t -> t
+(** Like {!generate} but drawing only from the gray-failure family
+    (slow/lossy NICs, directed blackholes, CPU throttling, lease flapping):
+    every victim stays alive but degraded. Same fault budget; a separate
+    generator so classic pools keep their exact historical streams. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 val pp_event : Format.formatter -> event -> unit

@@ -23,16 +23,34 @@ type 'msg machine = {
    [src] to [dst]. *)
 type link_fault = { mutable extra_delay : Time.t; mutable loss : float }
 
+(* Per-machine gray-NIC state: a slow-but-alive NIC multiplies the flight
+   time of every packet entering or leaving the machine and adds a loss
+   probability on all of its links. Unlike a partition, nothing is
+   unreachable — the machine just serves and generates traffic degraded. *)
+type nic_gray = { mutable delay_factor : float; mutable gray_loss : float }
+
 type 'msg t = {
   engine : Engine.t;
   params : Params.t;
   rng : Rng.t;
   mutable machines : 'msg machine option array;
   link_faults : (int * int, link_fault) Hashtbl.t;
+  gray_nics : (int, nic_gray) Hashtbl.t;
+  blackholes : (int * int, unit) Hashtbl.t;
+      (* directed dead links: (src, dst) present = packets src->dst vanish
+         while dst->src traffic is untouched (asymmetric/partial partition) *)
 }
 
 let create engine ~params ~rng =
-  { engine; params; rng; machines = Array.make 8 None; link_faults = Hashtbl.create 16 }
+  {
+    engine;
+    params;
+    rng;
+    machines = Array.make 8 None;
+    link_faults = Hashtbl.create 16;
+    gray_nics = Hashtbl.create 8;
+    blackholes = Hashtbl.create 16;
+  }
 
 let set_link_fault ?(delay = Time.zero) ?(loss = 0.) t ~src ~dst =
   if loss < 0. || loss > 1. then invalid_arg "Fabric.set_link_fault: loss not in [0,1]";
@@ -42,6 +60,37 @@ let clear_link_fault t ~src ~dst = Hashtbl.remove t.link_faults (src, dst)
 let clear_link_faults t = Hashtbl.reset t.link_faults
 
 let link_fault t ~src ~dst = Hashtbl.find_opt t.link_faults (src, dst)
+
+let set_nic_gray ?(delay_factor = 1.) ?(loss = 0.) t ~machine =
+  if delay_factor < 1. then invalid_arg "Fabric.set_nic_gray: delay_factor must be >= 1";
+  if loss < 0. || loss > 1. then invalid_arg "Fabric.set_nic_gray: loss not in [0,1]";
+  Hashtbl.replace t.gray_nics machine { delay_factor; gray_loss = loss }
+
+let clear_nic_gray t ~machine = Hashtbl.remove t.gray_nics machine
+
+let nic_gray t ~machine =
+  match Hashtbl.find_opt t.gray_nics machine with
+  | Some g -> Some (g.delay_factor, g.gray_loss)
+  | None -> None
+
+let set_blackhole t ~src ~dst = Hashtbl.replace t.blackholes (src, dst) ()
+let clear_blackhole t ~src ~dst = Hashtbl.remove t.blackholes (src, dst)
+let blackholed t ~src ~dst = Hashtbl.mem t.blackholes (src, dst)
+
+let clear_gray_faults t =
+  Hashtbl.reset t.gray_nics;
+  Hashtbl.reset t.blackholes
+
+(* Loss probability of one packet on the directed [src]->[dst] link: the
+   injected per-link loss combined with the gray-NIC loss of both
+   endpoints (independent drop opportunities). *)
+let gray_of t id =
+  match Hashtbl.find_opt t.gray_nics id with Some g -> g.gray_loss | None -> 0.
+
+let link_loss t ~src ~dst =
+  let l = match link_fault t ~src ~dst with Some f -> f.loss | None -> 0. in
+  let gs = gray_of t src and gd = gray_of t dst in
+  if gs = 0. && gd = 0. then l else 1. -. ((1. -. l) *. (1. -. gs) *. (1. -. gd))
 
 (* Sample the fate of one packet on the [src]->[dst] link.
 
@@ -60,35 +109,40 @@ let get t id =
   | None -> invalid_arg (Printf.sprintf "Fabric: unknown machine %d" id)
 
 let sample_link_ud t ~src ~dst =
-  match link_fault t ~src ~dst with
-  | None -> Some Time.zero
-  | Some f ->
-      if f.loss > 0. && Rng.float t.rng < f.loss then begin
-        Engine.emit t.engine (Printf.sprintf "net: drop %d->%d" src dst);
-        let obs = (get t src).obs in
-        Farm_obs.Obs.incr obs Farm_obs.Obs.C_ud_drop;
-        Farm_obs.Obs.event obs Farm_obs.Obs.K_drop ~a:dst ~b:0 ~c:0;
-        None
-      end
-      else Some f.extra_delay
+  let extra =
+    match link_fault t ~src ~dst with Some f -> f.extra_delay | None -> Time.zero
+  in
+  let loss = link_loss t ~src ~dst in
+  if loss > 0. && Rng.float t.rng < loss then begin
+    Engine.emit t.engine (Printf.sprintf "net: drop %d->%d" src dst);
+    let obs = (get t src).obs in
+    Farm_obs.Obs.incr obs Farm_obs.Obs.C_ud_drop;
+    Farm_obs.Obs.event obs Farm_obs.Obs.K_drop ~a:dst ~b:0 ~c:0;
+    None
+  end
+  else Some extra
 
 let retransmit_timeout = Time.us 20
 
 let sample_link_rc t ~src ~dst =
-  match link_fault t ~src ~dst with
-  | None -> Time.zero
-  | Some f ->
-      let d = ref f.extra_delay in
-      let tries = ref 0 in
-      while f.loss > 0. && !tries < 16 && Rng.float t.rng < f.loss do
-        incr tries;
-        Engine.emit t.engine (Printf.sprintf "net: drop %d->%d (retransmit)" src dst);
-        let obs = (get t src).obs in
-        Farm_obs.Obs.incr obs Farm_obs.Obs.C_rc_retransmit;
-        Farm_obs.Obs.event obs Farm_obs.Obs.K_drop ~a:dst ~b:0 ~c:1;
-        d := Time.add !d (Time.add retransmit_timeout f.extra_delay)
-      done;
-      !d
+  let extra =
+    match link_fault t ~src ~dst with Some f -> f.extra_delay | None -> Time.zero
+  in
+  let loss = link_loss t ~src ~dst in
+  if loss = 0. then extra
+  else begin
+    let d = ref extra in
+    let tries = ref 0 in
+    while !tries < 16 && Rng.float t.rng < loss do
+      incr tries;
+      Engine.emit t.engine (Printf.sprintf "net: drop %d->%d (retransmit)" src dst);
+      let obs = (get t src).obs in
+      Farm_obs.Obs.incr obs Farm_obs.Obs.C_rc_retransmit;
+      Farm_obs.Obs.event obs Farm_obs.Obs.K_drop ~a:dst ~b:0 ~c:1;
+      d := Time.add !d (Time.add retransmit_timeout extra)
+    done;
+    !d
+  end
 
 let no_handler ~src:_ ~reply:_ _ = ()
 
@@ -157,10 +211,23 @@ let params t = t.params
 let reachable t src dst =
   let a = get t src and b = get t dst in
   a.alive && b.alive && a.partition = b.partition
+  && not (Hashtbl.mem t.blackholes (src, dst))
 
 let latency t =
   let j = Time.to_ns t.params.Params.fabric_jitter in
   Time.add t.params.Params.fabric_latency (Time.ns (if j > 0 then Rng.int t.rng j else 0))
+
+(* Flight time of one leg on the directed [src]->[dst] link: the sampled
+   fabric latency stretched by the gray-NIC delay factors of both
+   endpoints (a degraded NIC slows its traffic in both directions). *)
+let gray_factor t id =
+  match Hashtbl.find_opt t.gray_nics id with Some g -> g.delay_factor | None -> 1.
+
+let leg_latency t ~src ~dst =
+  let base = latency t in
+  let f = gray_factor t src *. gray_factor t dst in
+  if f = 1. then base
+  else Time.ns (int_of_float (Float.round (float_of_int (Time.to_ns base) *. f)))
 
 (* Size in bytes of a one-sided request descriptor on the wire. *)
 let req_bytes = 32
@@ -183,7 +250,9 @@ let read_flight t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result Ivar
   else begin
     let d_req = sample_link_rc t ~src ~dst in
     let t_req = Nic.occupy ms.nic ~bytes:req_bytes in
-    Engine.schedule t.engine ~at:(Time.add t_req (Time.add (latency t) d_req)) (fun () ->
+    Engine.schedule t.engine
+      ~at:(Time.add t_req (Time.add (leg_latency t ~src ~dst) d_req))
+      (fun () ->
         if not (reachable t src dst) then fail_later t iv
         else begin
           let md = get t dst in
@@ -194,9 +263,14 @@ let read_flight t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result Ivar
                 let v = read () in
                 let d_cpl = sample_link_rc t ~src:dst ~dst:src in
                 Engine.schedule t.engine
-                  ~at:(Time.add t_dst (Time.add (latency t) d_cpl))
+                  ~at:(Time.add t_dst (Time.add (leg_latency t ~src:dst ~dst:src) d_cpl))
                   (fun () ->
-                    if ms.alive then begin
+                    (* The completion travels dst->src: a directed blackhole
+                       on that leg swallows it and the RC QP eventually
+                       errors out — unlike a classic partition, where
+                       in-flight responses still arrive. *)
+                    if blackholed t ~src:dst ~dst:src then fail_later t iv
+                    else if ms.alive then begin
                       let t_cpl = Nic.occupy ms.nic ~bytes in
                       Engine.schedule t.engine ~at:t_cpl (fun () ->
                           Ivar.fill_if_empty iv (Ok v))
@@ -231,7 +305,9 @@ let write_flight t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) resul
   else begin
     let d_req = sample_link_rc t ~src ~dst in
     let t_req = Nic.occupy ms.nic ~bytes in
-    Engine.schedule t.engine ~at:(Time.add t_req (Time.add (latency t) d_req)) (fun () ->
+    Engine.schedule t.engine
+      ~at:(Time.add t_req (Time.add (leg_latency t ~src ~dst) d_req))
+      (fun () ->
         if not (reachable t src dst) then fail_later t iv
         else begin
           let md = get t dst in
@@ -243,9 +319,13 @@ let write_flight t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) resul
                 (* Hardware ack generated by the target NIC. *)
                 let d_ack = sample_link_rc t ~src:dst ~dst:src in
                 Engine.schedule t.engine
-                  ~at:(Time.add t_dst (Time.add (latency t) d_ack))
+                  ~at:(Time.add t_dst (Time.add (leg_latency t ~src:dst ~dst:src) d_ack))
                   (fun () ->
-                    if ms.alive then begin
+                    (* Ack leg dst->src: see the blackhole note in
+                       [read_flight] — the write itself has already been
+                       applied at the target, the issuer just never learns. *)
+                    if blackholed t ~src:dst ~dst:src then fail_later t iv
+                    else if ms.alive then begin
                       let t_cpl = Nic.occupy ms.nic ~bytes:ack_bytes in
                       Engine.schedule t.engine ~at:t_cpl (fun () ->
                           Ivar.fill_if_empty iv (Ok ()))
@@ -415,7 +495,7 @@ let send ?(prio = false) ?(transport = `Rc) ?cpu_cost ?(flow = 0) t ~src ~dst ~b
       in
       let no_reply ~bytes:_ _ = () in
       (deliver t ~src ~dst ~prio ~bytes ~flow msg ~reply:no_reply)
-        (Time.add t_tx (Time.add (latency t) d))
+        (Time.add t_tx (Time.add (leg_latency t ~src ~dst) d))
 
 (* Blocking request/response. The receiver handler is given a [reply]
    closure; calling it routes the response back and wakes the caller. *)
@@ -436,8 +516,15 @@ let call ?(prio = false) ?timeout ?(flow = 0) t ~src ~dst ~bytes msg : ('msg, er
         if prio then Nic.occupy_priority md.nic ~bytes:resp_bytes
         else Nic.occupy md.nic ~bytes:resp_bytes
       in
-      Engine.schedule t.engine ~at:(Time.add t_tx (Time.add (latency t) d)) (fun () ->
-          if ms.alive then begin
+      Engine.schedule t.engine
+        ~at:(Time.add t_tx (Time.add (leg_latency t ~src:dst ~dst:src) d))
+        (fun () ->
+          (* Reply leg dst->src: a directed blackhole swallows the response
+             (the asymmetric half-link), so the caller times out via
+             [fail_later] instead of hanging. In-flight replies still cross
+             classic partitions, as before. *)
+          if blackholed t ~src:dst ~dst:src then fail_later t iv
+          else if ms.alive then begin
             let t_rx =
               if prio then Nic.occupy_priority ms.nic ~bytes:resp_bytes
               else Nic.occupy ms.nic ~bytes:resp_bytes
@@ -451,7 +538,7 @@ let call ?(prio = false) ?timeout ?(flow = 0) t ~src ~dst ~bytes msg : ('msg, er
   else begin
     let d = sample_link_rc t ~src ~dst in
     (deliver t ~src ~dst ~prio ~bytes ~flow msg ~reply)
-      (Time.add t_tx (Time.add (latency t) d))
+      (Time.add t_tx (Time.add (leg_latency t ~src ~dst) d))
   end;
   (match timeout with
   | Some d ->

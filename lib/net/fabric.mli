@@ -69,6 +69,39 @@ val clear_link_fault : 'msg t -> src:int -> dst:int -> unit
 val clear_link_faults : 'msg t -> unit
 (** Remove one / all link faults. *)
 
+(** {1 Gray-failure injection} — the slow-but-alive nemesis hooks.
+
+    A gray NIC ({!set_nic_gray}) degrades every link touching one machine:
+    flight times of packets entering or leaving it are multiplied by
+    [delay_factor] and each such packet is additionally lost with
+    probability [loss] (combined independently with any per-link fault, and
+    interpreted per transport class exactly like link-fault loss). The
+    machine stays alive, keeps its lease traffic flowing — just slowly and
+    lossily — which is precisely what the binary alive/dead faults cannot
+    express.
+
+    A directed blackhole ({!set_blackhole}) kills the [src]->[dst] half of
+    a link while the reverse direction keeps working: requests routed into
+    it are unreachable, and completions/acks/replies whose return leg is
+    blackholed are swallowed, surfacing as a bounded [`Unreachable] after
+    {!Params.failure_timeout} (an RC QP error) rather than a hang. Sets of
+    blackholes compose into asymmetric and partial partitions. *)
+
+val set_nic_gray : ?delay_factor:float -> ?loss:float -> 'msg t -> machine:int -> unit
+(** Raises if [delay_factor < 1.] or [loss] outside [0,1]. *)
+
+val clear_nic_gray : 'msg t -> machine:int -> unit
+
+val nic_gray : 'msg t -> machine:int -> (float * float) option
+(** [(delay_factor, loss)] currently injected on the machine's NIC. *)
+
+val set_blackhole : 'msg t -> src:int -> dst:int -> unit
+val clear_blackhole : 'msg t -> src:int -> dst:int -> unit
+val blackholed : 'msg t -> src:int -> dst:int -> bool
+
+val clear_gray_faults : 'msg t -> unit
+(** Remove every gray NIC and blackhole (the heal-all hook). *)
+
 (** {1 One-sided verbs} — no CPU at the target, ever. Must be called from a
     process on machine [src]. *)
 

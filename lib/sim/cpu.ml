@@ -2,11 +2,26 @@ type t = {
   engine : Engine.t;
   busy_until : Time.t array;
   mutable busy_total : Time.t;
+  mutable slow_factor : int;
+      (* gray-failure hook: every cost is multiplied by this factor, so the
+         machine stays alive and correct but k x slower — a thermally
+         throttled or contended host rather than a dead one *)
 }
 
 let create engine ~threads =
   if threads <= 0 then invalid_arg "Cpu.create: threads must be positive";
-  { engine; busy_until = Array.make threads Time.zero; busy_total = Time.zero }
+  {
+    engine;
+    busy_until = Array.make threads Time.zero;
+    busy_total = Time.zero;
+    slow_factor = 1;
+  }
+
+let set_slow_factor t k =
+  if k < 1 then invalid_arg "Cpu.set_slow_factor: factor must be >= 1";
+  t.slow_factor <- k
+
+let slow_factor t = t.slow_factor
 
 let threads t = Array.length t.busy_until
 
@@ -20,6 +35,7 @@ let pick t =
   !best
 
 let acquire t ~cost =
+  let cost = if t.slow_factor = 1 then cost else Time.mul_int cost t.slow_factor in
   let i = pick t in
   let start = Time.max (Engine.now t.engine) t.busy_until.(i) in
   let finish = Time.add start cost in

@@ -12,6 +12,15 @@ type t
 val create : Engine.t -> threads:int -> t
 val threads : t -> int
 
+val set_slow_factor : t -> int -> unit
+(** Gray-failure injection hook: multiply every subsequently claimed cost
+    by this factor (default 1). The machine stays alive and correct but
+    runs k x slower — a thermally throttled or noisy-neighbour host rather
+    than a crashed one. [busy_total] accumulates the scaled cost (the
+    threads really are busy that long). Raises on factors < 1. *)
+
+val slow_factor : t -> int
+
 val exec : t -> cost:Time.t -> unit
 (** Run [cost] worth of CPU work; blocks the calling process until the work
     completes (including any queueing delay). *)

@@ -1,0 +1,163 @@
+open Farm_sim
+
+(* Deterministic arrival processes for open-loop load generation.
+
+   Every shape is rendered to an explicit sorted array of arrival instants
+   drawn from a caller-supplied [Rng.t]: equal seeds yield byte-identical
+   streams, and pre-rendering keeps the open-loop driver's injection loop
+   free of mid-run randomness (it just walks the array).
+
+   The non-homogeneous shapes (diurnal, flash crowd) are sampled by
+   Lewis-Shedler thinning: draw a homogeneous Poisson stream at the peak
+   rate and keep each arrival with probability rate(t)/peak. The
+   self-similar shape uses a b-model cascade — recursively splitting the
+   window's arrival count b/(1-b) between halves — which reproduces the
+   bursty-at-every-timescale traffic of real storage front-ends that a
+   Poisson stream smooths away. *)
+
+type shape =
+  | Poisson
+  | Self_similar of { b : float }
+  | Diurnal of { trough : float }
+  | Flash of { at : float; magnitude : float; width : float }
+
+let pp_shape ppf = function
+  | Poisson -> Fmt.string ppf "poisson"
+  | Self_similar { b } -> Fmt.pf ppf "self-similar(b=%.2f)" b
+  | Diurnal { trough } -> Fmt.pf ppf "diurnal(trough=%.2f)" trough
+  | Flash { at; magnitude; width } ->
+      Fmt.pf ppf "flash(at=%.2f x%.1f width=%.2f)" at magnitude width
+
+let of_sec s = Time.ns (int_of_float (Float.round (s *. 1e9)))
+
+(* Homogeneous Poisson stream at [rate] arrivals/s over [dur_s] seconds,
+   as float seconds. *)
+let poisson_stream rng ~rate ~dur_s =
+  let out = ref [] in
+  let t = ref 0. in
+  let mean = 1. /. rate in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Rng.exponential rng ~mean;
+    if !t < dur_s then out := !t :: !out else continue := false
+  done;
+  List.rev !out
+
+(* Thinning: keep each arrival of a peak-rate stream with probability
+   [accept t] (in [0,1]). *)
+let thin rng stream accept =
+  List.filter
+    (fun t ->
+      let p = accept t in
+      if p >= 1. then true else Rng.float rng < p)
+    stream
+
+(* b-model cascade: the window's total count is split [b]/(1-b) between its
+   halves, the biased side chosen by a coin flip, recursively down to
+   [levels] (bins of duration/2^levels); each bin's arrivals then land
+   uniformly within it. Mean rate is preserved exactly; the per-bin count
+   variance grows with every level, which is what makes the stream bursty
+   at all timescales. *)
+let bmodel_levels = 10
+
+let bmodel rng ~b ~total ~dur_s =
+  let bins = ref [| total |] in
+  for _ = 1 to bmodel_levels do
+    let prev = !bins in
+    let next = Array.make (2 * Array.length prev) 0 in
+    Array.iteri
+      (fun i n ->
+        let big = int_of_float (Float.round (b *. float_of_int n)) in
+        let small = n - big in
+        let left, right = if Rng.bool rng then (big, small) else (small, big) in
+        next.(2 * i) <- left;
+        next.((2 * i) + 1) <- right)
+      prev;
+    bins := next
+  done;
+  let bins = !bins in
+  let nbins = Array.length bins in
+  let bin_s = dur_s /. float_of_int nbins in
+  let out = ref [] in
+  Array.iteri
+    (fun i n ->
+      let base = float_of_int i *. bin_s in
+      for _ = 1 to n do
+        out := (base +. (Rng.float rng *. bin_s)) :: !out
+      done)
+    bins;
+  List.sort compare !out
+
+let generate shape ~rng ~rate ~duration =
+  if rate <= 0. then invalid_arg "Arrivals.generate: rate must be positive";
+  let dur_s = Time.to_s_float duration in
+  let secs =
+    match shape with
+    | Poisson -> poisson_stream rng ~rate ~dur_s
+    | Self_similar { b } ->
+        if b < 0.5 || b >= 1. then
+          invalid_arg "Arrivals.generate: self-similar bias must be in [0.5, 1)";
+        let total = int_of_float (Float.round (rate *. dur_s)) in
+        bmodel rng ~b ~total ~dur_s
+    | Diurnal { trough } ->
+        if trough < 0. || trough > 1. then
+          invalid_arg "Arrivals.generate: diurnal trough must be in [0, 1]";
+        (* rate(t) = rate * (1 + a sin(2 pi t / duration)) with
+           a = 1 - trough: one full day over the window, mean exactly
+           [rate], minimum rate * trough at the nightly low. *)
+        let a = 1. -. trough in
+        let peak = rate *. (1. +. a) in
+        let stream = poisson_stream rng ~rate:peak ~dur_s in
+        thin rng stream (fun t ->
+            let r =
+              rate *. (1. +. (a *. sin (2. *. Float.pi *. t /. dur_s)))
+            in
+            r /. peak)
+    | Flash { at; magnitude; width } ->
+        if at < 0. || at > 1. || width <= 0. || width > 1. then
+          invalid_arg "Arrivals.generate: flash position/width must be fractions";
+        if magnitude < 1. then
+          invalid_arg "Arrivals.generate: flash magnitude must be >= 1";
+        (* baseline [rate] with a triangular spike centred at [at *
+           duration]: ramp to [magnitude * rate] over width/2, back down
+           over width/2 — the flash-crowd profile. *)
+        let peak = magnitude *. rate in
+        let centre = at *. dur_s in
+        let half = width *. dur_s /. 2. in
+        let stream = poisson_stream rng ~rate:peak ~dur_s in
+        thin rng stream (fun t ->
+            let d = Float.abs (t -. centre) in
+            let r =
+              if d >= half then rate
+              else rate +. ((peak -. rate) *. (1. -. (d /. half)))
+            in
+            r /. peak)
+  in
+  Array.of_list (List.map of_sec secs)
+
+(* Index of dispersion of per-bin counts (variance / mean): 1 for Poisson,
+   larger for bursty streams — the burstiness statistic the unit tests
+   order shapes by. *)
+let dispersion arrivals ~duration ~bin =
+  let bin_ns = Time.to_ns bin in
+  let nbins = max 1 (Time.to_ns duration / bin_ns) in
+  let counts = Array.make nbins 0 in
+  Array.iter
+    (fun at ->
+      let i = Time.to_ns at / bin_ns in
+      if i >= 0 && i < nbins then counts.(i) <- counts.(i) + 1)
+    arrivals;
+  let n = float_of_int nbins in
+  let mean = float_of_int (Array.fold_left ( + ) 0 counts) /. n in
+  if mean = 0. then 0.
+  else begin
+    let var =
+      Array.fold_left
+        (fun acc c ->
+          let d = float_of_int c -. mean in
+          acc +. (d *. d))
+        0. counts
+      /. n
+    in
+    var /. mean
+  end

@@ -1,0 +1,34 @@
+open Farm_sim
+
+(** Deterministic arrival processes for open-loop load generation.
+
+    Each shape renders to an explicit sorted array of arrival instants
+    drawn from a caller-supplied {!Rng.t}: equal seeds yield byte-identical
+    streams. Mean rate is [rate] arrivals per second for every shape; the
+    shapes differ in how arrivals cluster. *)
+
+type shape =
+  | Poisson  (** memoryless: exponential inter-arrivals *)
+  | Self_similar of { b : float }
+      (** b-model cascade: each half-window receives fraction [b] vs
+          [1 - b] of its parent's arrivals (biased side chosen at random),
+          recursively — bursty at every timescale. [b] in [0.5, 1);
+          [b = 0.5] degenerates to near-uniform, larger is burstier. *)
+  | Diurnal of { trough : float }
+      (** one sinusoidal "day" across the window; the nightly low is
+          [trough] (in [0, 1]) of the mean rate *)
+  | Flash of { at : float; magnitude : float; width : float }
+      (** baseline plus a triangular flash crowd centred at fraction [at]
+          of the window, peaking at [magnitude] x the base rate, ramping
+          up and back down over [width] of the window *)
+
+val pp_shape : Format.formatter -> shape -> unit
+
+val generate : shape -> rng:Rng.t -> rate:float -> duration:Time.t -> Time.t array
+(** Sorted arrival instants in [0, duration). Deterministic in the rng
+    state; raises [Invalid_argument] on out-of-range shape parameters or a
+    non-positive rate. *)
+
+val dispersion : Time.t array -> duration:Time.t -> bin:Time.t -> float
+(** Index of dispersion (variance/mean) of per-[bin] arrival counts: ~1
+    for Poisson, larger for bursty streams. 0 for an empty stream. *)

@@ -1,0 +1,157 @@
+open Farm_sim
+open Farm_workloads
+
+(* Statistical and structural checks on the open-loop arrival processes.
+   All at fixed seeds — the generators are deterministic, so these are
+   exact regression tests, not flaky statistical ones: the tolerances
+   below only need to hold for the specific streams the seeds produce. *)
+
+let test name fn = Alcotest.test_case name `Quick fn
+let check_bool = Alcotest.(check bool)
+let dur = Time.ms 500
+let dur_s = Time.to_s_float dur
+
+let gen ?(seed = 7) shape ~rate =
+  Arrivals.generate shape ~rng:(Rng.create seed) ~rate ~duration:dur
+
+(* {1 Poisson} *)
+
+let poisson_count_and_gaps () =
+  let rate = 20_000. in
+  let a = gen Arrivals.Poisson ~rate in
+  let n = Array.length a in
+  let expect = rate *. dur_s in
+  (* count within 5 sigma of rate * duration *)
+  let sigma = sqrt expect in
+  check_bool "count near rate*duration" true
+    (abs_float (float_of_int n -. expect) < 5. *. sigma);
+  (* inter-arrival gaps: mean ~ 1/rate, and exponential => sample std dev
+     close to the mean (coefficient of variation ~ 1) *)
+  let gaps =
+    Array.init (n - 1) (fun i ->
+        Time.to_s_float (Time.sub a.(i + 1) a.(i)))
+  in
+  let mean = Array.fold_left ( +. ) 0. gaps /. float_of_int (n - 1) in
+  let var =
+    Array.fold_left (fun acc g -> acc +. ((g -. mean) ** 2.)) 0. gaps
+    /. float_of_int (n - 1)
+  in
+  let cv = sqrt var /. mean in
+  check_bool "gap mean ~ 1/rate" true
+    (abs_float (mean -. (1. /. rate)) < 0.1 /. rate);
+  check_bool "gaps exponential (cv ~ 1)" true (cv > 0.9 && cv < 1.1)
+
+let poisson_sorted_in_range () =
+  let a = gen Arrivals.Poisson ~rate:5_000. in
+  let ok = ref true in
+  Array.iteri
+    (fun i at ->
+      if Time.( < ) at Time.zero || not (Time.( < ) at dur) then ok := false;
+      if i > 0 && Time.( < ) at a.(i - 1) then ok := false)
+    a;
+  check_bool "sorted, within [0,duration)" true !ok
+
+(* {1 Burstiness ordering} *)
+
+let self_similar_burstier_than_poisson () =
+  let rate = 20_000. in
+  let bin = Time.ms 1 in
+  let p = Arrivals.dispersion (gen Arrivals.Poisson ~rate) ~duration:dur ~bin in
+  let s72 =
+    Arrivals.dispersion
+      (gen (Arrivals.Self_similar { b = 0.72 }) ~rate)
+      ~duration:dur ~bin
+  in
+  let s85 =
+    Arrivals.dispersion
+      (gen (Arrivals.Self_similar { b = 0.85 }) ~rate)
+      ~duration:dur ~bin
+  in
+  (* Poisson is ~1 by definition; the b-model grows with b *)
+  check_bool "poisson dispersion ~ 1" true (p > 0.5 && p < 2.);
+  check_bool "b=0.72 burstier than poisson" true (s72 > 2. *. p);
+  check_bool "b=0.85 burstier than b=0.72" true (s85 > s72)
+
+(* {1 Shape checkpoints} *)
+
+(* arrivals in [lo, hi) as a fraction of the window *)
+let count_in a ~lo ~hi =
+  Array.fold_left
+    (fun acc at ->
+      let s = Time.to_s_float at /. dur_s in
+      if s >= lo && s < hi then acc + 1 else acc)
+    0 a
+
+let diurnal_peak_over_trough () =
+  let a = gen (Arrivals.Diurnal { trough = 0.2 }) ~rate:20_000. in
+  (* rate(t) = base * (1 + a sin(2 pi t / dur)), a = 0.8: peak at t/dur =
+     0.25, trough at 0.75 *)
+  let peak = count_in a ~lo:0.15 ~hi:0.35 in
+  let trough = count_in a ~lo:0.65 ~hi:0.85 in
+  check_bool "peak quarter >> trough quarter" true
+    (float_of_int peak > 3. *. float_of_int trough);
+  check_bool "trough still nonzero" true (trough > 0)
+
+let flash_crowd_spike () =
+  let a =
+    gen (Arrivals.Flash { at = 0.5; magnitude = 6.; width = 0.2 }) ~rate:10_000.
+  in
+  (* spike is a triangle centred at 0.5 with half-width 0.1 *)
+  let inside = count_in a ~lo:0.45 ~hi:0.55 in
+  let before = count_in a ~lo:0.10 ~hi:0.20 in
+  check_bool "flash window much denser than baseline" true
+    (float_of_int inside > 2.5 *. float_of_int before);
+  (* away from the spike the process is plain Poisson at base rate *)
+  let after = count_in a ~lo:0.80 ~hi:0.90 in
+  let expect = 10_000. *. dur_s *. 0.1 in
+  check_bool "baseline unchanged off-spike" true
+    (abs_float (float_of_int after -. expect) < 5. *. sqrt expect);
+  check_bool "baseline unchanged pre-spike" true
+    (abs_float (float_of_int before -. expect) < 5. *. sqrt expect)
+
+(* {1 Determinism} *)
+
+let equal_seeds_byte_identical () =
+  List.iter
+    (fun shape ->
+      let a = gen ~seed:11 shape ~rate:15_000. in
+      let b = gen ~seed:11 shape ~rate:15_000. in
+      let c = gen ~seed:12 shape ~rate:15_000. in
+      check_bool
+        (Fmt.str "%a: equal seeds equal streams" Arrivals.pp_shape shape)
+        true (a = b);
+      check_bool
+        (Fmt.str "%a: different seeds differ" Arrivals.pp_shape shape)
+        true (a <> c))
+    [
+      Arrivals.Poisson;
+      Arrivals.Self_similar { b = 0.72 };
+      Arrivals.Diurnal { trough = 0.3 };
+      Arrivals.Flash { at = 0.4; magnitude = 4.; width = 0.25 };
+    ]
+
+let invalid_params_rejected () =
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "rate 0 rejected" true
+    (rejects (fun () -> gen Arrivals.Poisson ~rate:0.));
+  check_bool "b out of range rejected" true
+    (rejects (fun () -> gen (Arrivals.Self_similar { b = 0.2 }) ~rate:1_000.));
+  check_bool "trough > 1 rejected" true
+    (rejects (fun () -> gen (Arrivals.Diurnal { trough = 1.5 }) ~rate:1_000.));
+  check_bool "magnitude < 1 rejected" true
+    (rejects (fun () ->
+         gen (Arrivals.Flash { at = 0.5; magnitude = 0.5; width = 0.1 }) ~rate:1_000.))
+
+let suites =
+  [
+    ( "arrivals",
+      [
+        test "poisson count and exponential gaps" poisson_count_and_gaps;
+        test "poisson sorted within window" poisson_sorted_in_range;
+        test "self-similar burstier than poisson" self_similar_burstier_than_poisson;
+        test "diurnal peak over trough" diurnal_peak_over_trough;
+        test "flash crowd spike" flash_crowd_spike;
+        test "equal seeds byte-identical" equal_seeds_byte_identical;
+        test "invalid parameters rejected" invalid_params_rejected;
+      ] );
+  ]
