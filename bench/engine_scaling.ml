@@ -166,22 +166,25 @@ let json ~smoke ~micro_bytes rows =
    scan: for every "machines": N ... "bytes_per_op": X pair, a fresh
    measurement at the same cluster size must stay under 1.2x X. *)
 
-let baseline_bytes_per_op file =
+let baseline_rows file =
   let ic = open_in file in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
   let out = ref [] in
   let re_num = Str.regexp {|"machines": \([0-9]+\)|} in
+  let re_tx = Str.regexp {|"sim_tx_per_s": \([0-9.]+\)|} in
   let re_bytes = Str.regexp {|"bytes_per_op": \([0-9.]+\)|} in
   let pos = ref 0 in
   (try
      while true do
        let m = Str.search_forward re_num s !pos in
        let machines = int_of_string (Str.matched_group 1 s) in
-       let bpos = Str.search_forward re_bytes s m in
+       let tpos = Str.search_forward re_tx s m in
+       let tx = float_of_string (Str.matched_group 1 s) in
+       let bpos = Str.search_forward re_bytes s tpos in
        let bytes = float_of_string (Str.matched_group 1 s) in
-       out := (machines, bytes) :: !out;
+       out := (machines, (tx, bytes)) :: !out;
        pos := bpos + 1
      done
    with Not_found -> ());
@@ -198,13 +201,13 @@ let baseline_micro file =
   with Not_found -> None
 
 let check_against ~baseline_file ~micro_bytes rows =
-  let base = baseline_bytes_per_op baseline_file in
+  let base = baseline_rows baseline_file in
   let failures = ref 0 in
   List.iter
     (fun r ->
       match List.assoc_opt r.machines base with
       | None -> ()
-      | Some b ->
+      | Some (tx_b, b) ->
           let limit = b *. 1.2 in
           if r.bytes_per_op > limit then begin
             incr failures;
@@ -214,7 +217,19 @@ let check_against ~baseline_file ~micro_bytes rows =
           end
           else
             Fmt.pr "  ok: %d machines: %.0f bytes/op (baseline %.0f, limit %.0f)@."
-              r.machines r.bytes_per_op b limit)
+              r.machines r.bytes_per_op b limit;
+          (* simulated commit throughput is a pure function of the seed, so
+             a drop past the band means the protocol got slower, not noise *)
+          let floor = tx_b /. 1.2 in
+          if r.sim_tx_per_s < floor then begin
+            incr failures;
+            Fmt.pr
+              "  REGRESSION: %d machines: %.3f commits/us vs baseline %.3f (floor %.3f)@."
+              r.machines (r.sim_tx_per_s /. 1e6) (tx_b /. 1e6) (floor /. 1e6)
+          end
+          else
+            Fmt.pr "  ok: %d machines: %.3f commits/us (baseline %.3f, floor %.3f)@."
+              r.machines (r.sim_tx_per_s /. 1e6) (tx_b /. 1e6) (floor /. 1e6))
     rows;
   (match baseline_micro baseline_file with
   | Some b ->

@@ -40,7 +40,12 @@ let experiments : (string * string * (unit -> unit)) list =
       fun () -> ignore (Opacity_bench.run ()) );
     ( "slo",
       "SLO under gray failures: open-loop TATP, goodput/p999/max-stall",
-      fun () -> Slo_bench.run ~smoke:!Bench_util.smoke () );
+      fun () ->
+        Slo_bench.run ~smoke:!Bench_util.smoke
+          ?check_baseline:!Bench_util.check_baseline () );
+    ( "blame",
+      "latency attribution: blame categories, heat ranking, critical paths",
+      fun () -> Blame_bench.run ~smoke:!Bench_util.smoke () );
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -22,6 +22,8 @@ type common = {
   power_cycle_ms : int option;  (* whole-cluster power failure *)
   stats : bool;  (* print per-machine counters and phase histograms *)
   perfetto : string option;  (* write a causal trace of the run here *)
+  protocol : Params.protocol;
+  blame : bool;  (* latency attribution: category table, heat, critical paths *)
 }
 
 let common_term =
@@ -73,8 +75,32 @@ let common_term =
              trace-event JSON (open at ui.perfetto.dev). Tracing never perturbs the \
              simulation.")
   in
+  let protocol =
+    Arg.(
+      value
+      & opt (enum [ ("baseline", Params.Validate_at_commit); ("snapshot", Params.Snapshot) ])
+          Params.Validate_at_commit
+      & info [ "protocol" ]
+          ~doc:
+            "Read/validate stack: $(b,baseline) (SOSP'15 validate-at-commit) or \
+             $(b,snapshot) (FaRMv2-style opacity via global time; enables the \
+             snapshot-read / ro-commit / wm-trim counters and the commit-wait phase \
+             shown under $(b,--stats)).")
+  in
+  let blame =
+    Arg.(
+      value & flag
+      & info [ "blame" ]
+          ~doc:
+            "Attribute every transaction's latency to exclusive categories (admission, \
+             execute, lock-wait, logring-wait, nic-issue, propagation, poll, \
+             commit-wait, truncate) and print the category table, the per-region heat \
+             ranking, and the slowest transactions' cross-machine critical paths. With \
+             $(b,--perfetto), critical-path slices are tagged $(i,crit=1). \
+             Determinism-inert: the simulated history is unchanged.")
+  in
   let mk machines seed workers duration_ms lease_ms kill_ms kill_cm_ms power_cycle_ms stats
-      perfetto =
+      perfetto protocol blame =
     {
       machines;
       seed;
@@ -86,14 +112,16 @@ let common_term =
       power_cycle_ms;
       stats;
       perfetto;
+      protocol;
+      blame;
     }
   in
   Term.(
     const mk $ machines $ seed $ workers $ duration_ms $ lease_ms $ kill_ms $ kill_cm_ms
-    $ power_cycle_ms $ stats $ perfetto)
+    $ power_cycle_ms $ stats $ perfetto $ protocol $ blame)
 
 let params_of c =
-  { Params.default with Params.lease_duration = Time.ms c.lease_ms }
+  { Params.default with Params.lease_duration = Time.ms c.lease_ms; protocol = c.protocol }
 
 let schedule_kills cluster c =
   let schedule offset pick =
@@ -148,6 +176,17 @@ let report cluster c (stats : Driver.stats) =
     Fmt.pr "@.abort breakdown: %a@."
       Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
       (Cluster.abort_breakdown cluster);
+    (* snapshot-protocol counters (nonzero only under --protocol snapshot) *)
+    let snap_counters =
+      List.filter
+        (fun (n, _) ->
+          List.mem n [ "snap-read"; "snap-chain-read"; "ro-commit"; "wm-trim" ])
+        (Cluster.merged_counters cluster)
+    in
+    if snap_counters <> [] then
+      Fmt.pr "@.snapshot protocol: %a@."
+        Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
+        snap_counters;
     Fmt.pr "@.nic traffic:@.";
     Array.iter
       (fun (st : State.t) ->
@@ -156,11 +195,50 @@ let report cluster c (stats : Driver.stats) =
           (Farm_net.Nic.bytes_total nic))
       cluster.Cluster.machines
   end;
+  if c.blame then begin
+    let us ns = float_of_int ns /. 1e3 in
+    Fmt.pr "@.latency blame (exclusive categories, cluster totals):@.";
+    let hists = Cluster.merged_blame_hists cluster in
+    List.iter
+      (fun (name, total) ->
+        match List.assoc_opt name hists with
+        | Some h ->
+            Fmt.pr "  %-12s %12.1f us  (n=%d p50=%.1f p99=%.1f us)@." name (us total)
+              (Stats.Hist.count h)
+              (us (Stats.Hist.percentile h 50.))
+              (us (Stats.Hist.percentile h 99.))
+        | None -> Fmt.pr "  %-12s %12.1f us@." name (us total))
+      (Cluster.blame_totals cluster);
+    (* ns-exact reconciliation with the phase accounting (DESIGN.md §9) *)
+    let sum l = List.fold_left (fun acc (_, v) -> acc + v) 0 l in
+    let blame_sum =
+      sum (List.filter (fun (n, _) -> n <> "admission") (Cluster.blame_totals cluster))
+    in
+    Fmt.pr "  (blame sum %d ns, phase sum %d ns)@." blame_sum
+      (sum (Cluster.phase_totals cluster));
+    (match Cluster.heat_report cluster with
+    | [] -> ()
+    | heat ->
+        Fmt.pr "@.region heat (hottest first, score = access + 4*conflict):@.";
+        List.iteri
+          (fun i (h : Cluster.heat) ->
+            if i < 10 then
+              Fmt.pr "  r%-4d score %8d  access %8d  conflict %6d@." h.Cluster.h_region
+                h.Cluster.h_score h.Cluster.h_access h.Cluster.h_conflict)
+          heat);
+    match Cluster.critpaths cluster ~k:3 with
+    | [] -> ()
+    | paths ->
+        Fmt.pr "@.slowest transactions (critical-path hops starred):@.";
+        List.iter print_string paths
+  end;
   match c.perfetto with
   | None -> ()
   | Some file ->
       let oc = open_out file in
-      output_string oc (Cluster.trace_dump cluster);
+      output_string oc
+        (if c.blame then Cluster.trace_dump_critical cluster ~k:8
+         else Cluster.trace_dump cluster);
       close_out oc;
       Fmt.pr "@.perfetto trace written to %s (open at ui.perfetto.dev)@." file
 
@@ -168,6 +246,9 @@ let run_workload c ~setup =
   let cluster = Cluster.create ~seed:c.seed ~params:(params_of c) ~machines:c.machines () in
   if c.perfetto <> None then Cluster.set_tracing cluster true;
   let op = setup cluster in
+  (* armed after load so the exemplars (and their critical paths) come from
+     the measured workload, not the bulk-load phase *)
+  if c.blame then Cluster.set_blame cluster true;
   schedule_kills cluster c;
   let stats =
     Driver.run cluster ~workers:c.workers ~warmup:(Time.ms 5)
@@ -236,6 +317,7 @@ let bank_cmd =
           | Ok v -> v
           | Error e -> Fmt.failwith "setup: %a" Txn.pp_abort e)
     in
+    if c.blame then Cluster.set_blame cluster true;
     schedule_kills cluster c;
     let stats =
       Driver.run cluster ~workers:c.workers ~warmup:(Time.ms 5)

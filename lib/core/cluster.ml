@@ -474,10 +474,96 @@ let set_tracing t on =
 (* All machines' span buffers merged into one Chrome trace-event JSON
    document. Tracers live in the obs sinks, which survive restarts, so the
    dump covers the whole run including pre-crash spans. *)
-let trace_dump t =
-  Farm_obs.Tracer.export_json
-    (Array.to_list
-       (Array.map (fun st -> Farm_obs.Obs.tracer st.State.obs) t.machines))
+let tracers t =
+  Array.to_list (Array.map (fun st -> Farm_obs.Obs.tracer st.State.obs) t.machines)
+
+let trace_dump t = Farm_obs.Tracer.export_json (tracers t)
+
+(* {2 Latency blame, critical paths and heat} *)
+
+let set_blame t on =
+  Array.iter (fun st -> Farm_obs.Obs.set_blame st.State.obs on) t.machines
+
+let blame_totals t =
+  List.filter_map
+    (fun b ->
+      let v =
+        Array.fold_left
+          (fun acc st -> acc + Farm_obs.Obs.blame_total_ns st.State.obs b)
+          0 t.machines
+      in
+      if v = 0 then None else Some (Farm_obs.Obs.blame_name b, v))
+    Farm_obs.Obs.all_blames
+
+let phase_totals t =
+  List.filter_map
+    (fun p ->
+      let v =
+        Array.fold_left
+          (fun acc st -> acc + Farm_obs.Obs.phase_total_ns st.State.obs p)
+          0 t.machines
+      in
+      if v = 0 then None else Some (Farm_obs.Obs.phase_name p, v))
+    Farm_obs.Obs.all_phases
+
+let merged_blame_hists t =
+  List.filter_map
+    (fun b ->
+      let h = Stats.Hist.create () in
+      Array.iter
+        (fun st -> Stats.Hist.merge ~into:h (Farm_obs.Obs.blame_hist st.State.obs b))
+        t.machines;
+      if Stats.Hist.count h = 0 then None else Some (Farm_obs.Obs.blame_name b, h))
+    Farm_obs.Obs.all_blames
+
+type heat = { h_region : int; h_score : int; h_access : int; h_conflict : int }
+
+let heat_report t =
+  let now = Time.to_ns (Engine.now t.engine) in
+  List.map
+    (fun (s : Farm_obs.Heat.score) ->
+      {
+        h_region = s.Farm_obs.Heat.hs_region;
+        h_score = s.Farm_obs.Heat.hs_score;
+        h_access = s.Farm_obs.Heat.hs_access;
+        h_conflict = s.Farm_obs.Heat.hs_conflict;
+      })
+    (Farm_obs.Heat.merge
+       (Array.to_list (Array.map (fun st -> Farm_obs.Obs.heat st.State.obs) t.machines))
+       ~now)
+
+let all_exemplars t =
+  Array.fold_left
+    (fun acc st -> acc @ Farm_obs.Obs.exemplars st.State.obs)
+    [] t.machines
+
+(* Blame of the slowest exemplar transactions only — the tail a latency
+   SLO's p999 is made of. *)
+let tail_blame t =
+  let exs = all_exemplars t in
+  List.filter_map
+    (fun b ->
+      let i = Farm_obs.Obs.blame_index b in
+      let v =
+        List.fold_left
+          (fun acc (ex : Farm_obs.Obs.exemplar) -> acc + ex.Farm_obs.Obs.ex_blame.(i))
+          0 exs
+      in
+      if v = 0 then None else Some (Farm_obs.Obs.blame_name b, v))
+    Farm_obs.Obs.all_blames
+
+let critpaths t ~k =
+  List.map
+    (fun p -> Format.asprintf "%a" Farm_obs.Critpath.pp_path p)
+    (Farm_obs.Critpath.paths ~tracers:(tracers t) ~exemplars:(all_exemplars t) ~k)
+
+(* Like [trace_dump], with the top-[k] exemplars' critical-path slices
+   tagged [args.crit = 1] for Perfetto highlighting. *)
+let trace_dump_critical t ~k =
+  let paths =
+    Farm_obs.Critpath.paths ~tracers:(tracers t) ~exemplars:(all_exemplars t) ~k
+  in
+  Farm_obs.Tracer.export_json ~mark:(Farm_obs.Critpath.mark paths) (tracers t)
 
 (* Register the standard gauge set on a machine's sampler and start it.
    Gauges read through [t.machines.(i)] — not a captured [State.t] — so a

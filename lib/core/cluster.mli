@@ -150,6 +150,62 @@ val trace_dump : t -> string
     roles as threads, cross-machine flow arrows for log records and RPCs.
     Byte-deterministic for a given seed. *)
 
+(** {2 Latency blame, critical paths and heat}
+
+    The automated latency-attribution layer (DESIGN.md §9). With blame
+    armed, every transaction's end-to-end latency is partitioned exactly —
+    to the nanosecond — into exclusive categories (admission queueing,
+    execute CPU, lock wait, log-ring wait, NIC issue, propagation,
+    completion poll, commit wait, deferred truncate); the slowest
+    transactions keep exemplar spans that {!critpaths} joins with the
+    tracer's flow arrows into cross-machine critical paths. All of it
+    obeys the obs-spine rules: O(1) recording, allocation only off the hot
+    path, and zero effect on the simulated history. *)
+
+val set_blame : t -> bool -> unit
+(** Arm/disarm blame attribution on every machine. Off by default: with
+    blame off, spans carry no category array and the commit path allocates
+    exactly as before. Arming starts a fresh attribution window (exact
+    phase/blame accumulators, blame histograms and exemplars reset), so
+    arm between transactions — after a bulk load, before the measured
+    run. *)
+
+val blame_totals : t -> (string * int) list
+(** Cluster-wide exact ns totals per nonzero blame category, in category
+    order. With blame armed, the sum over the non-[admission] categories
+    equals the sum of {!phase_totals} over the same window. *)
+
+val phase_totals : t -> (string * int) list
+(** Cluster-wide exact ns totals per commit phase (the histogram-free
+    accumulators backing {!merged_phase_hists}) — the reconciliation
+    anchor for {!blame_totals}. *)
+
+val merged_blame_hists : t -> (string * Stats.Hist.t) list
+(** Per-category blame histograms (ns per committed transaction), merged
+    across machines; categories never blamed are omitted. *)
+
+type heat = { h_region : int; h_score : int; h_access : int; h_conflict : int }
+
+val heat_report : t -> heat list
+(** Decaying per-region access/conflict heat, merged across machines and
+    sorted hottest first (score = accesses + 4 x conflicts, both decayed
+    by halving per elapsed half-life). Always live, like counters. *)
+
+val tail_blame : t -> (string * int) list
+(** Blame ns summed over the kept exemplars only — each machine's slowest
+    committed transactions — i.e. where the latency tail spends its time
+    (admission is excluded by construction: it precedes the span). *)
+
+val critpaths : t -> k:int -> string list
+(** The top-[k] slowest committed transactions' cross-machine critical
+    paths, rendered: a blame header plus every tx-tagged trace slice,
+    critical hops starred. Needs {!set_blame} (exemplars) and
+    {!set_tracing} (slices) both on during the run. *)
+
+val trace_dump_critical : t -> k:int -> string
+(** {!trace_dump} with the top-[k] exemplars' critical-path slices tagged
+    [args.crit = 1] for Perfetto highlighting. *)
+
 val start_sampling : ?interval:Time.t -> t -> until:Time.t -> unit
 (** Start the timeline sampler on every machine with the standard gauge
     set — commits, aborts, one_sided_ops (cumulative deltas per interval),

@@ -59,7 +59,7 @@ let read_remote_header st ~dst ~(addr : Addr.t) =
       | _ -> None)
 
 (* One-sided read of just an object header from its primary. *)
-let read_header_at st ~dst ~(addr : Addr.t) =
+let read_header_at ?span st ~dst ~(addr : Addr.t) =
   if dst = st.State.id then begin
     Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_local_read;
     match State.replica st addr.Addr.region with
@@ -68,7 +68,7 @@ let read_header_at st ~dst ~(addr : Addr.t) =
     | _ -> Ok None
   end
   else
-    Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst ~bytes:16
+    Farm_net.Fabric.one_sided_read ?span st.State.fabric ~src:st.State.id ~dst ~bytes:16
       (fun () -> read_remote_header st ~dst ~addr)
 
 (* Validate the read set staged in the arena's [ro_addr]/[ro_ver] vectors:
@@ -77,7 +77,7 @@ let read_header_at st ~dst ~(addr : Addr.t) =
    RDMA version reads for small groups — issued as one doorbell batch
    spanning every such group — and one RPC above the
    [validate_rpc_threshold] (tr) to trade latency for CPU. *)
-let validate_ar st (ar : Arena.t) ~txid =
+let validate_ar ?span st (ar : Arena.t) ~txid =
   Arena.groups_clear ar.Arena.vgroups;
   let ok = ref true in
   for i = 0 to Arena.Vec.length ar.Arena.ro_addr - 1 do
@@ -94,8 +94,10 @@ let validate_ar st (ar : Arena.t) ~txid =
       | None -> ok := false
     in
     (* One header-read batch across ALL small groups (local items are read
-       directly, no NIC involved). *)
-    let run_rdma_batched () =
+       directly, no NIC involved). [span] flows down only when this runs in
+       the calling process itself — a par_iter child's time is not the
+       transaction's to claim. *)
+    let run_rdma_batched ?span () =
       Arena.Vec.clear ar.Arena.rv_dst;
       Arena.Vec.clear ar.Arena.rv_idx;
       for gi = 0 to ar.Arena.vgroups.Arena.live - 1 do
@@ -105,7 +107,7 @@ let validate_ar st (ar : Arena.t) ~txid =
             (fun i ->
               if g.Arena.g_dst = st.State.id then begin
                 let addr = Arena.Vec.get ar.Arena.ro_addr i in
-                match read_header_at st ~dst:g.Arena.g_dst ~addr with
+                match read_header_at ?span st ~dst:g.Arena.g_dst ~addr with
                 | Ok h -> check_header (Arena.Vec.get ar.Arena.ro_ver i) h
                 | Error _ -> ok := false
               end
@@ -118,7 +120,7 @@ let validate_ar st (ar : Arena.t) ~txid =
       let n = Arena.Vec.length ar.Arena.rv_dst in
       if n > 0 then begin
         let results =
-          Farm_net.Fabric.one_sided_read_batch_fn st.State.fabric ~src:st.State.id ~n
+          Farm_net.Fabric.one_sided_read_batch_fn ?span st.State.fabric ~src:st.State.id ~n
             ~dst:(fun i -> Arena.Vec.get ar.Arena.rv_dst i)
             ~bytes:(fun _ -> 16)
             ~read:(fun i ->
@@ -188,8 +190,8 @@ let validate_ar st (ar : Arena.t) ~txid =
     in
     (match (rpc_jobs, st.State.params.Params.doorbell_batching) with
     (* common case: every group under tr, one batch, no process spawns *)
-    | [], true -> run_rdma_batched ()
-    | jobs, true -> Comms.par_iter st (run_rdma_batched :: jobs)
+    | [], true -> run_rdma_batched ?span ()
+    | jobs, true -> Comms.par_iter st ((fun () -> run_rdma_batched ()) :: jobs)
     | jobs, false -> Comms.par_iter st (unbatched_jobs () @ jobs));
     !ok
   end
@@ -262,9 +264,14 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
       Farm_obs.Obs.Span.set_tx tx.Txn.span ~txm:txid.Txid.machine
         ~txt:txid.Txid.thread ~txl:txid.Txid.local;
       Farm_obs.Obs.Span.enter tx.Txn.span Farm_obs.Obs.P_validate;
-      let ok = validate_ar st ar ~txid in
+      let ok = validate_ar ~span:tx.Txn.span st ar ~txid in
       State.forget_outstanding st txid;
-      if not ok then abort_cause := Some State.Cause_validate;
+      if not ok then begin
+        abort_cause := Some State.Cause_validate;
+        Arena.Vec.iter
+          (fun (a : Addr.t) -> Farm_obs.Obs.heat_conflict st.State.obs ~region:a.Addr.region)
+          ar.Arena.ro_addr
+      end;
       finish (if ok then Ok () else Error Txn.Conflict)
     end
   end
@@ -288,6 +295,10 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
         Arena.Vec.push ar.Arena.wregions addr.Addr.region)
       tx.Txn.writes;
     Arena.sort_uniq_ints ar.Arena.wregions;
+    (* every written region heats up once per commit attempt *)
+    Arena.Vec.iter
+      (fun rid -> Farm_obs.Obs.heat_access st.State.obs ~region:rid)
+      ar.Arena.wregions;
     (* ONE regions-written list per transaction, shared by every LOCK and
        COMMIT-BACKUP payload and by the live-tx record *)
     let regions_written = Arena.Vec.to_list ar.Arena.wregions in
@@ -343,7 +354,12 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
         Arena.Vec.fold (fun acc w -> acc + Wire.write_item_bytes w) 0 g.Arena.g_items
       in
       let reserve_for dst n =
+        (* log-ring wait: time spent flushing/retrying because the remote
+           ring is full is its own blame category, not execute CPU *)
+        let t0 = Time.to_ns (State.now st) in
         Logio.reserve_or_flush st ~dst n;
+        Farm_obs.Obs.Span.claim tx.Txn.span Farm_obs.Obs.B_logring_wait
+          (Time.to_ns (State.now st) - t0);
         let a = Arena.acct_for ar.Arena.acct dst in
         a.Arena.a_reserved <- a.Arena.a_reserved + n
       in
@@ -398,7 +414,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
          and write them as a single doorbell-batched group, then settle the
          books: consumed space on success, suspicion on failure. Returns
          whether every record was acked. *)
-      let append_group ?on_complete (groups : Wire.write_item Arena.groups) payload_of =
+      let append_group ?span ?on_complete (groups : Wire.write_item Arena.groups) payload_of =
         Arena.Vec.clear ar.Arena.ap_dst;
         Arena.Vec.clear ar.Arena.ap_pay;
         for gi = 0 to groups.Arena.live - 1 do
@@ -408,7 +424,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
         done;
         let n = Arena.Vec.length ar.Arena.ap_dst in
         let results =
-          Logio.append_prepared ?on_complete st ~thread:tx.Txn.thread ~n
+          Logio.append_prepared ?span ?on_complete st ~thread:tx.Txn.thread ~n
             ~dst:(fun i -> Arena.Vec.get ar.Arena.ap_dst i)
             ~payload:(fun i -> Arena.Vec.get ar.Arena.ap_pay i)
         in
@@ -470,8 +486,21 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
          locks and locally truncate the transaction. *)
       let abort_tx ~cause reason =
         abort_cause := Some cause;
+        (* conflict heat lands on the regions the loser was contending for:
+           its write set when a lock was refused, its read set when
+           validation caught a concurrent writer *)
+        (match cause with
+        | State.Cause_lock ->
+            Arena.Vec.iter
+              (fun rid -> Farm_obs.Obs.heat_conflict st.State.obs ~region:rid)
+              ar.Arena.wregions
+        | State.Cause_validate ->
+            Arena.Vec.iter
+              (fun rid -> Farm_obs.Obs.heat_conflict st.State.obs ~region:rid)
+              ar.Arena.rregions
+        | _ -> ());
         let abort_record = Wire.Abort txid in
-        if not (append_group ar.Arena.primaries (fun _ -> abort_record)) then
+        if not (append_group ~span:tx.Txn.span ar.Arena.primaries (fun _ -> abort_record)) then
           (* an unreachable primary keeps its locks until the decision
              reaches it — make sure there is a decision *)
           recover_deciding State.Aborted;
@@ -492,7 +521,7 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
         }
       in
       Txid.Tbl.replace st.State.pending_lock txid lw;
-      if not (append_group ar.Arena.primaries lock_payload_of) then
+      if not (append_group ~span:tx.Txn.span ar.Arena.primaries lock_payload_of) then
         (* an unreachable primary never replies, so [lw_done] may never
            fill — and since some locks may already be granted, abort: the
            decision fills [lt_outcome] and its push releases them *)
@@ -512,7 +541,8 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
             (* {2 Phase 2: VALIDATE} — one batched header read across all
                groups below tr, one RPC per group above it. *)
             let validated =
-              Arena.Vec.length ar.Arena.ro_addr = 0 || validate_ar st ar ~txid
+              Arena.Vec.length ar.Arena.ro_addr = 0
+              || validate_ar ~span:tx.Txn.span st ar ~txid
             in
             if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
             else if not validated then abort_tx ~cause:State.Cause_validate Txn.Conflict
@@ -522,7 +552,9 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
               (* {2 Phase 3: COMMIT-BACKUP} — one batched write group; wait
                  for NIC acks from all backups before any COMMIT-PRIMARY
                  (required for serializability across failures, §4). *)
-              let backups_ok = append_group ar.Arena.backups commit_backup_payload_of in
+              let backups_ok =
+                append_group ~span:tx.Txn.span ar.Arena.backups commit_backup_payload_of
+              in
               if lt.State.lt_recovering then recovered_result (Ivar.read lt.State.lt_outcome)
               else if not backups_ok then begin
                 (* a backup is gone, with COMMIT-BACKUP records at the
@@ -547,6 +579,11 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                 let commit_primary = Wire.Commit_primary { txid; ts = !w_ts } in
                 Arena.retain ar;
                 Proc.spawn ~ctx:st.State.ctx st.State.engine (fun () ->
+                    (* no [span] here: this append races the main path's
+                       first-ack wait in a background process, and the span
+                       may already be finished when it completes — the
+                       coordinator's wait is the P_commit_primary segment's
+                       default (propagation) *)
                     let ok =
                       append_group
                         ~on_complete:(fun _ r ->
@@ -601,9 +638,17 @@ let commit (tx : Txn.t) : (unit, Txn.abort_reason) result =
                             State.forget_outstanding st txid;
                             cleanup ();
                             State.phase st State.After_truncate txid;
+                            let trunc_ns =
+                              Time.to_ns (Time.sub (State.now st) report_at)
+                            in
                             Farm_obs.Obs.record_phase st.State.obs
-                              Farm_obs.Obs.P_truncate
-                              (Time.to_ns (Time.sub (State.now st) report_at));
+                              Farm_obs.Obs.P_truncate trunc_ns;
+                            (* recorded into the blame accounting at the same
+                               site so the per-category and per-phase totals
+                               reconcile exactly *)
+                            if Farm_obs.Obs.blame_enabled st.State.obs then
+                              Farm_obs.Obs.record_blame st.State.obs
+                                Farm_obs.Obs.B_truncate trunc_ns;
                             (* the span has already finished; its TRUNCATE
                                slice is emitted here, like its histogram
                                segment *)

@@ -81,7 +81,7 @@ let append st ~dst ~thread payload : (int, Farm_net.Fabric.error) result =
    With [doorbell_batching] off this degrades to the pre-batching pipeline:
    one full-cost one-sided write per record, issued by parallel processes,
    each paying its own issue and poll — the ablation baseline. *)
-let append_prepared ?on_complete st ~thread ~n ~(dst : int -> int)
+let append_prepared ?span ?on_complete st ~thread ~n ~(dst : int -> int)
     ~(payload : int -> Wire.record) : (int, Farm_net.Fabric.error) result array =
   let sizes = Array.make (max n 1) 0 in
   let recs =
@@ -114,12 +114,15 @@ let append_prepared ?on_complete st ~thread ~n ~(dst : int -> int)
   in
   let results =
     if st.State.params.Params.doorbell_batching then
-      Farm_net.Fabric.one_sided_write_batch_fn ~on_complete st.State.fabric
+      Farm_net.Fabric.one_sided_write_batch_fn ?span ~on_complete st.State.fabric
         ~src:st.State.id ~n ~dst
         ~bytes:(fun i -> sizes.(i))
         ~apply:(fun i ->
           Ringlog.dma_append (State.log_to st (dst i)) recs.(i) ~size:sizes.(i))
     else begin
+      (* unbatched ablation: the writes run in spawned child processes, so
+         their time is not this process's to claim — it falls to the
+         enclosing phase's default category *)
       let results = Array.make n (Ok ()) in
       Comms.par_iter st
         (List.init n (fun i () ->

@@ -20,6 +20,7 @@ val append : State.t -> dst:int -> thread:int -> Wire.record -> (int, Fabric.err
     log space. *)
 
 val append_prepared :
+  ?span:Farm_obs.Obs.Span.t ->
   ?on_complete:(int -> (unit, Fabric.error) result -> unit) ->
   State.t ->
   thread:int ->
@@ -29,7 +30,11 @@ val append_prepared :
   (int, Fabric.error) result array
 (** Like {!append_batch}, with the batch described by indexed accessors
     ([dst i], [payload i] for [0 <= i < n]) so the caller can stage it in
-    reused arena storage instead of building a list. *)
+    reused arena storage instead of building a list. [span] carries the
+    calling transaction's blame span down to the batched verb (see
+    {!Fabric.one_sided_write_batch_fn}); only the doorbell-batched path
+    can claim — the unbatched ablation's writes run in child processes,
+    whose time falls to the enclosing phase's default category. *)
 
 val append_batch :
   ?on_complete:(int -> (unit, Fabric.error) result -> unit) ->

@@ -117,7 +117,7 @@ let invalidate_mapping st rid = Hashtbl.remove st.State.region_map rid
 (* One-sided (or local) read of an object's header and [len] data bytes
    from the primary of its region. Returns [Ok None] when the target is not
    (or no longer) the active primary. *)
-let read_at st ~dst ~(addr : Addr.t) ~len : ((int64 * bytes) option, Farm_net.Fabric.error) result =
+let read_at ?span st ~dst ~(addr : Addr.t) ~len : ((int64 * bytes) option, Farm_net.Fabric.error) result =
   if dst = st.State.id then begin
     Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_local_read;
     match State.replica st addr.Addr.region with
@@ -127,7 +127,7 @@ let read_at st ~dst ~(addr : Addr.t) ~len : ((int64 * bytes) option, Farm_net.Fa
     | _ -> Ok None
   end
   else
-    Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst
+    Farm_net.Fabric.one_sided_read ?span st.State.fabric ~src:st.State.id ~dst
       ~bytes:(Obj_layout.header_size + len)
       (fun () ->
         match State.peer st dst with
@@ -140,7 +140,7 @@ let read_at st ~dst ~(addr : Addr.t) ~len : ((int64 * bytes) option, Farm_net.Fa
 
 (* Versioned read with retries across lock conflicts and reconfiguration:
    returns the object's committed version and data. *)
-let read_versioned st ~(addr : Addr.t) ~len =
+let read_versioned ?span st ~(addr : Addr.t) ~len =
   let max_failures = 100 and max_locked = 400 in
   let rec attempt ~failures ~locked =
     Proc.check_cancelled ();
@@ -150,7 +150,7 @@ let read_versioned st ~(addr : Addr.t) ~len =
       match ensure_mapping st addr.Addr.region ~retries:5 with
       | None -> raise (Abort Failed)
       | Some info -> (
-          match read_at st ~dst:info.Wire.primary ~addr ~len with
+          match read_at ?span st ~dst:info.Wire.primary ~addr ~len with
           | Error (`Unreachable | `Timeout) ->
               invalidate_mapping st addr.Addr.region;
               Proc.sleep (Time.us 500);
@@ -180,7 +180,7 @@ let read_versioned st ~(addr : Addr.t) ~len =
    commit exactly like the baseline (a chain-served version can never
    still be current, so such reads abort conservatively). *)
 
-let snap_read_at st ~dst ~(addr : Addr.t) ~len ~ts :
+let snap_read_at ?span st ~dst ~(addr : Addr.t) ~len ~ts :
     (Objmem.snap_read option, Farm_net.Fabric.error) result =
   if dst = st.State.id then begin
     Cpu.exec st.State.cpu ~cost:st.State.params.Params.cpu_local_read;
@@ -191,7 +191,7 @@ let snap_read_at st ~dst ~(addr : Addr.t) ~len ~ts :
     | _ -> Ok None
   end
   else
-    Farm_net.Fabric.one_sided_read st.State.fabric ~src:st.State.id ~dst
+    Farm_net.Fabric.one_sided_read ?span st.State.fabric ~src:st.State.id ~dst
       ~bytes:(Obj_layout.header_size + len)
       (fun () ->
         match State.peer st dst with
@@ -202,7 +202,7 @@ let snap_read_at st ~dst ~(addr : Addr.t) ~len ~ts :
                 Some (Objmem.read_snapshot rep ~off:addr.Addr.offset ~len ~ts)
             | _ -> None))
 
-let read_snapshot_versioned st ~(addr : Addr.t) ~len ~ts =
+let read_snapshot_versioned ?span st ~(addr : Addr.t) ~len ~ts =
   let max_failures = 100 and max_locked = 400 in
   let rec attempt ~failures ~locked =
     Proc.check_cancelled ();
@@ -212,7 +212,7 @@ let read_snapshot_versioned st ~(addr : Addr.t) ~len ~ts =
       match ensure_mapping st addr.Addr.region ~retries:5 with
       | None -> raise (Abort Failed)
       | Some info -> (
-          match snap_read_at st ~dst:info.Wire.primary ~addr ~len ~ts with
+          match snap_read_at ?span st ~dst:info.Wire.primary ~addr ~len ~ts with
           | Error (`Unreachable | `Timeout) ->
               invalidate_mapping st addr.Addr.region;
               Proc.sleep (Time.us 500);
@@ -252,9 +252,10 @@ let read tx (addr : Addr.t) ~len =
       | None ->
           let version, data =
             if tx.read_ts >= 0 then
-              read_snapshot_versioned tx.st ~addr ~len ~ts:tx.read_ts
-            else read_versioned tx.st ~addr ~len
+              read_snapshot_versioned ~span:tx.span tx.st ~addr ~len ~ts:tx.read_ts
+            else read_versioned ~span:tx.span tx.st ~addr ~len
           in
+          Farm_obs.Obs.heat_access tx.st.State.obs ~region:addr.Addr.region;
           tx.reads <- Addr.Map.add addr { r_version = version; r_value = Bytes.copy data } tx.reads;
           data)
 
@@ -267,7 +268,7 @@ let observed_version tx (addr : Addr.t) =
   match Addr.Map.find_opt addr tx.reads with
   | Some r -> r.r_version
   | None ->
-      let version, _ = read_versioned tx.st ~addr ~len:0 in
+      let version, _ = read_versioned ~span:tx.span tx.st ~addr ~len:0 in
       version
 
 let write tx (addr : Addr.t) data =

@@ -87,11 +87,14 @@ val ensure_mapping : State.t -> int -> retries:int -> Wire.region_info option
 
 val invalidate_mapping : State.t -> int -> unit
 
-val read_versioned : State.t -> addr:Addr.t -> len:int -> int * Bytes.t
+val read_versioned :
+  ?span:Farm_obs.Obs.Span.t -> State.t -> addr:Addr.t -> len:int -> int * Bytes.t
 (** Versioned read with retries across lock conflicts and
-    reconfigurations. *)
+    reconfigurations. [span] lets the one-sided read claim its blame
+    sub-intervals on the calling transaction's span. *)
 
-val read_snapshot_versioned : State.t -> addr:Addr.t -> len:int -> ts:int -> int * Bytes.t
+val read_snapshot_versioned :
+  ?span:Farm_obs.Obs.Span.t -> State.t -> addr:Addr.t -> len:int -> ts:int -> int * Bytes.t
 (** Snapshot protocol: the newest version with commit timestamp [<= ts],
     served from the region head or the primary's version chain. Waits out
     locked heads; aborts [Conflict] when the chain was truncated past

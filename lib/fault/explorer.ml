@@ -51,6 +51,7 @@ type outcome = {
   recorder : string list;  (** flight-recorder dump (when recording) *)
   perfetto_json : string option;  (** rendered causal trace (when [perfetto]) *)
   abort_causes : (string * int) list;  (** cluster-wide abort breakdown *)
+  blame : (string * int) list;  (** latency-blame ns totals (when recording) *)
 }
 
 let ok o = o.violations = []
@@ -139,6 +140,10 @@ let run_one ?(opts = default_opts) ?probe seed =
   in
   let c = Cluster.create ~seed ~params ~machines:opts.machines () in
   Cluster.set_recording c opts.record;
+  (* blame rides the recording switch: determinism-inert, so outcomes are
+     identical either way, and a failing schedule's dump can then say where
+     its transactions spent their time *)
+  Cluster.set_blame c opts.record;
   Cluster.set_tracing c opts.perfetto;
   Engine.set_tracer c.Cluster.engine (Some (fun ~at msg -> trace := (at, msg) :: !trace));
   (* setup: bank cells in one region, optionally a B-tree in another *)
@@ -250,6 +255,7 @@ let run_one ?(opts = default_opts) ?probe seed =
        the artifact stays byte-identical for any job count *)
     perfetto_json = (if opts.perfetto then Some (Cluster.trace_dump c) else None);
     abort_causes = Cluster.abort_breakdown c;
+    blame = (if opts.record then Cluster.blame_totals c else []);
   }
 
 let pp_outcome ppf o =
@@ -260,6 +266,12 @@ let pp_outcome ppf o =
       o.violations
       Fmt.(list ~sep:(any "@.") (fmt "  %s"))
       o.trace;
+    if o.blame <> [] then
+      Fmt.pf ppf "@.--- latency blame (us) ---@.%a"
+        Fmt.(
+          list ~sep:(any "@.") (fun ppf (name, ns) ->
+              pf ppf "  %-12s %d.%03d" name (ns / 1000) (abs ns mod 1000)))
+        o.blame;
     if o.recorder <> [] then
       Fmt.pf ppf "@.--- flight recorder (last %d protocol events) ---@.%a"
         (List.length o.recorder)

@@ -49,6 +49,11 @@ type outcome = {
   abort_causes : (string * int) list;
       (** cluster-wide abort breakdown ({!Farm_core.Cluster.abort_breakdown}):
           lock-refused / validate-failed / timeout / other *)
+  blame : (string * int) list;
+      (** cluster-wide latency-blame totals, ns per category
+          ({!Farm_core.Cluster.blame_totals}; empty when [record] was off) —
+          where a failing schedule's transactions actually spent their
+          time *)
 }
 
 val ok : outcome -> bool

@@ -280,16 +280,44 @@ let read_flight t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result Ivar
   end;
   iv
 
+(* {1 Blame carving}
+
+   When the caller passes its transaction span, a blocking verb attributes
+   its own elapsed wall-clock to three consecutive sub-intervals: the CPU
+   spent issuing descriptors/doorbells (nic-issue), the wait for the
+   completion (propagation — wire flight, NIC occupancy/serialization,
+   retransmissions, remote DMA), and the completion reap / RPC receive
+   (poll). The intervals are measured around the work itself, so they are
+   disjoint and exhaustive over the verb's duration — the exactness the
+   span's blame accounting relies on. With no span, nothing here reads the
+   clock. *)
+
+let ns_now t = Time.to_ns (Engine.now t.engine)
+let mark t span = match span with None -> 0 | Some _ -> ns_now t
+
+let claim t span b t0 =
+  match span with
+  | None -> 0
+  | Some sp ->
+      let n = ns_now t in
+      Farm_obs.Obs.Span.claim sp b (n - t0);
+      n
+
 (* One-sided RDMA read: issue, block on the completion, reap it. Charges
    CPU only at [src]. *)
-let one_sided_read t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
+let one_sided_read ?span t ~src ~dst ~bytes (read : unit -> 'a) : ('a, error) result =
   let ms = get t src in
   Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_read;
   Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_read ~a:dst ~b:bytes ~c:0;
+  let t0 = mark t span in
   Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
+  let t1 = claim t span Farm_obs.Obs.B_nic_issue t0 in
   let r = Ivar.read (read_flight t ~src ~dst ~bytes read) in
+  let t2 = claim t span Farm_obs.Obs.B_propagation t1 in
   (match r with
-  | Ok _ -> Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll
+  | Ok _ ->
+      Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll;
+      ignore (claim t span Farm_obs.Obs.B_poll t2)
   | Error _ -> ());
   r
 
@@ -335,14 +363,19 @@ let write_flight t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) resul
   end;
   iv
 
-let one_sided_write t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) result =
+let one_sided_write ?span t ~src ~dst ~bytes (apply : unit -> unit) : (unit, error) result =
   let ms = get t src in
   Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rdma_write;
   Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_rdma_write ~a:dst ~b:bytes ~c:0;
+  let t0 = mark t span in
   Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_issue;
+  let t1 = claim t span Farm_obs.Obs.B_nic_issue t0 in
   let r = Ivar.read (write_flight t ~src ~dst ~bytes apply) in
+  let t2 = claim t span Farm_obs.Obs.B_propagation t1 in
   (match r with
-  | Ok _ -> Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll
+  | Ok _ ->
+      Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rdma_poll;
+      ignore (claim t span Farm_obs.Obs.B_poll t2)
   | Error _ -> ());
   r
 
@@ -385,10 +418,11 @@ let record_batch (ms : 'msg machine) ~n bytes_of =
    number of closures per batch instead of a descriptor tuple per
    operation. The list forms below are veneers. *)
 
-let one_sided_read_batch_fn t ~src ~n ~(dst : int -> int) ~(bytes : int -> int)
+let one_sided_read_batch_fn ?span t ~src ~n ~(dst : int -> int) ~(bytes : int -> int)
     ~(read : int -> 'a) : ('a, error) result array =
   let ms = get t src in
   record_batch ms ~n bytes;
+  let t0 = mark t span in
   let flights =
     Array.init n (fun i ->
         let d = dst i and b = bytes i in
@@ -397,12 +431,18 @@ let one_sided_read_batch_fn t ~src ~n ~(dst : int -> int) ~(bytes : int -> int)
         Cpu.exec ms.cpu ~cost:(batch_issue_cost t i);
         read_flight t ~src ~dst:d ~bytes:b (fun () -> read i))
   in
-  reap t ms (Array.map Ivar.read flights)
+  let t1 = claim t span Farm_obs.Obs.B_nic_issue t0 in
+  let results = Array.map Ivar.read flights in
+  let t2 = claim t span Farm_obs.Obs.B_propagation t1 in
+  let results = reap t ms results in
+  ignore (claim t span Farm_obs.Obs.B_poll t2);
+  results
 
-let one_sided_write_batch_fn ?on_complete t ~src ~n ~(dst : int -> int)
+let one_sided_write_batch_fn ?span ?on_complete t ~src ~n ~(dst : int -> int)
     ~(bytes : int -> int) ~(apply : int -> unit) : (unit, error) result array =
   let ms = get t src in
   record_batch ms ~n bytes;
+  let t0 = mark t span in
   let flights =
     Array.init n (fun i ->
         let d = dst i and b = bytes i in
@@ -413,7 +453,12 @@ let one_sided_write_batch_fn ?on_complete t ~src ~n ~(dst : int -> int)
         (match on_complete with Some f -> Ivar.on_fill iv (fun r -> f i r) | None -> ());
         iv)
   in
-  reap t ms (Array.map Ivar.read flights)
+  let t1 = claim t span Farm_obs.Obs.B_nic_issue t0 in
+  let results = Array.map Ivar.read flights in
+  let t2 = claim t span Farm_obs.Obs.B_propagation t1 in
+  let results = reap t ms results in
+  ignore (claim t span Farm_obs.Obs.B_poll t2);
+  results
 
 let one_sided_read_batch t ~src (descs : (int * int * (unit -> 'a)) list) :
     ('a, error) result array =
@@ -499,14 +544,17 @@ let send ?(prio = false) ?(transport = `Rc) ?cpu_cost ?(flow = 0) t ~src ~dst ~b
 
 (* Blocking request/response. The receiver handler is given a [reply]
    closure; calling it routes the response back and wakes the caller. *)
-let call ?(prio = false) ?timeout ?(flow = 0) t ~src ~dst ~bytes msg : ('msg, error) result =
+let call ?span ?(prio = false) ?timeout ?(flow = 0) t ~src ~dst ~bytes msg :
+    ('msg, error) result =
   let ms = get t src in
   Farm_obs.Obs.incr ms.obs Farm_obs.Obs.C_rpc_call;
   Farm_obs.Obs.event ms.obs Farm_obs.Obs.K_call ~a:dst ~b:bytes ~c:0;
   if flow <> 0 then
     Farm_obs.Tracer.instant (Farm_obs.Obs.tracer ms.obs) ~tid:Farm_obs.Tracer.tid_net
       ~mark:Farm_obs.Tracer.M_msg_send ~arg:flow;
+  let tm0 = mark t span in
   Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rpc_send;
+  let tm1 = claim t span Farm_obs.Obs.B_nic_issue tm0 in
   let iv = Ivar.create () in
   let reply ~bytes:resp_bytes resp =
     let md = get t dst in
@@ -545,7 +593,10 @@ let call ?(prio = false) ?timeout ?(flow = 0) t ~src ~dst ~bytes msg : ('msg, er
       Engine.schedule_in t.engine ~after:d (fun () -> Ivar.fill_if_empty iv (Error `Timeout))
   | None -> ());
   let r = Ivar.read iv in
+  let tm2 = claim t span Farm_obs.Obs.B_propagation tm1 in
   (match r with
-  | Ok _ -> Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rpc_recv
+  | Ok _ ->
+      Cpu.exec ms.cpu ~cost:t.params.Params.cpu_rpc_recv;
+      ignore (claim t span Farm_obs.Obs.B_poll tm2)
   | Error _ -> ());
   r

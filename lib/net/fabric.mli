@@ -103,13 +103,26 @@ val clear_gray_faults : 'msg t -> unit
 (** Remove every gray NIC and blackhole (the heal-all hook). *)
 
 (** {1 One-sided verbs} — no CPU at the target, ever. Must be called from a
-    process on machine [src]. *)
+    process on machine [src].
 
-val one_sided_read : 'msg t -> src:int -> dst:int -> bytes:int -> (unit -> 'a) -> ('a, error) result
+    [span], on every blocking verb here and below, is the calling
+    transaction's {!Farm_obs.Obs.Span.t}: when passed, the verb claims its
+    own elapsed time as three consecutive blame sub-intervals — descriptor
+    issue CPU ([B_nic_issue]), the completion wait ([B_propagation]: wire
+    flight, NIC serialization, retransmissions, remote DMA), and the
+    completion reap / RPC receive ([B_poll]). Timing-inert: the claims
+    only read the clock, and only when a span is present with blame
+    armed. *)
+
+val one_sided_read :
+  ?span:Farm_obs.Obs.Span.t ->
+  'msg t -> src:int -> dst:int -> bytes:int -> (unit -> 'a) -> ('a, error) result
 (** [read] executes at the target-NIC DMA instant (the linearization
     point) and its result is carried back with the completion. *)
 
-val one_sided_write : 'msg t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> (unit, error) result
+val one_sided_write :
+  ?span:Farm_obs.Obs.Span.t ->
+  'msg t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> (unit, error) result
 (** [apply] mutates target memory at the DMA instant; completion reports
     the NIC hardware ack. NICs ack regardless of configuration — FaRM's
     recovery protocol copes with this by draining logs. *)
@@ -127,6 +140,7 @@ val one_sided_write : 'msg t -> src:int -> dst:int -> bytes:int -> (unit -> unit
     An empty batch returns [[||]] and charges nothing. *)
 
 val one_sided_read_batch_fn :
+  ?span:Farm_obs.Obs.Span.t ->
   'msg t ->
   src:int ->
   n:int ->
@@ -144,6 +158,7 @@ val one_sided_read_batch :
 (** Each descriptor is [(dst, bytes, read)]. *)
 
 val one_sided_write_batch_fn :
+  ?span:Farm_obs.Obs.Span.t ->
   ?on_complete:(int -> (unit, error) result -> unit) ->
   'msg t ->
   src:int ->
@@ -188,6 +203,7 @@ val send :
     touches the wire format. *)
 
 val call :
+  ?span:Farm_obs.Obs.Span.t ->
   ?prio:bool ->
   ?timeout:Time.t ->
   ?flow:int ->

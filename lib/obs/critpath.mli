@@ -1,0 +1,47 @@
+(** Cross-machine critical-path reconstruction.
+
+    Rebuilds, entirely offline, what each slow transaction was doing and
+    where: the coordinator's phase spine comes from its span slices, the
+    remote work it waited on (log-record processing at primaries and
+    backups) is matched through the positional flow ids that already link
+    a log-append slice to its remote log-process slice, and the exact
+    per-category latency partition comes from the blame exemplars the
+    {!Obs} sink kept while blame was armed. Reconstruction reads recorded
+    state only — it can never perturb a run. *)
+
+type hop = {
+  h_machine : int;
+  h_tid : int;
+  h_name : string;  (** the tracer's display name for the slice *)
+  h_ts : int;  (** start, sim ns *)
+  h_dur : int;  (** ns *)
+  h_crit : bool;
+      (** on the critical path: a coordinator-spine slice, or a remote
+          slice the coordinator provably waited on (flow-matched) *)
+}
+
+type path = {
+  p_txm : int;  (** coordinator machine *)
+  p_txt : int;  (** coordinator thread *)
+  p_txl : int;  (** tx local id *)
+  p_start : int;  (** span start, sim ns *)
+  p_total : int;  (** exact end-to-end ns (from the span, not the trace) *)
+  p_blame : (string * int) list;
+      (** exact per-category ns, every category the span recorded;
+          sums to [p_total] *)
+  p_hops : hop list;  (** every traced slice of the tx, by start time *)
+}
+
+val paths : tracers:Tracer.t list -> exemplars:Obs.exemplar list -> k:int -> path list
+(** The [k] slowest exemplar transactions (slowest first; ties broken by
+    tx identity, so the result is deterministic), each joined with its
+    traced slices. Transactions whose slices have been overwritten in the
+    ring still appear, with whatever hops survive. *)
+
+val mark : path list -> Tracer.view -> bool
+(** A predicate for [Tracer.export_json ~mark] that highlights exactly
+    the critical-path slices of the given paths. *)
+
+val pp_path : Format.formatter -> path -> unit
+(** Render one path: a blame summary line, then the hop table ([*] marks
+    critical-path hops). *)

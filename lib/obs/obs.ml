@@ -173,6 +173,72 @@ let stage_name = function
   | S_region_active -> "region-active"
   | S_decide -> "decide"
 
+(* {1 Blame categories}
+
+   An exclusive partition of transaction latency, finer than the phases: a
+   phase segment is split between the resources that spent it (claimed by
+   the fabric/log instrumentation as consecutive measured sub-intervals)
+   with the unclaimed remainder falling to the phase's default category.
+   Sums are exact by construction: claims never overlap and the remainder
+   absorbs whatever they left, so per-transaction category sums equal the
+   span total to the nanosecond. *)
+
+type blame =
+  | B_admission
+  | B_execute
+  | B_lock_wait
+  | B_logring_wait
+  | B_nic_issue
+  | B_propagation
+  | B_poll
+  | B_commit_wait
+  | B_truncate
+
+let all_blames =
+  [
+    B_admission; B_execute; B_lock_wait; B_logring_wait; B_nic_issue; B_propagation;
+    B_poll; B_commit_wait; B_truncate;
+  ]
+
+let n_blames = List.length all_blames
+
+let blame_index = function
+  | B_admission -> 0
+  | B_execute -> 1
+  | B_lock_wait -> 2
+  | B_logring_wait -> 3
+  | B_nic_issue -> 4
+  | B_propagation -> 5
+  | B_poll -> 6
+  | B_commit_wait -> 7
+  | B_truncate -> 8
+
+let blame_name = function
+  | B_admission -> "admission"
+  | B_execute -> "execute"
+  | B_lock_wait -> "lock-wait"
+  | B_logring_wait -> "logring-wait"
+  | B_nic_issue -> "nic-issue"
+  | B_propagation -> "propagation"
+  | B_poll -> "poll"
+  | B_commit_wait -> "commit-wait"
+  | B_truncate -> "truncate"
+
+let all_blames_arr = Array.of_list all_blames
+
+(* Where a phase segment's unclaimed remainder lands, by phase index:
+   execute -> execute CPU, lock -> lock wait (the wait for LOCK replies
+   dominates once the appends are carved out), validate / commit-backup /
+   commit-primary -> propagation (what remains after issue and poll claims
+   is wire-and-remote time), truncate -> truncate, commit-wait -> the
+   clock-uncertainty wait. *)
+let default_blame_of_phase =
+  [|
+    blame_index B_execute; blame_index B_lock_wait; blame_index B_propagation;
+    blame_index B_propagation; blame_index B_propagation; blame_index B_truncate;
+    blame_index B_commit_wait;
+  |]
+
 (* {1 Event kinds} *)
 
 type kind =
@@ -304,12 +370,24 @@ type span = {
   sp_tid : int;  (* worker-thread track for trace slices *)
   sp_seg : int array;  (* accumulated ns per phase *)
   sp_visited : bool array;
+  sp_blame : int array;  (* ns per blame category; [||] unless blame is on *)
+  mutable sp_claimed : int;  (* ns claimed within the current segment *)
   mutable sp_cur : int;  (* current phase index; -1 once finished *)
   mutable sp_since : int;  (* current segment's start, ns *)
   mutable sp_total : int;  (* filled at finish *)
   mutable sp_txm : int;  (* trace context (coordinator, thread, local id); *)
   mutable sp_txt : int;  (* sp_txm = -1 until set_tx *)
   mutable sp_txl : int;
+}
+
+and exemplar = {
+  ex_txm : int;
+  ex_txt : int;
+  ex_txl : int;
+  ex_start : int;  (* ns *)
+  ex_total : int;  (* ns *)
+  ex_blame : int array;  (* per-category ns, a snapshot of the span's *)
+  ex_seg : int array;  (* per-phase ns *)
 }
 
 and t = {
@@ -325,7 +403,15 @@ and t = {
   mutable span_hook : (committed:bool -> span -> unit) option;
   obs_tracer : Tracer.t;
   obs_timeline : Timeline.t;
+  mutable blame_on : bool;  (* gates span blame arrays and exemplars *)
+  blame_tot : int array;  (* exact committed ns per category *)
+  blame_hists : Stats.Hist.t array;
+  phase_tot : int array;  (* exact committed ns per phase (reconciliation) *)
+  mutable exemplars : exemplar list;  (* slowest committed txs, desc, <= k *)
+  obs_heat : Heat.t;
 }
+
+let exemplar_k = 8
 
 let create ?(capacity = 128) ?(enabled = false) engine ~machine =
   if capacity < 1 then invalid_arg "Obs.create: capacity must be positive";
@@ -342,6 +428,12 @@ let create ?(capacity = 128) ?(enabled = false) engine ~machine =
     span_hook = None;
     obs_tracer = Tracer.create engine ~machine;
     obs_timeline = Timeline.create engine ~machine;
+    blame_on = false;
+    blame_tot = Array.make n_blames 0;
+    blame_hists = Array.init n_blames (fun _ -> Stats.Hist.create ());
+    phase_tot = Array.make n_phases 0;
+    exemplars = [];
+    obs_heat = Heat.create ();
   }
 
 let machine t = t.obs_machine
@@ -349,6 +441,27 @@ let set_enabled t on = t.obs_enabled <- on
 let enabled t = t.obs_enabled
 let tracer t = t.obs_tracer
 let timeline t = t.obs_timeline
+(* Arming starts a fresh attribution window: the exact accumulators (and
+   the exemplar list) are reset so that blame and phase totals cover the
+   same interval — a caller arming after a bulk-load phase would otherwise
+   compare post-arm blame against whole-run phases. The phase *histograms*
+   are not touched: they are whole-run observables in their own right. *)
+let set_blame t on =
+  if on && not t.blame_on then begin
+    Array.fill t.phase_tot 0 (Array.length t.phase_tot) 0;
+    Array.fill t.blame_tot 0 (Array.length t.blame_tot) 0;
+    Array.iter Stats.Hist.clear t.blame_hists;
+    t.exemplars <- []
+  end;
+  t.blame_on <- on
+let blame_enabled t = t.blame_on
+let heat t = t.obs_heat
+
+let heat_access t ~region =
+  Heat.access t.obs_heat ~now:(Time.to_ns (Engine.now t.engine)) ~region
+
+let heat_conflict t ~region =
+  Heat.conflict t.obs_heat ~now:(Time.to_ns (Engine.now t.engine)) ~region
 
 let incr t c = t.counters.(counter_index c) <- t.counters.(counter_index c) + 1
 let add t c n = t.counters.(counter_index c) <- t.counters.(counter_index c) + n
@@ -408,7 +521,57 @@ let events t =
 (* {1 Spans} *)
 
 let phase_hist t p = t.phases.(phase_index p)
-let record_phase t p ns = if ns > 0 then Stats.Hist.record t.phases.(phase_index p) ns
+
+let record_phase t p ns =
+  let i = phase_index p in
+  t.phase_tot.(i) <- t.phase_tot.(i) + ns;
+  if ns > 0 then Stats.Hist.record t.phases.(i) ns
+
+let phase_total_ns t p = t.phase_tot.(phase_index p)
+let blame_hist t b = t.blame_hists.(blame_index b)
+let blame_total_ns t b = t.blame_tot.(blame_index b)
+
+let record_blame t b ns =
+  let i = blame_index b in
+  t.blame_tot.(i) <- t.blame_tot.(i) + ns;
+  if ns > 0 then Stats.Hist.record t.blame_hists.(i) ns
+
+let exemplars t = t.exemplars
+
+(* Keep the k slowest committed spans (descending, ties broken towards the
+   earlier arrival, which keeps the list deterministic under seed replay).
+   Insertion allocates a snapshot, but only when the new span beats the
+   current floor — rare once the list is warm. *)
+let note_exemplar t sp total =
+  let floor_beaten =
+    match t.exemplars with
+    | [] -> true
+    | l when List.length l < exemplar_k -> true
+    | l -> total > (List.nth l (exemplar_k - 1)).ex_total
+  in
+  if floor_beaten then begin
+    let ex =
+      {
+        ex_txm = sp.sp_txm;
+        ex_txt = sp.sp_txt;
+        ex_txl = sp.sp_txl;
+        ex_start = sp.sp_start;
+        ex_total = total;
+        ex_blame = Array.copy sp.sp_blame;
+        ex_seg = Array.copy sp.sp_seg;
+      }
+    in
+    let rec insert = function
+      | [] -> [ ex ]
+      | x :: rest when x.ex_total >= total -> x :: insert rest
+      | rest -> ex :: rest
+    in
+    let l = insert t.exemplars in
+    t.exemplars <-
+      (if List.length l > exemplar_k then List.filteri (fun i _ -> i < exemplar_k) l
+       else l)
+  end
+
 let set_span_hook t h = t.span_hook <- h
 let all_phases_arr = Array.of_list all_phases
 
@@ -432,6 +595,10 @@ module Span = struct
       sp_tid = tid;
       sp_seg = Array.make n_phases 0;
       sp_visited = visited;
+      (* [||] is the static empty block: spans cost no extra allocation
+         unless blame attribution has been switched on *)
+      sp_blame = (if obs.blame_on then Array.make n_blames 0 else [||]);
+      sp_claimed = 0;
       sp_cur = phase_index P_execute;
       sp_since = now;
       sp_total = 0;
@@ -448,12 +615,27 @@ module Span = struct
   let close_current sp now =
     let seg = now - sp.sp_since in
     sp.sp_seg.(sp.sp_cur) <- sp.sp_seg.(sp.sp_cur) + seg;
+    (* blame: whatever the instrumentation did not claim inside this
+       segment falls to the phase's default category, so the categories
+       always sum to exactly the segment (hence to the span total) *)
+    if Array.length sp.sp_blame > 0 then begin
+      let d = default_blame_of_phase.(sp.sp_cur) in
+      sp.sp_blame.(d) <- sp.sp_blame.(d) + (seg - sp.sp_claimed);
+      sp.sp_claimed <- 0
+    end;
     (* every nonempty segment is also a trace slice on the worker's track *)
     if seg > 0 then
       Tracer.slice_tx sp.sp_obs.obs_tracer ~tid:sp.sp_tid
         ~step:step_of_phase_arr.(sp.sp_cur) ~start:sp.sp_since ~arg:0
         ~txm:sp.sp_txm ~txt:sp.sp_txt ~txl:sp.sp_txl;
     sp.sp_since <- now
+
+  let claim sp b ns =
+    if ns > 0 && Array.length sp.sp_blame > 0 && sp.sp_cur >= 0 then begin
+      let i = blame_index b in
+      sp.sp_blame.(i) <- sp.sp_blame.(i) + ns;
+      sp.sp_claimed <- sp.sp_claimed + ns
+    end
 
   let enter sp phase =
     if sp.sp_cur >= 0 then begin
@@ -470,10 +652,17 @@ module Span = struct
       close_current sp now;
       sp.sp_cur <- -1;
       sp.sp_total <- now - sp.sp_start;
-      if committed then
+      if committed then begin
         for i = 0 to n_phases - 1 do
           if sp.sp_visited.(i) then record_phase sp.sp_obs all_phases_arr.(i) sp.sp_seg.(i)
         done;
+        if Array.length sp.sp_blame > 0 then begin
+          for i = 0 to n_blames - 1 do
+            record_blame sp.sp_obs all_blames_arr.(i) sp.sp_blame.(i)
+          done;
+          note_exemplar sp.sp_obs sp sp.sp_total
+        end
+      end;
       match sp.sp_obs.span_hook with Some f -> f ~committed sp | None -> ()
     end
 
@@ -482,6 +671,12 @@ module Span = struct
     |> List.map (fun i -> (all_phases_arr.(i), sp.sp_seg.(i)))
 
   let total_ns sp = sp.sp_total
+
+  let blame sp =
+    if Array.length sp.sp_blame = 0 then []
+    else
+      List.filteri (fun i _ -> sp.sp_blame.(i) <> 0) (List.init n_blames Fun.id)
+      |> List.map (fun i -> (all_blames_arr.(i), sp.sp_blame.(i)))
 end
 
 (* {1 Recovery stages} *)

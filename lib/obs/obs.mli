@@ -116,6 +116,25 @@ type phase =
 
 val phase_name : phase -> string
 val all_phases : phase list
+val phase_index : phase -> int
+
+(** Blame categories — the exclusive latency partition documented in the
+    {{!section-latency_blame} Latency blame} section below. Declared here
+    because {!Span.claim} takes one. *)
+type blame =
+  | B_admission  (** open-loop admission queueing before the span starts *)
+  | B_execute  (** coordinator CPU in the execute phase *)
+  | B_lock_wait  (** waiting for LOCK outcomes at the primaries *)
+  | B_logring_wait  (** stalled reserving remote log-ring space *)
+  | B_nic_issue  (** CPU issuing one-sided verbs / doorbells *)
+  | B_propagation  (** wire flight + remote NIC/DMA + serialization *)
+  | B_poll  (** reaping completions / RPC receive CPU *)
+  | B_commit_wait  (** snapshot protocol: waiting out clock uncertainty *)
+  | B_truncate  (** deferred background truncation *)
+
+val all_blames : blame list
+val blame_name : blame -> string
+val blame_index : blame -> int
 
 module Span : sig
   type obs := t
@@ -140,12 +159,24 @@ module Span : sig
       segments into the phase histograms and fire the span hook.
       Idempotent. *)
 
+  val claim : t -> blame -> int -> unit
+  (** Attribute [ns] of the current phase segment to a blame category.
+      Callers must claim consecutive, non-overlapping wall-clock
+      sub-intervals of their own elapsed time inside the segment (measure
+      [Engine.now] around the work, claim the difference); the segment's
+      unclaimed remainder falls to the phase's default category at the
+      next {!enter}/{!finish}. A length check when blame is off. *)
+
   val segments : t -> (phase * int) list
   (** Entered segments with their accumulated nanoseconds. *)
 
   val total_ns : t -> int
   (** End-to-end nanoseconds ([finish] time - [start] time); 0 before
       [finish]. *)
+
+  val blame : t -> (blame * int) list
+  (** Nonzero blame claims (including defaulted remainders); [[]] while
+      blame is off. *)
 end
 
 val set_span_hook : t -> (committed:bool -> Span.t -> unit) option -> unit
@@ -157,6 +188,76 @@ val phase_hist : t -> phase -> Stats.Hist.t
 val record_phase : t -> phase -> int -> unit
 (** Record a phase duration directly (the background TRUNCATE segment,
     which completes after the span has finished). *)
+
+val phase_total_ns : t -> phase -> int
+(** Exact nanoseconds ever recorded into the phase (committed transactions
+    only) — an integer sum, not a histogram readback, so blame totals can
+    be reconciled against it to the ns. *)
+
+(** {1 Latency blame}
+
+    An exclusive partition of committed-transaction latency, finer than
+    the phases: instrumented resources ({!Farm_net.Fabric}, the log
+    writer, the admission queue) {!Span.claim} the consecutive
+    wall-clock sub-intervals they spent inside the current phase segment,
+    and at each phase boundary the unclaimed remainder falls to the
+    phase's default category. Claims never overlap and the remainder
+    absorbs what they left, so a transaction's category sums equal its
+    span total {e exactly} — and, in aggregate,
+    [sum over categories except admission of blame_total_ns] equals
+    [sum over phases of phase_total_ns] to the nanosecond.
+
+    The whole layer is gated on {!set_blame} (default off): disabled, a
+    span carries the static empty array and {!Span.claim} is a length
+    check, so the commit hot path's allocation budget is untouched. *)
+
+val set_blame : t -> bool -> unit
+(** Arm blame attribution: spans started afterwards carry a per-category
+    claim array. The off-to-on transition starts a fresh attribution
+    window — the exact accumulators ({!phase_total_ns},
+    {!blame_total_ns}), the blame histograms and the exemplar list are
+    reset so blame and phase totals cover the same interval (arm after a
+    bulk load, not during a transaction). The phase {e histograms} are
+    whole-run observables and are not touched. Recording stays
+    determinism-inert either way. *)
+
+val blame_enabled : t -> bool
+
+val blame_hist : t -> blame -> Stats.Hist.t
+(** Per-category nanoseconds of committed transactions coordinated here
+    (admission and truncate come from their own record sites). *)
+
+val blame_total_ns : t -> blame -> int
+(** Exact nanoseconds ever recorded into the category. *)
+
+val record_blame : t -> blame -> int -> unit
+(** Record a duration directly into a category — the admission queue
+    (before a span exists) and the background truncation (after the span
+    finished) use this. *)
+
+(** {2 Exemplars} — the slowest committed transactions, kept while blame
+    is armed so reports can show where the tail's time went. *)
+
+type exemplar = {
+  ex_txm : int;  (** coordinator machine *)
+  ex_txt : int;  (** coordinator thread *)
+  ex_txl : int;  (** tx local id *)
+  ex_start : int;  (** span start, sim ns *)
+  ex_total : int;  (** end-to-end ns *)
+  ex_blame : int array;  (** per-category ns, indexed by {!blame_index} *)
+  ex_seg : int array;  (** per-phase ns, in {!all_phases} order *)
+}
+
+val exemplars : t -> exemplar list
+(** Up to 8 slowest committed spans, slowest first; deterministic under
+    seed replay. *)
+
+(** {1 Per-region heat} — decaying access/conflict counters (see {!Heat});
+    always on, like the counters. *)
+
+val heat : t -> Heat.t
+val heat_access : t -> region:int -> unit
+val heat_conflict : t -> region:int -> unit
 
 (** {1 Recovery-stage timings} *)
 

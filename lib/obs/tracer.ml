@@ -221,6 +221,72 @@ let instant t ~tid ~mark ~arg =
     s.e_fout <- 0
   end
 
+(* {1 Offline views} *)
+
+type view = {
+  v_machine : int;
+  v_tid : int;
+  v_instant : bool;
+  v_step : int;
+  v_ts : int;
+  v_dur : int;
+  v_arg : int;
+  v_txm : int;
+  v_txt : int;
+  v_txl : int;
+  v_fin : int;
+  v_fout : int;
+}
+
+let view_of_slot machine (s : slot) =
+  {
+    v_machine = machine;
+    v_tid = s.e_tid;
+    v_instant = s.e_ph = 1;
+    v_step = s.e_name;
+    v_ts = s.e_ts;
+    v_dur = s.e_dur;
+    v_arg = s.e_arg;
+    v_txm = s.e_txm;
+    v_txt = s.e_txt;
+    v_txl = s.e_txl;
+    v_fin = s.e_fin;
+    v_fout = s.e_fout;
+  }
+
+let view_name v =
+  if v.v_instant then mark_names.(v.v_step)
+  else
+    let flow = if v.v_fout <> 0 then v.v_fout else v.v_fin in
+    if
+      flow <> 0
+      && (v.v_step = step_index T_log_append || v.v_step = step_index T_log_process)
+    then step_names.(v.v_step) ^ " " ^ tag_names.(flow_tag flow)
+    else step_names.(v.v_step)
+
+(* Live slots of every tracer, keyed for a total deterministic order:
+   timestamp, then machine, then slot age. *)
+let live_entries tracers =
+  let entries = ref [] in
+  List.iter
+    (fun t ->
+      let cap = Array.length t.ring in
+      let n = min t.trc_total cap in
+      for i = 0 to n - 1 do
+        let s = t.ring.((t.pos - n + i + (2 * cap)) mod cap) in
+        entries := (s.e_ts, t.trc_machine, i, s) :: !entries
+      done)
+    tracers;
+  List.sort
+    (fun (ts1, m1, i1, _) (ts2, m2, i2, _) ->
+      if ts1 <> ts2 then compare ts1 ts2
+      else if m1 <> m2 then compare m1 m2
+      else compare i1 i2)
+    (List.rev !entries)
+
+let views tracers =
+  List.map (fun (_, machine, _, s) -> view_of_slot machine s) (live_entries tracers)
+
 (* {1 Export} *)
 
 (* Microseconds with three decimals by integer division: float formatting
@@ -237,7 +303,7 @@ let bprint_common buf ~name ~ph ~ts ~pid ~tid =
 (* Render one slot into 1-3 trace events (the slice plus its flow
    endpoints, which Perfetto binds to the enclosing slice by emitting
    them at the slice's start timestamp on the same pid/tid). *)
-let render_slot buf ~pid (s : slot) =
+let render_slot buf ~pid ~crit (s : slot) =
   if s.e_ph = 1 then begin
     bprint_common buf ~name:mark_names.(s.e_name) ~ph:"i" ~ts:s.e_ts ~pid
       ~tid:s.e_tid;
@@ -258,6 +324,7 @@ let render_slot buf ~pid (s : slot) =
     Printf.bprintf buf ",\"args\":{\"arg\":%d" s.e_arg;
     if s.e_txm >= 0 then
       Printf.bprintf buf ",\"tx\":\"m%d.t%d.%d\"" s.e_txm s.e_txt s.e_txl;
+    if crit then Printf.bprintf buf ",\"crit\":1";
     Printf.bprintf buf "}}";
     if s.e_fout <> 0 then begin
       Buffer.add_string buf ",\n";
@@ -271,27 +338,8 @@ let render_slot buf ~pid (s : slot) =
     end
   end
 
-let export_json tracers =
-  (* Gather live slots of every tracer, oldest first, keyed for a total
-     deterministic order: timestamp, then machine, then slot age. *)
-  let entries = ref [] in
-  List.iter
-    (fun t ->
-      let cap = Array.length t.ring in
-      let n = min t.trc_total cap in
-      for i = 0 to n - 1 do
-        let s = t.ring.((t.pos - n + i + (2 * cap)) mod cap) in
-        entries := (s.e_ts, t.trc_machine, i, s) :: !entries
-      done)
-    tracers;
-  let entries =
-    List.sort
-      (fun (ts1, m1, i1, _) (ts2, m2, i2, _) ->
-        if ts1 <> ts2 then compare ts1 ts2
-        else if m1 <> m2 then compare m1 m2
-        else compare i1 i2)
-      (List.rev !entries)
-  in
+let export_json ?mark tracers =
+  let entries = live_entries tracers in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
@@ -322,7 +370,11 @@ let export_json tracers =
         (List.sort compare !tids))
     (List.sort (fun a b -> compare a.trc_machine b.trc_machine) tracers);
   List.iter
-    (fun (_, pid, _, s) -> emit (fun buf -> render_slot buf ~pid s))
+    (fun (_, pid, _, s) ->
+      let crit =
+        match mark with None -> false | Some f -> f (view_of_slot pid s)
+      in
+      emit (fun buf -> render_slot buf ~pid ~crit s))
     entries;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

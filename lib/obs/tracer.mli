@@ -93,6 +93,10 @@ val tid_recovery : int
 val tid_log : sender:int -> int
 (** The log-processing track for records written by [sender]. *)
 
+val tid_name : int -> string
+(** The display name of a thread track ("worker 3", "net", "lease",
+    "recovery", "log from m2"). *)
+
 val flow_id : machine:int -> thread:int -> local:int -> tag:int -> dst:int -> int
 (** Deterministic nonzero correlation id for one record of one
     transaction to one destination; sender and receiver compute it
@@ -125,13 +129,49 @@ val slice_flow :
 
 val instant : t -> tid:int -> mark:mark -> arg:int -> unit
 
+(** {1 Offline views}
+
+    Read-only snapshots of the recorded ring for offline analysis
+    ({!Critpath} reconstructs cross-machine transaction paths from them).
+    Purely a rendering of existing slots — taking views never perturbs
+    recording. *)
+
+type view = {
+  v_machine : int;
+  v_tid : int;
+  v_instant : bool;  (** false = slice, true = instant mark *)
+  v_step : int;  (** {!step_index} for slices, mark index for instants *)
+  v_ts : int;  (** start, sim ns *)
+  v_dur : int;  (** ns; 0 for instants *)
+  v_arg : int;
+  v_txm : int;  (** trace context; -1 = none *)
+  v_txt : int;
+  v_txl : int;
+  v_fin : int;  (** incoming / outgoing flow ids; 0 = none *)
+  v_fout : int;
+}
+
+val step_index : step -> int
+
+val views : t list -> view list
+(** Every live slot of the given tracers in the export's deterministic
+    order: (timestamp, machine, slot age). *)
+
+val view_name : view -> string
+(** The same display name the export renders (log slices carry their
+    record type, e.g. ["log-process LOCK"]). *)
+
 (** {1 Export} *)
 
-val export_json : t list -> string
+val export_json : ?mark:(view -> bool) -> t list -> string
 (** The merged Chrome trace-event JSON document ([{"traceEvents": [...]}]):
     machines as processes, protocol roles as named threads, slices as
     [ph:"X"] complete events (ts/dur in microseconds), flow endpoints as
     [ph:"s"]/[ph:"f"] pairs bound to their slices, and marks as
     [ph:"i"] instants. Events are ordered by (timestamp, machine, slot
     age) so the document is a pure function of the recorded state —
-    byte-identical across replays of the same seed. *)
+    byte-identical across replays of the same seed.
+
+    [mark] tags the slices it selects with [args.crit = 1] (critical-path
+    highlighting); omitted, the output is byte-identical to what earlier
+    versions produced. *)

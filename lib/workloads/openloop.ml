@@ -149,6 +149,12 @@ let start ?machines ?(queue_cap = 1024) ?(workers = 2) (c : Cluster.t) ~shape ~r
               match Mailbox.recv_opt q with
               | Some submit ->
                   let s0 = Proc.now () in
+                  (* admission queueing: submit -> service start. The span
+                     does not exist yet, so the wait is recorded straight
+                     into the serving machine's blame accounting. *)
+                  if Farm_obs.Obs.blame_enabled st.State.obs then
+                    Farm_obs.Obs.record_blame st.State.obs Farm_obs.Obs.B_admission
+                      (Time.to_ns (Time.sub s0 submit));
                   let ok = op ctx in
                   let s1 = Proc.now () in
                   if ok then begin
